@@ -1,0 +1,135 @@
+(* CLI for the verification tools: linearizability checking of recorded
+   histories, and preemption-bounded schedule exploration (the
+   mechanized version of the paper's race hunting — including the races
+   in Stone's algorithm that Section 1 reports). *)
+
+open Cmdliner
+
+let find_algo key =
+  if key = "stone" then (module Squeues.Stone_queue : Squeues.Intf.S)
+  else if key = "stone-ring" then (module Squeues.Stone_ring_queue : Squeues.Intf.S)
+  else if key = "hb" then (module Squeues.Hb_queue : Squeues.Intf.S)
+  else Harness.Registry.find key
+
+let algo_arg =
+  Arg.(value & opt string "ms"
+       & info [ "a"; "algo" ]
+           ~doc:"Algorithm key: single-lock, mc, valois, two-lock, plj, ms, stone, stone-ring, hb.")
+
+(* A fresh simulated instance where each of [procs] processes performs
+   [ops] enqueue+dequeue pairs, with every operation recorded. *)
+let recorded_spec (module Q : Squeues.Intf.S) ~procs ~ops =
+  let make () =
+    let eng = Sim.Engine.create (Sim.Config.with_processors procs) in
+    let q = Q.init eng in
+    let recorder = Lincheck.History.create_recorder () in
+    let bodies =
+      Array.init procs (fun i () ->
+          for k = 1 to ops do
+            let v = (i * 1000) + k in
+            Lincheck.History.record recorder ~proc:i (fun () ->
+                Q.enqueue q v;
+                Lincheck.History.Enq v);
+            Lincheck.History.record recorder ~proc:i (fun () ->
+                Lincheck.History.Deq (Q.dequeue q))
+          done)
+    in
+    (eng, recorder, bodies)
+  in
+  let check_final _eng recorder =
+    match Lincheck.Checker.check (Lincheck.History.history recorder) with
+    | Lincheck.Checker.Linearizable -> Ok ()
+    | Lincheck.Checker.Not_linearizable -> Error "non-linearizable history"
+    | Lincheck.Checker.Inconclusive -> Error "linearizability check inconclusive"
+  in
+  { Mcheck.Explore.make; check_final; check_step = None }
+
+let explore_cmd =
+  let run algo procs ops preemptions =
+    let q = find_algo algo in
+    let outcome =
+      Mcheck.Explore.explore ~max_preemptions:preemptions
+        (recorded_spec q ~procs ~ops)
+    in
+    Format.printf
+      "%s: %d schedules explored, %d diverged, %d linearizability failures@." algo
+      outcome.Mcheck.Explore.runs outcome.Mcheck.Explore.diverged
+      (List.length outcome.Mcheck.Explore.failures);
+    List.iter
+      (fun f ->
+        Format.printf "  %s under schedule %a@." f.Mcheck.Explore.message
+          Mcheck.Explore.pp_schedule f.Mcheck.Explore.schedule)
+      outcome.Mcheck.Explore.failures;
+    if outcome.Mcheck.Explore.failures = [] then 0 else 1
+  in
+  let procs = Arg.(value & opt int 2 & info [ "p"; "procs" ] ~doc:"Processes.") in
+  let ops = Arg.(value & opt int 1 & info [ "ops" ] ~doc:"Pairs per process.") in
+  let preemptions =
+    Arg.(value & opt int 2 & info [ "preemptions" ] ~doc:"Preemption budget.")
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Explore every schedule up to a preemption budget, checking each \
+          complete history for linearizability.  Exit code 1 on any failure \
+          (expected for stone).")
+    Term.(const run $ algo_arg $ procs $ ops $ preemptions)
+
+let lin_cmd =
+  let run algo procs ops rounds =
+    let (module Q : Squeues.Intf.S) = find_algo algo in
+    let failures = ref 0 in
+    for round = 1 to rounds do
+      let eng =
+        Sim.Engine.create
+          {
+            (Sim.Config.with_processors procs) with
+            seed = Int64.of_int (round * 7919);
+            quantum = 5_000;
+          }
+      in
+      let q = Q.init eng in
+      let recorder = Lincheck.History.create_recorder () in
+      for i = 0 to procs - 1 do
+        ignore
+          (Sim.Engine.spawn eng (fun () ->
+               for k = 1 to ops do
+                 let v = (i * 1000) + k in
+                 Lincheck.History.record recorder ~proc:i (fun () ->
+                     Q.enqueue q v;
+                     Lincheck.History.Enq v);
+                 Sim.Api.work ((i * 37) + k);
+                 Lincheck.History.record recorder ~proc:i (fun () ->
+                     Lincheck.History.Deq (Q.dequeue q));
+                 Sim.Api.work ((i * 13) + k)
+               done))
+      done;
+      (match Sim.Engine.run ~max_steps:50_000_000 eng with
+      | Sim.Engine.Completed -> ()
+      | Sim.Engine.Step_limit -> failwith "step limit");
+      match Lincheck.Checker.check (Lincheck.History.history recorder) with
+      | Lincheck.Checker.Linearizable -> ()
+      | Lincheck.Checker.Not_linearizable ->
+          incr failures;
+          Format.printf "round %d: NON-LINEARIZABLE@." round
+      | Lincheck.Checker.Inconclusive ->
+          Format.printf "round %d: inconclusive@." round
+    done;
+    Format.printf "%s: %d rounds, %d linearizability failures@." algo rounds !failures;
+    if !failures = 0 then 0 else 1
+  in
+  let procs = Arg.(value & opt int 4 & info [ "p"; "procs" ] ~doc:"Processes.") in
+  let ops = Arg.(value & opt int 5 & info [ "ops" ] ~doc:"Pairs per process.") in
+  let rounds = Arg.(value & opt int 50 & info [ "rounds" ] ~doc:"Random executions.") in
+  Cmd.v
+    (Cmd.info "lin"
+       ~doc:
+         "Record concurrent histories over many seeded executions and check \
+          each against the sequential FIFO specification.")
+    Term.(const run $ algo_arg $ procs $ ops $ rounds)
+
+let cmd =
+  let doc = "Verification tools for the PODC 1996 queue reproduction" in
+  Cmd.group (Cmd.info "msq_check" ~doc) [ explore_cmd; lin_cmd ]
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,101 @@
+(* CLI regenerating the paper's figures (3, 4, 5) on the simulated
+   multiprocessor, as a table, summary and optional CSV. *)
+
+open Cmdliner
+
+let parse_procs s =
+  try
+    let parts = String.split_on_char ',' s in
+    match parts with
+    | [ single ] when not (String.contains s ',') ->
+        let n = int_of_string single in
+        Ok (List.init n (fun i -> i + 1))
+    | parts -> Ok (List.map int_of_string parts)
+  with _ -> Error (`Msg "procs: expected N or a comma-separated list")
+
+let procs_conv = Arg.conv (parse_procs, fun fmt l ->
+    Format.fprintf fmt "%s" (String.concat "," (List.map string_of_int l)))
+
+let run figures pairs quantum procs algos csv summary_only chart =
+  let base =
+    { Harness.Params.default with total_pairs = pairs; quantum } in
+  let algos =
+    match algos with
+    | [] -> Harness.Registry.all
+    | keys ->
+        List.map
+          (fun key -> { Harness.Registry.key; algo = Harness.Registry.find key })
+          keys
+  in
+  let csv_out =
+    Option.map
+      (fun path ->
+        let oc = open_out path in
+        (oc, Format.formatter_of_out_channel oc))
+      csv
+  in
+  List.iter
+    (fun n ->
+      let fig = Harness.Experiment.figure ~algos ~procs ~base n in
+      if not summary_only then Harness.Report.table Format.std_formatter fig;
+      if chart then Harness.Report.chart Format.std_formatter fig;
+      Harness.Report.summary Format.std_formatter fig;
+      Option.iter (fun (_, fmt) -> Harness.Report.csv fmt fig) csv_out)
+    figures;
+  Option.iter
+    (fun (oc, fmt) ->
+      Format.pp_print_flush fmt ();
+      close_out oc)
+    csv_out;
+  0
+
+let figures_arg =
+  let parse s =
+    match s with
+    | "all" -> Ok [ 3; 4; 5 ]
+    | s -> (
+        try
+          let l = List.map int_of_string (String.split_on_char ',' s) in
+          if List.for_all (fun n -> n >= 3 && n <= 5) l then Ok l
+          else Error (`Msg "figures are 3, 4 and 5")
+        with _ -> Error (`Msg "expected 3, 4, 5 or all"))
+  in
+  let figures_conv = Arg.conv (parse, fun fmt l ->
+      Format.fprintf fmt "%s" (String.concat "," (List.map string_of_int l)))
+  in
+  Arg.(value & opt figures_conv [ 3; 4; 5 ] & info [ "f"; "figure" ] ~doc:"Figure(s) to regenerate: 3, 4, 5, a comma list, or all.")
+
+let pairs_arg =
+  Arg.(value & opt int Harness.Params.default.Harness.Params.total_pairs
+       & info [ "pairs" ] ~doc:"Total enqueue/dequeue pairs per data point (paper: 1000000).")
+
+let quantum_arg =
+  Arg.(value & opt int Harness.Params.default.Harness.Params.quantum
+       & info [ "quantum" ] ~doc:"Scheduling quantum in cycles (paper scale: 2000000).")
+
+let procs_arg =
+  Arg.(value & opt procs_conv (List.init 12 (fun i -> i + 1))
+       & info [ "p"; "procs" ] ~doc:"Processor counts: a max N or a comma list.")
+
+let algos_arg =
+  Arg.(value & opt_all string []
+       & info [ "a"; "algo" ] ~doc:"Restrict to these algorithms (repeatable). Keys: single-lock, mc, valois, two-lock, plj, ms.")
+
+let csv_arg =
+  Arg.(value & opt (some string) None & info [ "csv" ] ~doc:"Also write CSV to $(docv)." ~docv:"FILE")
+
+let summary_arg =
+  Arg.(value & flag & info [ "summary-only" ] ~doc:"Print only the qualitative summaries.")
+
+let chart_arg =
+  Arg.(value & flag & info [ "chart" ] ~doc:"Also render terminal bar charts.")
+
+let cmd =
+  let doc = "Regenerate the figures of Michael & Scott (PODC 1996) on the simulator" in
+  Cmd.v
+    (Cmd.info "msq_figures" ~doc)
+    Term.(
+      const run $ figures_arg $ pairs_arg $ quantum_arg $ procs_arg $ algos_arg
+      $ csv_arg $ summary_arg $ chart_arg)
+
+let () = exit (Cmd.eval' cmd)

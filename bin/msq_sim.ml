@@ -1,0 +1,170 @@
+(* CLI for individual simulator experiments: single workload runs with
+   full statistics, the Valois memory-exhaustion experiment, and the
+   delay-injection liveness experiment. *)
+
+open Cmdliner
+
+let algo_arg =
+  Arg.(value & opt string "ms"
+       & info [ "a"; "algo" ] ~doc:"Algorithm key: single-lock, mc, valois, two-lock, plj, ms.")
+
+let procs_arg =
+  Arg.(value & opt int 8 & info [ "p"; "procs" ] ~doc:"Simulated processors.")
+
+let pairs_arg =
+  Arg.(value & opt int 20_000 & info [ "pairs" ] ~doc:"Total enqueue/dequeue pairs.")
+
+let mpl_arg =
+  Arg.(value & opt int 1 & info [ "m"; "mpl" ] ~doc:"Processes per processor.")
+
+let pool_arg = Arg.(value & opt int 2_000 & info [ "pool" ] ~doc:"Free-list size.")
+
+let run_cmd =
+  let run algo procs pairs mpl trace =
+    let (module Q) = Harness.Registry.find algo in
+    if trace then begin
+      (* a small traced run printed in full: a readable interleaving *)
+      let eng = Sim.Engine.create (Sim.Config.with_processors procs) in
+      let tr = Sim.Engine.enable_trace eng in
+      let q = Q.init eng in
+      for i = 0 to procs - 1 do
+        ignore
+          (Sim.Engine.spawn eng (fun () ->
+               for k = 1 to max 1 (min pairs 4) do
+                 Q.enqueue q ((i * 100) + k);
+                 ignore (Q.dequeue q)
+               done))
+      done;
+      ignore (Sim.Engine.run eng);
+      Format.printf "%a" Sim.Trace.pp tr;
+      0
+    end
+    else begin
+      let m =
+        Harness.Workload.run
+          (module Q)
+          {
+            Harness.Params.default with
+            processors = procs;
+            total_pairs = pairs;
+            multiprogramming = mpl;
+          }
+      in
+      Format.printf "%a@." Harness.Workload.pp_measurement m;
+      Format.printf "%a@." Sim.Stats.pp m.Harness.Workload.stats;
+      0
+    end
+  in
+  let trace_arg =
+    Arg.(value & flag
+         & info [ "trace" ]
+             ~doc:"Print the full operation trace of a tiny run instead of statistics.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"One workload run with full statistics (or --trace)")
+    Term.(const run $ algo_arg $ procs_arg $ pairs_arg $ mpl_arg $ trace_arg)
+
+let memory_cmd =
+  let run algo procs pairs pool =
+    let q = Harness.Registry.find algo in
+    let r = Harness.Memory_experiment.run q ~procs ~pool ~pairs () in
+    Format.printf "%a@." Harness.Memory_experiment.pp_result r;
+    if r.Harness.Memory_experiment.exhausted then 1 else 0
+  in
+  Cmd.v
+    (Cmd.info "valois-memory"
+       ~doc:
+         "The paper's Section 1 experiment: bounded free list, short queue, one \
+          delayed process.  Exit code 1 when the pool is exhausted (expected for \
+          valois).")
+    Term.(const run $ algo_arg $ procs_arg $ pairs_arg $ pool_arg)
+
+let liveness_cmd =
+  let run algos =
+    let entries =
+      match algos with
+      | [] -> Harness.Registry.all
+      | keys ->
+          List.map
+            (fun key -> { Harness.Registry.key; algo = Harness.Registry.find key })
+            keys
+    in
+    List.iter
+      (fun { Harness.Registry.algo; _ } ->
+        Format.printf "%a@." Harness.Liveness.pp_result (Harness.Liveness.run algo ()))
+      entries;
+    0
+  in
+  let algos_arg =
+    Arg.(value & opt_all string [] & info [ "a"; "algo" ] ~doc:"Algorithms (repeatable); default all.")
+  in
+  Cmd.v
+    (Cmd.info "liveness" ~doc:"Delay injection: which algorithms are non-blocking?")
+    Term.(const run $ algos_arg)
+
+let locks_cmd =
+  let run procs mpl =
+    List.iter
+      (fun kind ->
+        Format.printf "%a@." Harness.Lock_experiment.pp_measurement
+          (Harness.Lock_experiment.run kind ~processors:procs ~multiprogramming:mpl ()))
+      Harness.Lock_experiment.kinds;
+    0
+  in
+  Cmd.v
+    (Cmd.info "locks" ~doc:"Spin-lock ablation: TTAS vs ticket vs MCS")
+    Term.(const run $ procs_arg $ mpl_arg)
+
+let spsc_cmd =
+  let run items =
+    Format.printf "%a@." Harness.Spsc_experiment.pp_measurement
+      (Harness.Spsc_experiment.run_lamport ~items ());
+    Format.printf "%a@." Harness.Spsc_experiment.pp_measurement
+      (Harness.Spsc_experiment.run_ms ~items ());
+    0
+  in
+  let items = Arg.(value & opt int 20_000 & info [ "items" ] ~doc:"Items to transfer.") in
+  Cmd.v
+    (Cmd.info "spsc" ~doc:"Lamport's wait-free SPSC ring vs the MS queue at p = 2")
+    Term.(const run $ items)
+
+let variants_cmd =
+  let run () =
+    List.iter
+      (fun { Harness.Registry.algo; _ } ->
+        Format.printf "%a@." Harness.Workload_variants.pp_measurement
+          (Harness.Workload_variants.producer_consumer algo ()))
+      Harness.Registry.all;
+    List.iter
+      (fun { Harness.Registry.algo; _ } ->
+        Format.printf "%a@." Harness.Workload_variants.pp_measurement
+          (Harness.Workload_variants.burst algo ()))
+      Harness.Registry.all;
+    0
+  in
+  Cmd.v
+    (Cmd.info "variants" ~doc:"Producer/consumer-split and burst workload variants")
+    Term.(const run $ const ())
+
+let sweep_cmd =
+  let run procs =
+    let series =
+      List.map
+        (fun { Harness.Registry.algo; _ } ->
+          Harness.Work_sweep.sweep algo ~processors:procs ())
+        Harness.Registry.all
+    in
+    Harness.Work_sweep.table Format.std_formatter series;
+    0
+  in
+  Cmd.v
+    (Cmd.info "work-sweep"
+       ~doc:"Sensitivity to the amount of other work between queue operations")
+    Term.(const run $ procs_arg)
+
+let cmd =
+  let doc = "Simulator experiments for the PODC 1996 queue reproduction" in
+  Cmd.group (Cmd.info "msq_sim" ~doc)
+    [ run_cmd; memory_cmd; liveness_cmd; locks_cmd; spsc_cmd; variants_cmd; sweep_cmd ]
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,65 @@
+(* A multi-stage parallel pipeline built from MS queues.
+
+     dune exec examples/pipeline.exe
+
+   Stage 1 parses "requests", stage 2 (two worker domains) does the
+   heavy transformation, stage 3 aggregates.  The queues between stages
+   are the paper's non-blocking queue, so a slow worker never blocks the
+   others — the workload naturally rebalances.  Termination uses a
+   poison-pill value per consumer, a standard idiom with concurrent
+   queues. *)
+
+type request = { id : int; payload : int }
+type parsed = Parsed of request | Stop
+
+let workers = 2
+let requests = 20_000
+
+let () =
+  let stage1 : parsed Core.Ms_queue.t = Core.Ms_queue.create () in
+  let stage2 : (int * int) option Core.Ms_queue.t = Core.Ms_queue.create () in
+
+  (* Stage 1: produce parsed requests, then one Stop per worker. *)
+  let producer =
+    Domain.spawn (fun () ->
+        for id = 1 to requests do
+          Core.Ms_queue.enqueue stage1 (Parsed { id; payload = id * 17 })
+        done;
+        for _ = 1 to workers do
+          Core.Ms_queue.enqueue stage1 Stop
+        done)
+  in
+
+  (* Stage 2: transform.  Each worker drains until its poison pill. *)
+  let worker () =
+    let rec loop () =
+      match Core.Ms_queue.dequeue stage1 with
+      | None ->
+          Domain.cpu_relax ();
+          loop ()
+      | Some Stop -> Core.Ms_queue.enqueue stage2 None
+      | Some (Parsed r) ->
+          (* "heavy" work: a toy digest of the payload *)
+          let digest = (r.payload * r.payload) mod 1_000_003 in
+          Core.Ms_queue.enqueue stage2 (Some (r.id, digest));
+          loop ()
+    in
+    loop ()
+  in
+  let pool = List.init workers (fun _ -> Domain.spawn worker) in
+
+  (* Stage 3: aggregate on the main domain. *)
+  let stops = ref 0 and seen = ref 0 and checksum = ref 0 in
+  while !stops < workers do
+    match Core.Ms_queue.dequeue stage2 with
+    | None -> Domain.cpu_relax ()
+    | Some None -> incr stops
+    | Some (Some (_id, digest)) ->
+        incr seen;
+        checksum := (!checksum + digest) land max_int
+  done;
+  Domain.join producer;
+  List.iter Domain.join pool;
+  Printf.printf "pipeline: %d requests through %d workers, checksum %d\n" !seen
+    workers !checksum;
+  assert (!seen = requests)

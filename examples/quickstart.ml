@@ -1,0 +1,37 @@
+(* Quickstart: the Michael-Scott non-blocking queue from OCaml 5 domains.
+
+     dune exec examples/quickstart.exe
+
+   A producer domain enqueues messages while the main domain consumes
+   them; no locks, and the producer being descheduled can never stall
+   the consumer (it simply sees an empty queue and retries). *)
+
+let () =
+  let q : string Core.Ms_queue.t = Core.Ms_queue.create () in
+
+  (* Single-domain use is just a queue. *)
+  Core.Ms_queue.enqueue q "hello";
+  Core.Ms_queue.enqueue q "world";
+  assert (Core.Ms_queue.peek q = Some "hello");
+  assert (Core.Ms_queue.dequeue q = Some "hello");
+  assert (Core.Ms_queue.dequeue q = Some "world");
+  assert (Core.Ms_queue.dequeue q = None);
+
+  (* Concurrent use: one producer domain, this domain consumes. *)
+  let messages = 10_000 in
+  let producer =
+    Domain.spawn (fun () ->
+        for i = 1 to messages do
+          Core.Ms_queue.enqueue q (Printf.sprintf "message %d" i)
+        done)
+  in
+  let received = ref 0 in
+  while !received < messages do
+    match Core.Ms_queue.dequeue q with
+    | Some _ -> incr received
+    | None -> Domain.cpu_relax ()
+  done;
+  Domain.join producer;
+  assert (Core.Ms_queue.is_empty q);
+  Printf.printf "quickstart: consumed %d messages concurrently, queue empty: %b\n"
+    !received (Core.Ms_queue.is_empty q)

@@ -1,0 +1,14 @@
+(** Mellor-Crummey's lock-free but blocking queue (paper ref. [11]),
+    native reconstruction.
+
+    Enqueue atomically exchanges the new node into [Tail], then writes
+    the predecessor's [next] link — no retry loop, no ABA precautions
+    (the paper's fetch_and_store-modify-compare&swap observation).  The
+    cost is the window between the exchange and the link: a dequeuer
+    that reaches a node whose successor was claimed but not yet linked
+    must wait, so a delayed enqueuer blocks every dequeuer — lock-free
+    is not non-blocking (§1). *)
+
+include Core.Queue_intf.S
+
+val length : 'a t -> int

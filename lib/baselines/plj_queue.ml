@@ -1,0 +1,93 @@
+type 'a node = { mutable value : 'a option; next : 'a node option Atomic.t }
+
+type 'a t = { head : 'a node Atomic.t; tail : 'a node Atomic.t }
+
+let name = "plj-nonblocking"
+
+let create () =
+  let dummy = { value = None; next = Atomic.make None } in
+  { head = Atomic.make dummy; tail = Atomic.make dummy }
+
+(* A consistent view of the whole queue state: both shared variables and
+   the links after each, re-read until neither moved during the reads. *)
+let rec snapshot t =
+  let head = Atomic.get t.head in
+  let tail = Atomic.get t.tail in
+  let tail_next = Atomic.get tail.next in
+  let head_next = Atomic.get head.next in
+  if Atomic.get t.head == head && Atomic.get t.tail == tail then
+    (head, tail, head_next, tail_next)
+  else snapshot t
+
+let help_tail t tail next = ignore (Atomic.compare_and_set t.tail tail next)
+
+let enqueue t v =
+  let node = { value = Some v; next = Atomic.make None } in
+  let b = Locks.Backoff.create () in
+  let rec loop () =
+    let _head, tail, _head_next, tail_next = snapshot t in
+    match tail_next with
+    | Some n ->
+        (* finish the slower enqueuer's operation, then retry *)
+        help_tail t tail n;
+        loop ()
+    | None ->
+        if Atomic.compare_and_set tail.next tail_next (Some node) then
+          help_tail t tail node
+        else begin
+          Locks.Backoff.once b;
+          loop ()
+        end
+  in
+  loop ()
+
+let dequeue t =
+  let b = Locks.Backoff.create () in
+  let rec loop () =
+    let head, tail, head_next, tail_next = snapshot t in
+    if head == tail then
+      match tail_next with
+      | None -> None
+      | Some n ->
+          help_tail t tail n;
+          loop ()
+    else
+      match head_next with
+      | None -> loop () (* transient: head != tail implies a successor *)
+      | Some n ->
+          let value = n.value in
+          if Atomic.compare_and_set t.head head n then begin
+            n.value <- None;
+            value
+          end
+          else begin
+            Locks.Backoff.once b;
+            loop ()
+          end
+  in
+  loop ()
+
+let peek t =
+  let rec loop () =
+    let head = Atomic.get t.head in
+    let next = Atomic.get head.next in
+    let value = match next with None -> None | Some n -> n.value in
+    if Atomic.get t.head == head then
+      match next with
+      | None -> None
+      | Some _ -> value
+    else loop ()
+  in
+  loop ()
+
+let is_empty t =
+  let head, tail, _head_next, tail_next = snapshot t in
+  head == tail && tail_next = None
+
+let length t =
+  let rec walk node acc =
+    match Atomic.get node.next with
+    | None -> acc
+    | Some n -> walk n (acc + 1)
+  in
+  walk (Atomic.get t.head) 0

@@ -1,0 +1,15 @@
+(** Prakash, Lee & Johnson's snapshot-based non-blocking queue (paper
+    ref. [16]), native reconstruction.
+
+    Each operation takes a validated {e snapshot} of both shared
+    variables ([Head] and [Tail]) plus the relevant links before
+    updating, and faster processes complete slower processes'
+    operations (lagging-tail helping) instead of waiting.  Non-blocking
+    and linearizable.  Compared to {!Core.Ms_queue}, every operation
+    re-checks two shared variables rather than one — the overhead the
+    paper contrasts its algorithm against (§2).  See
+    {!Squeues.Plj_queue} for the reconstruction notes. *)
+
+include Core.Queue_intf.S
+
+val length : 'a t -> int

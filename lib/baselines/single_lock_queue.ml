@@ -1,0 +1,55 @@
+module Make (Lock : Locks.Lock_intf.LOCK) = struct
+  type 'a node = { value : 'a; mutable next : 'a node option }
+
+  (* The lock serializes everything, so plain mutable fields suffice and
+     no dummy node is needed: empty is [head = tail = None]. *)
+  type 'a t = {
+    mutable head : 'a node option;
+    mutable tail : 'a node option;
+    lock : Lock.t;
+  }
+
+  let name = "single-lock(" ^ Lock.name ^ ")"
+  let create () = { head = None; tail = None; lock = Lock.create () }
+
+  let enqueue t v =
+    let node = { value = v; next = None } in
+    Lock.with_lock t.lock (fun () ->
+        match t.tail with
+        | None ->
+            t.head <- Some node;
+            t.tail <- Some node
+        | Some last ->
+            last.next <- Some node;
+            t.tail <- Some node)
+
+  let dequeue t =
+    Lock.with_lock t.lock (fun () ->
+        match t.head with
+        | None -> None
+        | Some first ->
+            t.head <- first.next;
+            if first.next = None then t.tail <- None;
+            Some first.value)
+
+  let peek t =
+    Lock.with_lock t.lock (fun () ->
+        match t.head with
+        | None -> None
+        | Some first -> Some first.value)
+
+  let is_empty t = Lock.with_lock t.lock (fun () -> t.head = None)
+
+  let length t =
+    Lock.with_lock t.lock (fun () ->
+        let rec walk node acc =
+          match node with
+          | None -> acc
+          | Some n -> walk n.next (acc + 1)
+        in
+        walk t.head 0)
+end
+
+include Make (Locks.Ttas_lock)
+
+let name = "single-lock"

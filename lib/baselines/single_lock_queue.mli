@@ -1,0 +1,17 @@
+(** Baseline: a straightforward single-lock queue (paper §4).
+
+    One lock serializes every operation over a plain linked list.  The
+    fastest choice when the queue is accessed by only one or two
+    processors — "a single lock will run a little faster" (§5) — and
+    the worst under contention or multiprogramming.  {!Make} builds it
+    over any lock; the default uses the paper's TTAS-with-backoff. *)
+
+module Make (_ : Locks.Lock_intf.LOCK) : sig
+  include Core.Queue_intf.S
+
+  val length : 'a t -> int
+end
+
+include Core.Queue_intf.S
+
+val length : 'a t -> int

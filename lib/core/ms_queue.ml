@@ -1,0 +1,99 @@
+(* Line numbers refer to the paper's Figure 1.  [value] is an option
+   only because the dummy node needs an empty slot; it is cleared when a
+   node becomes the new dummy so dequeued items are not retained. *)
+type 'a node = { mutable value : 'a option; next : 'a node option Atomic.t }
+
+type 'a t = { head : 'a node Atomic.t; tail : 'a node Atomic.t }
+
+let name = "ms-nonblocking"
+
+let create () =
+  let dummy = { value = None; next = Atomic.make None } in
+  { head = Atomic.make dummy; tail = Atomic.make dummy }
+
+let enqueue t v =
+  let node = { value = Some v; next = Atomic.make None } in (* E1-E3 *)
+  let b = Locks.Backoff.create () in
+  let rec loop () =
+    let tail = Atomic.get t.tail in (* E5 *)
+    let next = Atomic.get tail.next in (* E6 *)
+    if Atomic.get t.tail == tail then (* E7 *)
+      match next with
+      | None ->
+          if Atomic.compare_and_set tail.next next (Some node) then tail (* E9 *)
+          else begin
+            Locks.Backoff.once b;
+            loop ()
+          end
+      | Some n ->
+          (* E12: Tail is lagging; help it forward and retry *)
+          ignore (Atomic.compare_and_set t.tail tail n);
+          loop ()
+    else loop ()
+  in
+  let tail = loop () in
+  ignore (Atomic.compare_and_set t.tail tail node) (* E13 *)
+
+let dequeue t =
+  let b = Locks.Backoff.create () in
+  let rec loop () =
+    let head = Atomic.get t.head in (* D2 *)
+    let tail = Atomic.get t.tail in (* D3 *)
+    let next = Atomic.get head.next in (* D4 *)
+    if Atomic.get t.head == head then (* D5 *)
+      if head == tail then
+        match next with
+        | None -> None (* D7-D8: empty *)
+        | Some n ->
+            (* D9: Tail is falling behind; advance it *)
+            ignore (Atomic.compare_and_set t.tail tail n);
+            loop ()
+      else
+        match next with
+        | None ->
+            (* head != tail implies the dummy has a successor *)
+            loop ()
+        | Some n ->
+            let value = n.value in (* D11 *)
+            if Atomic.compare_and_set t.head head n then begin
+              (* D12 *)
+              n.value <- None; (* n is the new dummy; drop its payload *)
+              value
+            end
+            else begin
+              Locks.Backoff.once b;
+              loop ()
+            end
+    else loop ()
+  in
+  loop ()
+
+let peek t =
+  let rec loop () =
+    let head = Atomic.get t.head in
+    let next = Atomic.get head.next in
+    (* read the value before re-checking Head: the node's payload is
+       cleared by the dequeue that moves Head past it, so an unchanged
+       Head proves the value was intact when read (cf. D11's comment) *)
+    let value = match next with None -> None | Some n -> n.value in
+    if Atomic.get t.head == head then
+      match next with
+      | None -> None
+      | Some _ -> value
+    else loop ()
+  in
+  loop ()
+
+let is_empty t =
+  let head = Atomic.get t.head in
+  match Atomic.get head.next with
+  | None -> true
+  | Some _ -> false
+
+let length t =
+  let rec walk node acc =
+    match Atomic.get node.next with
+    | None -> acc
+    | Some n -> walk n (acc + 1)
+  in
+  walk (Atomic.get t.head) 0

@@ -1,0 +1,21 @@
+(** The Michael–Scott non-blocking queue (paper Figure 1) for OCaml 5 —
+    the idiomatic variant.
+
+    A singly-linked list with atomic [Head] and [Tail] and a dummy node
+    at the head; enqueue links at the tail with a CAS and helps lagging
+    tails forward, dequeue swings [Head] with a CAS.  Linearizable and
+    non-blocking.
+
+    This variant leans on the garbage collector instead of the paper's
+    counted pointers and free list: nodes are freshly allocated, and
+    OCaml's [Atomic.compare_and_set] compares physically, so a stale
+    expected value can never match a recycled one — the ABA problem is
+    structurally impossible and no modification counters are needed.
+    See {!Ms_queue_counted} for the faithful counted-pointer/free-list
+    variant, and DESIGN.md for the trade-off discussion. *)
+
+include Queue_intf.S
+
+val length : 'a t -> int
+(** Number of items, by walking the list.  O(n), and only a snapshot
+    under concurrent updates — intended for tests and monitoring. *)

@@ -1,0 +1,154 @@
+(* The counted pointer of the paper's [structure pointer_t]: a record
+   CASed as a unit.  [ptr = None] is the null pointer.  Every successful
+   CAS installs a fresh record with [count + 1]. *)
+type 'a pointer = { ptr : 'a node option; count : int }
+
+and 'a node = { mutable value : 'a option; next : 'a pointer Atomic.t }
+
+type 'a t = {
+  head : 'a pointer Atomic.t;
+  tail : 'a pointer Atomic.t;
+  free : 'a pointer Atomic.t;  (* Treiber-stack top; links reuse [next] *)
+}
+
+let name = "ms-counted"
+
+let create () =
+  let dummy = { value = None; next = Atomic.make { ptr = None; count = 0 } } in
+  {
+    head = Atomic.make { ptr = Some dummy; count = 0 };
+    tail = Atomic.make { ptr = Some dummy; count = 0 };
+    free = Atomic.make { ptr = None; count = 0 };
+  }
+
+(* new_node(): pop from the free list, falling back to allocation.  The
+   node's [next] keeps its old count (the paper's E3 nulls only the ptr
+   subfield), preserving the cell's monotonic history. *)
+let rec new_node t =
+  let top = Atomic.get t.free in
+  match top.ptr with
+  | None -> { value = None; next = Atomic.make { ptr = None; count = 0 } }
+  | Some n ->
+      let link = Atomic.get n.next in
+      if Atomic.compare_and_set t.free top { ptr = link.ptr; count = top.count + 1 }
+      then begin
+        Atomic.set n.next { ptr = None; count = link.count };
+        n
+      end
+      else new_node t
+
+let rec free_node t n =
+  let top = Atomic.get t.free in
+  let link = Atomic.get n.next in
+  Atomic.set n.next { ptr = top.ptr; count = link.count };
+  if Atomic.compare_and_set t.free top { ptr = Some n; count = top.count + 1 } then ()
+  else free_node t n
+
+let enqueue t v =
+  let node = new_node t in (* E1 *)
+  node.value <- Some v; (* E2; E3 happened in new_node *)
+  let b = Locks.Backoff.create () in
+  let rec loop () =
+    let tail = Atomic.get t.tail in (* E5 *)
+    let tail_node = Option.get tail.ptr in
+    let next = Atomic.get tail_node.next in (* E6 *)
+    if Atomic.get t.tail == tail then (* E7 *)
+      match next.ptr with
+      | None ->
+          if
+            Atomic.compare_and_set tail_node.next next (* E9 *)
+              { ptr = Some node; count = next.count + 1 }
+          then tail
+          else begin
+            Locks.Backoff.once b;
+            loop ()
+          end
+      | Some n ->
+          ignore
+            (Atomic.compare_and_set t.tail tail (* E12 *)
+               { ptr = Some n; count = tail.count + 1 });
+          loop ()
+    else loop ()
+  in
+  let tail = loop () in
+  ignore (Atomic.compare_and_set t.tail tail { ptr = Some node; count = tail.count + 1 })
+(* E13 *)
+
+let dequeue t =
+  let b = Locks.Backoff.create () in
+  let rec loop () =
+    let head = Atomic.get t.head in (* D2 *)
+    let tail = Atomic.get t.tail in (* D3 *)
+    let head_node = Option.get head.ptr in
+    let tail_node = Option.get tail.ptr in
+    let next = Atomic.get head_node.next in (* D4 *)
+    if Atomic.get t.head == head then (* D5 *)
+      (* compare the nodes, not the option boxes: distinct [Some]
+         wrappers may point to the same node *)
+      if head_node == tail_node then
+        match next.ptr with
+        | None -> None (* D7-D8 *)
+        | Some n ->
+            ignore
+              (Atomic.compare_and_set t.tail tail (* D9 *)
+                 { ptr = Some n; count = tail.count + 1 });
+            loop ()
+      else
+        match next.ptr with
+        | None -> loop () (* transiently inconsistent snapshot *)
+        | Some n ->
+            let value = n.value in (* D11: read before the CAS *)
+            if
+              Atomic.compare_and_set t.head head (* D12 *)
+                { ptr = Some n; count = head.count + 1 }
+            then begin
+              n.value <- None;
+              free_node t head_node; (* D14 *)
+              value
+            end
+            else begin
+              Locks.Backoff.once b;
+              loop ()
+            end
+    else loop ()
+  in
+  loop ()
+
+let peek t =
+  let rec loop () =
+    let head = Atomic.get t.head in
+    let head_node = Option.get head.ptr in
+    let next = Atomic.get head_node.next in
+    let value = match next.ptr with None -> None | Some n -> n.value in
+    if Atomic.get t.head == head then
+      match next.ptr with
+      | None -> None
+      | Some _ -> value
+    else loop ()
+  in
+  loop ()
+
+let is_empty t =
+  let head = Atomic.get t.head in
+  match (Atomic.get (Option.get head.ptr).next).ptr with
+  | None -> true
+  | Some _ -> false
+
+let head_count t = (Atomic.get t.head).count
+let tail_count t = (Atomic.get t.tail).count
+
+let pool_size t =
+  let rec walk p acc =
+    match p with
+    | None -> acc
+    | Some n -> walk (Atomic.get n.next).ptr (acc + 1)
+  in
+  walk (Atomic.get t.free).ptr 0
+
+let length t =
+  let rec walk n acc =
+    match (Atomic.get n.next).ptr with
+    | None -> acc
+    | Some n' -> walk n' (acc + 1)
+  in
+  walk (Option.get (Atomic.get t.head).ptr) 0

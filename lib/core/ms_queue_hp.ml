@@ -1,0 +1,144 @@
+type 'a node = { mutable value : 'a option; next : 'a node option Atomic.t }
+
+(* Head and Tail are [node option] cells holding [Some _] at all times,
+   so they can be read through Hazard_pointers.protect directly. *)
+type 'a t = {
+  head : 'a node option Atomic.t;
+  tail : 'a node option Atomic.t;
+  pool : 'a node list Atomic.t;
+  hp : 'a node Hazard_pointers.t;
+}
+
+let name = "ms-hazard"
+
+let push_pool pool node =
+  let rec loop () =
+    let old = Atomic.get pool in
+    if not (Atomic.compare_and_set pool old (node :: old)) then loop ()
+  in
+  loop ()
+
+let create () =
+  let dummy = { value = None; next = Atomic.make None } in
+  let pool = Atomic.make [] in
+  {
+    head = Atomic.make (Some dummy);
+    tail = Atomic.make (Some dummy);
+    pool;
+    hp = Hazard_pointers.create ~free:(push_pool pool) ();
+  }
+
+let rec pool_pop t =
+  match Atomic.get t.pool with
+  | [] -> None
+  | node :: rest as old ->
+      if Atomic.compare_and_set t.pool old rest then Some node else pool_pop t
+
+let new_node t v =
+  match pool_pop t with
+  | Some node ->
+      node.value <- Some v;
+      Atomic.set node.next None;
+      node
+  | None -> { value = Some v; next = Atomic.make None }
+
+let enqueue t v =
+  let node = new_node t v in
+  let b = Locks.Backoff.create () in
+  let rec loop () =
+    (* protecting the tail keeps its [next] cell ours to interrogate:
+       without the hazard, the node could be reclaimed and reused, and
+       the CAS below could link onto a node living in another position *)
+    let tailo = Hazard_pointers.protect t.hp ~slot:0 t.tail in
+    let tail = Option.get tailo in
+    let next = Atomic.get tail.next in
+    if Atomic.get t.tail == tailo then
+      match next with
+      | None ->
+          if Atomic.compare_and_set tail.next next (Some node) then tailo
+          else begin
+            Locks.Backoff.once b;
+            loop ()
+          end
+      | Some n ->
+          ignore (Atomic.compare_and_set t.tail tailo (Some n));
+          loop ()
+    else loop ()
+  in
+  let tailo = loop () in
+  ignore (Atomic.compare_and_set t.tail tailo (Some node));
+  Hazard_pointers.clear t.hp ~slot:0
+
+let dequeue t =
+  let b = Locks.Backoff.create () in
+  let rec loop () =
+    let heado = Hazard_pointers.protect t.hp ~slot:0 t.head in
+    let head = Option.get heado in
+    let tailo = Atomic.get t.tail in
+    (* the head hazard makes head.next a stable cell; the second slot
+       then pins the successor before we read through it *)
+    let nexto = Hazard_pointers.protect t.hp ~slot:1 head.next in
+    if Atomic.get t.head == heado then
+      if head == Option.get tailo then
+        match nexto with
+        | None -> None
+        | Some n ->
+            ignore (Atomic.compare_and_set t.tail tailo (Some n));
+            loop ()
+      else
+        match nexto with
+        | None -> loop ()
+        | Some n ->
+            let value = n.value in
+            if Atomic.compare_and_set t.head heado nexto then begin
+              n.value <- None;
+              (* the old dummy is detached: no new reference can form,
+                 so it is safe to retire; reuse waits for the hazards *)
+              Hazard_pointers.retire t.hp head;
+              value
+            end
+            else begin
+              Locks.Backoff.once b;
+              loop ()
+            end
+    else loop ()
+  in
+  let result = loop () in
+  Hazard_pointers.clear_all t.hp;
+  result
+
+let peek t =
+  let rec loop () =
+    let heado = Hazard_pointers.protect t.hp ~slot:0 t.head in
+    let head = Option.get heado in
+    let nexto = Hazard_pointers.protect t.hp ~slot:1 head.next in
+    let value = match nexto with None -> None | Some n -> n.value in
+    if Atomic.get t.head == heado then
+      match nexto with
+      | None -> None
+      | Some _ -> value
+    else loop ()
+  in
+  let result = loop () in
+  Hazard_pointers.clear_all t.hp;
+  result
+
+let is_empty t =
+  let heado = Hazard_pointers.protect t.hp ~slot:0 t.head in
+  let head = Option.get heado in
+  let next = Atomic.get head.next in
+  Hazard_pointers.clear t.hp ~slot:0;
+  match next with
+  | None -> true
+  | Some _ -> false
+
+let pool_size t = List.length (Atomic.get t.pool)
+let pending_reclamation t = Hazard_pointers.retired_count t.hp
+
+let length t =
+  let rec walk node acc =
+    match Atomic.get node.next with
+    | None -> acc
+    | Some n -> walk n (acc + 1)
+  in
+  walk (Option.get (Atomic.get t.head)) 0

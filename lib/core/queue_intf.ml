@@ -1,0 +1,33 @@
+(** Signature shared by every native concurrent queue in this
+    repository (the paper's two algorithms in {!Core} and the baselines
+    in {!Baselines}).
+
+    All operations are safe to call from any number of domains
+    concurrently.  The non-blocking implementations guarantee
+    system-wide progress (some operation completes in a bounded number
+    of steps whenever processes are running); the lock-based ones
+    guarantee only livelock-freedom. *)
+
+module type S = sig
+  type 'a t
+
+  val name : string
+  (** Identifier used by the benchmark harness and reports. *)
+
+  val create : unit -> 'a t
+  (** A fresh, empty queue. *)
+
+  val enqueue : 'a t -> 'a -> unit
+  (** Add at the tail.  Linearizes at the moment the new node is linked
+      (or the tail lock's critical section, for blocking queues). *)
+
+  val dequeue : 'a t -> 'a option
+  (** Remove from the head; [None] iff the queue was (linearizably)
+      observed empty. *)
+
+  val peek : 'a t -> 'a option
+  (** The head item without removing it; [None] when empty. *)
+
+  val is_empty : 'a t -> bool
+  (** [is_empty q] is [peek q = None] but cheaper where possible. *)
+end

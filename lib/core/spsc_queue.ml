@@ -1,0 +1,49 @@
+(* Indices grow without bound and are reduced modulo the ring size on
+   access, so full/empty are distinguishable without a spare slot:
+   empty is [head = tail], full is [tail - head = capacity]. *)
+type 'a t = {
+  buffer : 'a option array;
+  head : int Atomic.t;  (* written only by the consumer *)
+  tail : int Atomic.t;  (* written only by the producer *)
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Spsc_queue.create: capacity must be positive";
+  { buffer = Array.make capacity None; head = Atomic.make 0; tail = Atomic.make 0 }
+
+let capacity t = Array.length t.buffer
+
+let push t v =
+  let tail = Atomic.get t.tail in
+  let head = Atomic.get t.head in
+  if tail - head >= Array.length t.buffer then false
+  else begin
+    t.buffer.(tail mod Array.length t.buffer) <- Some v;
+    (* the atomic store publishes the slot write to the consumer *)
+    Atomic.set t.tail (tail + 1);
+    true
+  end
+
+let pop t =
+  let head = Atomic.get t.head in
+  let tail = Atomic.get t.tail in
+  if head = tail then None
+  else begin
+    let slot = head mod Array.length t.buffer in
+    let v = t.buffer.(slot) in
+    t.buffer.(slot) <- None;
+    Atomic.set t.head (head + 1);
+    v
+  end
+
+let peek t =
+  let head = Atomic.get t.head in
+  let tail = Atomic.get t.tail in
+  if head = tail then None else t.buffer.(head mod Array.length t.buffer)
+
+let length t =
+  let tail = Atomic.get t.tail in
+  let head = Atomic.get t.head in
+  max 0 (tail - head)
+
+let is_empty t = length t = 0

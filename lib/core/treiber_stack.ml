@@ -1,0 +1,42 @@
+(* The stack is an immutable list in a single atomic cell: CAS installs
+   a new head.  Physical comparison of the list spine makes ABA
+   impossible without counters. *)
+type 'a t = 'a list Atomic.t
+
+let name = "treiber"
+let create () = Atomic.make []
+
+let push t v =
+  let b = Locks.Backoff.create () in
+  let rec loop () =
+    let old = Atomic.get t in
+    if Atomic.compare_and_set t old (v :: old) then ()
+    else begin
+      Locks.Backoff.once b;
+      loop ()
+    end
+  in
+  loop ()
+
+let pop t =
+  let b = Locks.Backoff.create () in
+  let rec loop () =
+    match Atomic.get t with
+    | [] -> None
+    | v :: rest as old ->
+        if Atomic.compare_and_set t old rest then Some v
+        else begin
+          Locks.Backoff.once b;
+          loop ()
+        end
+  in
+  loop ()
+
+let peek t =
+  match Atomic.get t with
+  | [] -> None
+  | v :: _ -> Some v
+
+let is_empty t = Atomic.get t = []
+
+let length t = List.length (Atomic.get t)

@@ -1,0 +1,58 @@
+module Make (Lock : Locks.Lock_intf.LOCK) = struct
+  type 'a node = { mutable value : 'a option; next : 'a node option Atomic.t }
+
+  type 'a t = {
+    mutable head : 'a node;  (* the dummy; touched only under h_lock *)
+    mutable tail : 'a node;  (* the last node; touched only under t_lock *)
+    h_lock : Lock.t;
+    t_lock : Lock.t;
+  }
+
+  let name = "two-lock(" ^ Lock.name ^ ")"
+
+  let create () =
+    let dummy = { value = None; next = Atomic.make None } in
+    { head = dummy; tail = dummy; h_lock = Lock.create (); t_lock = Lock.create () }
+
+  let enqueue t v =
+    let node = { value = Some v; next = Atomic.make None } in
+    Lock.with_lock t.t_lock (fun () ->
+        Atomic.set t.tail.next (Some node); (* link at the end *)
+        t.tail <- node (* swing Tail *))
+
+  let dequeue t =
+    Lock.with_lock t.h_lock (fun () ->
+        match Atomic.get t.head.next with
+        | None -> None
+        | Some node ->
+            (* [node] becomes the new dummy; take its payload *)
+            let value = node.value in
+            node.value <- None;
+            t.head <- node;
+            value)
+
+  let peek t =
+    Lock.with_lock t.h_lock (fun () ->
+        match Atomic.get t.head.next with
+        | None -> None
+        | Some node -> node.value)
+
+  let is_empty t =
+    Lock.with_lock t.h_lock (fun () ->
+        match Atomic.get t.head.next with
+        | None -> true
+        | Some _ -> false)
+
+  let length t =
+    Lock.with_lock t.h_lock (fun () ->
+        let rec walk node acc =
+          match Atomic.get node.next with
+          | None -> acc
+          | Some n -> walk n (acc + 1)
+        in
+        walk t.head 0)
+end
+
+include Make (Locks.Ttas_lock)
+
+let name = "two-lock"

@@ -1,0 +1,22 @@
+(** The Michael–Scott two-lock queue (paper Figure 2) for OCaml 5.
+
+    Separate head and tail locks with a dummy node: one enqueue and one
+    dequeue proceed concurrently, enqueuers never touch [Head] and
+    dequeuers never touch [Tail], so there is no lock-ordering deadlock.
+    Livelock-free given livelock-free locks (§3.3).
+
+    {!Make} builds the queue over any lock; the default instantiation
+    uses the paper's test-and-test&set lock with bounded exponential
+    backoff.  Node [next] links are atomic because they cross the two
+    critical sections: the tail-side write must be visible to head-side
+    readers without a common lock. *)
+
+module Make (_ : Locks.Lock_intf.LOCK) : sig
+  include Queue_intf.S
+
+  val length : 'a t -> int
+end
+
+include Queue_intf.S
+
+val length : 'a t -> int

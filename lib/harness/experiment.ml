@@ -1,0 +1,54 @@
+type series = {
+  algorithm : string;
+  mpl : int;
+  points : Workload.measurement list;
+}
+
+let sweep (module Q : Squeues.Intf.S) ~(base : Params.t) ~procs ~mpl =
+  let points =
+    List.map
+      (fun p ->
+        Workload.run (module Q) { base with processors = p; multiprogramming = mpl })
+      procs
+  in
+  { algorithm = Q.name; mpl; points }
+
+type figure = {
+  number : int;
+  title : string;
+  series : series list;
+}
+
+let figure ?(algos = Registry.all) ?(procs = List.init 12 (fun i -> i + 1)) ~base n =
+  let mpl, title =
+    match n with
+    | 3 -> (1, "Net execution time, dedicated multiprocessor")
+    | 4 -> (2, "Net execution time, multiprogrammed, 2 processes/processor")
+    | 5 -> (3, "Net execution time, multiprogrammed, 3 processes/processor")
+    | _ -> invalid_arg "Experiment.figure: the paper has figures 3, 4 and 5"
+  in
+  let series =
+    List.map (fun { Registry.algo; _ } -> sweep algo ~base ~procs ~mpl) algos
+  in
+  { number = n; title; series }
+
+let crossover fig ~a ~b =
+  match
+    ( List.find_opt (fun s -> s.algorithm = a) fig.series,
+      List.find_opt (fun s -> s.algorithm = b) fig.series )
+  with
+  | Some sa, Some sb ->
+      (* sustained crossover: [a] is below [b] from this point to the end
+         of the sweep, so a lucky tie at low p does not count *)
+      let pairs = List.combine sa.points sb.points in
+      let rec scan = function
+        | [] -> None
+        | ((ma, _) : Workload.measurement * Workload.measurement) :: _ as rest
+          when List.for_all
+                 (fun (x, y) -> x.Workload.net_time < y.Workload.net_time)
+                 rest ->
+            Some ma.Workload.params.Params.processors
+        | _ :: rest -> scan rest
+      in
+      scan pairs
+  | _ -> None

@@ -1,0 +1,34 @@
+(** Processor sweeps regenerating the paper's figures.
+
+    Figure 3: dedicated (one process per processor), p = 1..12.
+    Figure 4: multiprogrammed, two processes per processor.
+    Figure 5: multiprogrammed, three processes per processor.
+
+    Each figure is a family of series — net execution time versus
+    processor count, one series per algorithm. *)
+
+type series = {
+  algorithm : string;
+  mpl : int;
+  points : Workload.measurement list;  (** ascending processor count *)
+}
+
+val sweep :
+  (module Squeues.Intf.S) -> base:Params.t -> procs:int list -> mpl:int -> series
+
+type figure = {
+  number : int;  (** 3, 4 or 5 *)
+  title : string;
+  series : series list;
+}
+
+val figure :
+  ?algos:Registry.entry list -> ?procs:int list -> base:Params.t -> int -> figure
+(** [figure ~base n] regenerates paper figure [n] (3, 4 or 5).  [procs]
+    defaults to 1..12; [algos] to the full registry.  Raises
+    [Invalid_argument] for other figure numbers. *)
+
+val crossover : figure -> a:string -> b:string -> int option
+(** Smallest processor count at which algorithm [a]'s net time drops
+    strictly below [b]'s — e.g. where the two-lock queue overtakes the
+    single lock (the paper reports >5 dedicated processors). *)

@@ -1,0 +1,77 @@
+type result = {
+  algorithm : string;
+  stall_duration : int;
+  trials : int;
+  blocked_trials : int;
+  worst_others_finish : int;
+  undelayed_elapsed : int;
+}
+
+let non_blocking r = r.blocked_trials = 0
+
+(* One run, reporting the latest finish time among non-victim processes. *)
+let run_once (module Q : Squeues.Intf.S) (params : Params.t) ~stall =
+  let cfg =
+    {
+      (Sim.Config.with_processors params.Params.processors) with
+      quantum = params.Params.quantum;
+      seed = params.Params.seed;
+    }
+  in
+  let eng = Sim.Engine.create cfg in
+  let options =
+    {
+      Squeues.Intf.pool = params.Params.pool;
+      bounded = false;
+      backoff = params.Params.backoff;
+    }
+  in
+  let q = Q.init ~options eng in
+  let n = params.Params.processors in
+  let per = params.Params.total_pairs / n in
+  let body i () =
+    for k = 1 to per do
+      Q.enqueue q ((i * 10_000_000) + k);
+      Sim.Api.work params.Params.other_work;
+      ignore (Q.dequeue q);
+      Sim.Api.work params.Params.other_work
+    done
+  in
+  let pids = List.init n (fun i -> Sim.Engine.spawn eng (body i)) in
+  let victim = List.hd pids in
+  (match stall with
+  | Some (at, duration) -> Sim.Engine.plan_stall eng victim ~at ~duration
+  | None -> ());
+  (match Sim.Engine.run ~max_steps:params.Params.max_steps eng with
+  | Sim.Engine.Completed -> ()
+  | Sim.Engine.Step_limit -> failwith (Q.name ^ ": liveness run hit the step limit"));
+  let others = List.filter (fun pid -> pid <> victim) pids in
+  List.fold_left (fun acc pid -> max acc (Sim.Engine.finish_time eng pid)) 0 others
+
+let run (module Q : Squeues.Intf.S) ?(procs = 8) ?(pairs = 8_000) ?(trials = 12)
+    ?(stall_duration = 50_000_000) () =
+  let params = { Params.default with processors = procs; total_pairs = pairs } in
+  let undelayed = run_once (module Q) params ~stall:None in
+  let blocked = ref 0 in
+  let worst = ref 0 in
+  for k = 0 to trials - 1 do
+    (* spread injection times over the bulk of the undelayed run *)
+    let at = max 1 (undelayed * (k + 1) / (trials + 1)) in
+    let finish = run_once (module Q) params ~stall:(Some (at, stall_duration)) in
+    worst := max !worst finish;
+    if finish - undelayed > stall_duration / 2 then incr blocked
+  done;
+  {
+    algorithm = Q.name;
+    stall_duration;
+    trials;
+    blocked_trials = !blocked;
+    worst_others_finish = !worst;
+    undelayed_elapsed = undelayed;
+  }
+
+let pp_result fmt r =
+  Format.fprintf fmt "%-18s delay propagated in %d/%d trials: %s" r.algorithm
+    r.blocked_trials r.trials
+    (if non_blocking r then "non-blocking (others unaffected)"
+     else "BLOCKING (others wait out the delay)")

@@ -1,0 +1,39 @@
+(** Non-blocking liveness measurement (paper §3.3 and the motivation in
+    §1): does a long delay of one process delay the others?
+
+    One victim process is stalled for a very long time; every other
+    process runs the usual workload.  Whether the delay propagates
+    depends on where it lands — a blocking algorithm is only vulnerable
+    while the victim holds the lock (or the MC queue's unlinked-tail
+    gap) — so the experiment {e sweeps} the injection time across
+    [trials] points in the run.  A non-blocking queue is unaffected in
+    every trial; a blocking one is caught holding the resource in some
+    fraction of them, and then everyone waits out the stall. *)
+
+type result = {
+  algorithm : string;
+  stall_duration : int;
+  trials : int;
+  blocked_trials : int;
+      (** trials in which the others' finish time grew by more than half
+          the stall duration *)
+  worst_others_finish : int;  (** latest finish among non-victims, cycles *)
+  undelayed_elapsed : int;  (** reference run with no stall *)
+}
+
+val non_blocking : result -> bool
+(** No trial propagated the delay. *)
+
+val run :
+  (module Squeues.Intf.S) ->
+  ?procs:int ->
+  ?pairs:int ->
+  ?trials:int ->
+  ?stall_duration:int ->
+  unit ->
+  result
+(** Defaults: 8 processors (dedicated), 8,000 pairs, 12 trials with
+    injection times spread uniformly across the undelayed run's
+    duration, 50,000,000-cycle stall. *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,78 @@
+type lock_kind = Ttas | Ticket | Mcs
+
+let kinds = [ Ttas; Ticket; Mcs ]
+
+let kind_name = function
+  | Ttas -> "ttas+backoff"
+  | Ticket -> "ticket"
+  | Mcs -> "mcs"
+
+type measurement = {
+  kind : lock_kind;
+  processors : int;
+  multiprogramming : int;
+  acquisitions : int;
+  cycles_per_acquisition : float;
+  completed : bool;
+}
+
+(* One [with_lock] closure per kind, sharing the engine-level setup. *)
+let make_lock kind eng =
+  match kind with
+  | Ttas ->
+      let l = Squeues.Slock.init eng in
+      fun f -> Squeues.Slock.with_lock l f
+  | Ticket ->
+      let l = Squeues.Sticket_lock.init eng in
+      fun f -> Squeues.Sticket_lock.with_lock l f
+  | Mcs ->
+      let l = Squeues.Smcs_lock.init eng in
+      fun f -> Squeues.Smcs_lock.with_lock l f
+
+let run kind ?(processors = 8) ?(multiprogramming = 1)
+    ?(acquisitions_per_process = 1_000) ?(critical_work = 100) ?(think_work = 800)
+    ?(quantum = 40_000) () =
+  let cfg = { (Sim.Config.with_processors processors) with quantum } in
+  let eng = Sim.Engine.create cfg in
+  let with_lock = make_lock kind eng in
+  let shared = Sim.Engine.setup_alloc eng 1 in
+  let n = processors * multiprogramming in
+  let rng = Sim.Rng.create 0xC0FFEEL in
+  let jitters = Array.init n (fun _ -> 1 + Sim.Rng.int rng think_work) in
+  for i = 0 to n - 1 do
+    ignore
+      (Sim.Engine.spawn eng (fun () ->
+           Sim.Api.work jitters.(i);
+           for _ = 1 to acquisitions_per_process do
+             with_lock (fun () ->
+                 (* a small critical section touching shared state *)
+                 let v = Sim.Word.to_int (Sim.Api.read shared) in
+                 Sim.Api.work critical_work;
+                 Sim.Api.write shared (Sim.Word.Int (v + 1)));
+             Sim.Api.work think_work
+           done))
+  done;
+  let outcome = Sim.Engine.run ~max_steps:500_000_000 eng in
+  let total = n * acquisitions_per_process in
+  let held = Sim.Word.to_int (Sim.Engine.peek eng shared) in
+  if outcome = Sim.Engine.Completed && held <> total then
+    failwith
+      (Printf.sprintf "lock %s lost updates: %d/%d" (kind_name kind) held total);
+  {
+    kind;
+    processors;
+    multiprogramming;
+    acquisitions = total;
+    cycles_per_acquisition =
+      float_of_int (Sim.Engine.elapsed eng) /. float_of_int total
+      *. float_of_int processors
+      -. float_of_int (critical_work + think_work)
+      (* per-acquisition overhead beyond the work itself, amortized over
+         the processors actually running in parallel *);
+    completed = outcome = Sim.Engine.Completed;
+  }
+
+let pp_measurement fmt m =
+  Format.fprintf fmt "%-14s p=%-2d mpl=%d %8.0f cycles/acquisition%s"
+    (kind_name m.kind) m.processors m.multiprogramming m.cycles_per_acquisition
+    (if m.completed then "" else " [incomplete]")

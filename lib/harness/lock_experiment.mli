@@ -1,0 +1,43 @@
+(** Spin-lock ablation: TTAS-with-backoff (the paper's choice) against
+    the ticket and MCS locks of Mellor-Crummey & Scott [12].
+
+    Each of [p] processors' processes repeatedly acquires the lock,
+    holds it for a short critical section, releases, and does local
+    think-work.  Reported is the cost per acquisition.  Expected shapes:
+    the queue locks (MCS, ticket) win dedicated — local/ordered spinning
+    beats the TTAS invalidation storm — and {e collapse} under
+    multiprogramming, because a strict FIFO handoff cannot pass a
+    preempted waiter (MCS suffers worst: the convoy chains through the
+    explicit queue).  TTAS with backoff degrades gently in both regimes,
+    which is the context for the paper's pragmatic choice of TTAS for
+    its lock-based queues, and for the preemption-safe locking follow-up
+    its §5 announces. *)
+
+type lock_kind = Ttas | Ticket | Mcs
+
+val kinds : lock_kind list
+val kind_name : lock_kind -> string
+
+type measurement = {
+  kind : lock_kind;
+  processors : int;
+  multiprogramming : int;
+  acquisitions : int;
+  cycles_per_acquisition : float;
+  completed : bool;
+}
+
+val run :
+  lock_kind ->
+  ?processors:int ->
+  ?multiprogramming:int ->
+  ?acquisitions_per_process:int ->
+  ?critical_work:int ->
+  ?think_work:int ->
+  ?quantum:int ->
+  unit ->
+  measurement
+(** Defaults: 8 processors, dedicated, 1,000 acquisitions per process,
+    100-cycle critical section, 800-cycle think time, 40,000 quantum. *)
+
+val pp_measurement : Format.formatter -> measurement -> unit

@@ -1,0 +1,45 @@
+type result = {
+  algorithm : string;
+  pool : int;
+  pairs_requested : int;
+  pairs_done : int;
+  exhausted : bool;
+  completed : bool;
+}
+
+let run (module Q : Squeues.Intf.S) ?(procs = 12) ?(pool = 2_000) ?(pairs = 40_000)
+    ?(stall_at = 200_000) ?(stall_duration = 20_000_000) () =
+  let params =
+    {
+      Params.default with
+      processors = procs;
+      total_pairs = pairs;
+      pool;
+      bounded_pool = true;
+    }
+  in
+  let victim = ref (-1) in
+  let stall pid =
+    if !victim < 0 then begin
+      victim := pid;
+      Some (stall_at, stall_duration)
+    end
+    else None
+  in
+  let m = Workload.run ~stall (module Q) params in
+  {
+    algorithm = m.Workload.algorithm;
+    pool;
+    pairs_requested = pairs;
+    pairs_done = m.Workload.pairs_done;
+    exhausted = m.Workload.exhausted_pool;
+    completed = m.Workload.completed;
+  }
+
+let pp_result fmt r =
+  Format.fprintf fmt
+    "%-18s pool=%d pairs=%d/%d %s" r.algorithm r.pool r.pairs_done
+    r.pairs_requested
+    (if r.exhausted then "POOL EXHAUSTED"
+     else if r.completed then "completed"
+     else "incomplete")

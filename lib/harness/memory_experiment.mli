@@ -1,0 +1,37 @@
+(** The paper's §1 memory-boundedness experiment.
+
+    "In experiments with a queue of maximum length 12 items, we ran out
+    of memory several times during runs of ten million enqueues and
+    dequeues, using a free list initialized with 64,000 nodes."
+
+    Here: [procs] processes run the standard workload (so the queue
+    never exceeds [procs] items) on a {e bounded} node pool while one
+    victim process suffers a long planned delay.  Under Valois's
+    reference-counted scheme the delayed process pins a node and —
+    through the counted [next] links — every node enqueued after it, so
+    the pool drains and an allocation fails.  The MS queue recycles
+    dequeued nodes immediately regardless of delays, so the same
+    configuration completes. *)
+
+type result = {
+  algorithm : string;
+  pool : int;
+  pairs_requested : int;
+  pairs_done : int;
+  exhausted : bool;  (** the bounded pool ran dry *)
+  completed : bool;
+}
+
+val run :
+  (module Squeues.Intf.S) ->
+  ?procs:int ->
+  ?pool:int ->
+  ?pairs:int ->
+  ?stall_at:int ->
+  ?stall_duration:int ->
+  unit ->
+  result
+(** Defaults: 12 processors (dedicated), 2,000-node pool, 40,000 pairs,
+    victim (process 0) stalled at cycle 200,000 for 20,000,000 cycles. *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,36 @@
+type t = {
+  total_pairs : int;
+  other_work : int;
+  processors : int;
+  multiprogramming : int;
+  quantum : int;
+  pool : int;
+  bounded_pool : bool;
+  backoff : bool;
+  seed : int64;
+  max_steps : int;
+}
+
+let default =
+  {
+    total_pairs = 20_000;
+    other_work = 1_200;
+    processors = 1;
+    multiprogramming = 1;
+    quantum = 40_000;
+    pool = 1_024;
+    bounded_pool = false;
+    backoff = true;
+    seed = 0x4D5351464947L (* "MSQFIG" *);
+    max_steps = 1_000_000_000;
+  }
+
+let paper_scale =
+  { default with total_pairs = 1_000_000; quantum = 2_000_000; pool = 64_000 }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "pairs=%d other-work=%d procs=%d mpl=%d quantum=%d pool=%d%s backoff=%b"
+    t.total_pairs t.other_work t.processors t.multiprogramming t.quantum t.pool
+    (if t.bounded_pool then " (bounded)" else "")
+    t.backoff

@@ -1,0 +1,33 @@
+(** Parameters of the paper's experimental workload (§4).
+
+    The paper's numbers: one million enqueue/dequeue pairs total,
+    ~6 µs of "other work" between queue operations, a 10 ms scheduling
+    quantum, and 1–12 processors with 1–3 processes each.  At the
+    default cycle scale (~5 ns/cycle) those are 1,200 and 2,000,000
+    cycles respectively.  The default [total_pairs] is scaled down 50×
+    for tractable simulation, with the quantum scaled by the same
+    factor so each process still experiences the same number of
+    preemptions per run; pass [--pairs 1000000 --quantum 2000000] to the
+    CLIs for paper scale. *)
+
+type t = {
+  total_pairs : int;  (** enqueue/dequeue pairs across all processes *)
+  other_work : int;  (** cycles of local work after each queue op *)
+  processors : int;
+  multiprogramming : int;  (** processes per processor (1 = dedicated) *)
+  quantum : int;  (** scheduling quantum, cycles *)
+  pool : int;  (** free-list preallocation per queue *)
+  bounded_pool : bool;
+  backoff : bool;
+  seed : int64;
+  max_steps : int;  (** step budget: exceeding it marks the run blocked *)
+}
+
+val default : t
+(** 20,000 pairs, 1,200-cycle other work, 40,000-cycle quantum, 1
+    processor, dedicated, 1,024-node pool, backoff on. *)
+
+val paper_scale : t
+(** The paper's full parameters: 10^6 pairs, 2 * 10^6-cycle quantum. *)
+
+val pp : Format.formatter -> t -> unit

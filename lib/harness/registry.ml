@@ -1,0 +1,22 @@
+type entry = { key : string; algo : (module Squeues.Intf.S) }
+
+let all =
+  [
+    { key = "single-lock"; algo = (module Squeues.Single_lock_queue) };
+    { key = "mc"; algo = (module Squeues.Mc_queue) };
+    { key = "valois"; algo = (module Squeues.Valois_queue) };
+    { key = "two-lock"; algo = (module Squeues.Two_lock_queue) };
+    { key = "plj"; algo = (module Squeues.Plj_queue) };
+    { key = "ms"; algo = (module Squeues.Ms_queue) };
+  ]
+
+let keys = List.map (fun e -> e.key) all
+
+let find key =
+  match List.find_opt (fun e -> e.key = key) all with
+  | Some e -> e.algo
+  | None ->
+      raise
+        (Invalid_argument
+           (Printf.sprintf "unknown algorithm %S (available: %s)" key
+              (String.concat ", " keys)))

@@ -1,0 +1,14 @@
+(** The algorithms of the paper's evaluation, in its legend order
+    (Figure 3): single lock, MC lock-free, Valois non-blocking, new
+    two-lock, PLJ non-blocking, new non-blocking. *)
+
+type entry = { key : string; algo : (module Squeues.Intf.S) }
+
+val all : entry list
+(** The six algorithms of Figures 3–5. *)
+
+val find : string -> (module Squeues.Intf.S)
+(** Look up by key ("single-lock", "mc", "valois", "two-lock", "plj",
+    "ms"); raises [Not_found] with the available keys listed. *)
+
+val keys : string list

@@ -1,0 +1,123 @@
+let table fmt (fig : Experiment.figure) =
+  Format.fprintf fmt "Figure %d: %s@." fig.number fig.title;
+  Format.fprintf fmt "(net cycles per enqueue/dequeue pair)@.";
+  (match fig.series with
+  | [] -> ()
+  | first :: _ ->
+      Format.fprintf fmt "%-18s" "algorithm";
+      List.iter
+        (fun m ->
+          Format.fprintf fmt "%8d" m.Workload.params.Params.processors)
+        first.points;
+      Format.fprintf fmt "@.");
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "%-18s" s.Experiment.algorithm;
+      List.iter
+        (fun m ->
+          Format.fprintf fmt "%7.0f%s" m.Workload.net_per_pair
+            (if m.Workload.completed then " " else "!"))
+        s.points;
+      Format.fprintf fmt "@.")
+    fig.series
+
+let csv fmt (fig : Experiment.figure) =
+  Format.fprintf fmt
+    "figure,algorithm,processors,mpl,net_time,net_per_pair,elapsed,completed,miss_rate@.";
+  List.iter
+    (fun s ->
+      List.iter
+        (fun m ->
+          Format.fprintf fmt "%d,%s,%d,%d,%d,%.1f,%d,%b,%.4f@." fig.number
+            s.Experiment.algorithm m.Workload.params.Params.processors
+            m.Workload.params.Params.multiprogramming m.Workload.net_time
+            m.Workload.net_per_pair m.Workload.elapsed m.Workload.completed
+            (Sim.Stats.miss_rate m.Workload.stats))
+        s.points)
+    fig.series
+
+let chart fmt (fig : Experiment.figure) =
+  let all_points =
+    List.concat_map (fun s -> s.Experiment.points) fig.series
+  in
+  let maximum =
+    List.fold_left (fun acc m -> max acc m.Workload.net_per_pair) 1. all_points
+  in
+  let width = 46 in
+  Format.fprintf fmt "Figure %d: %s@." fig.number fig.title;
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "%s@." s.Experiment.algorithm;
+      List.iter
+        (fun m ->
+          let bar =
+            int_of_float (m.Workload.net_per_pair /. maximum *. float_of_int width)
+          in
+          Format.fprintf fmt "  p=%-2d %s%s %.0f@."
+            m.Workload.params.Params.processors
+            (String.make (max 1 bar) '#')
+            (if m.Workload.completed then "" else " !")
+            m.Workload.net_per_pair)
+        s.points)
+    fig.series
+
+let find fig name =
+  List.find_opt (fun s -> s.Experiment.algorithm = name) fig.Experiment.series
+
+let value_at series p =
+  List.find_map
+    (fun m ->
+      if m.Workload.params.Params.processors = p then Some m.Workload.net_time
+      else None)
+    series.Experiment.points
+
+let summary fmt (fig : Experiment.figure) =
+  let procs =
+    match fig.series with
+    | s :: _ -> List.map (fun m -> m.Workload.params.Params.processors) s.points
+    | [] -> []
+  in
+  let high_p = List.fold_left max 1 procs in
+  (* who wins at three or more processors, overall and among a subset *)
+  let ms_beats subset =
+    List.filter (fun p -> p >= 3) procs
+    |> List.for_all (fun p ->
+           match
+             value_at (Option.get (find fig "ms-nonblocking")) p
+           with
+           | None -> false
+           | Some ms ->
+               List.for_all
+                 (fun s ->
+                   s.Experiment.algorithm = "ms-nonblocking"
+                   || (not (List.mem s.Experiment.algorithm subset))
+                   ||
+                   match value_at s p with
+                   | Some v -> ms <= v
+                   | None -> false)
+                 fig.series)
+  in
+  let everyone =
+    List.map (fun s -> s.Experiment.algorithm) fig.series
+  in
+  Format.fprintf fmt "Figure %d summary:@." fig.number;
+  Format.fprintf fmt "  MS non-blocking fastest of all algorithms at every p >= 3: %b@."
+    (ms_beats everyone);
+  Format.fprintf fmt
+    "  MS fastest of the non-blocking algorithms (vs PLJ, Valois) at p >= 3: %b@."
+    (ms_beats [ "plj-nonblocking"; "valois-refcount" ]);
+  Format.fprintf fmt
+    "  MS faster than every lock-based algorithm at p >= 3: %b@."
+    (ms_beats [ "single-lock"; "two-lock" ]);
+  (match Experiment.crossover fig ~a:"two-lock" ~b:"single-lock" with
+  | Some p -> Format.fprintf fmt "  two-lock beats single lock from p = %d@." p
+  | None -> Format.fprintf fmt "  two-lock never beats single lock@.");
+  (match (find fig "ms-nonblocking", find fig "single-lock") with
+  | Some ms, Some sl -> (
+      match (value_at ms high_p, value_at sl high_p) with
+      | Some msv, Some slv when msv > 0 ->
+          Format.fprintf fmt "  at p = %d, single lock / MS net-time ratio: %.1fx@."
+            high_p
+            (float_of_int slv /. float_of_int msv)
+      | _ -> ())
+  | _ -> ())

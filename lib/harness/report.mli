@@ -1,0 +1,22 @@
+(** Rendering of experiment results: aligned tables for the terminal and
+    CSV for plotting.  The tables are the textual equivalent of the
+    paper's figures — processor count across, one row per algorithm, net
+    execution time per enqueue/dequeue pair in each cell. *)
+
+val table : Format.formatter -> Experiment.figure -> unit
+(** Net cycles per pair; [!] marks incomplete (blocked or exhausted)
+    runs. *)
+
+val csv : Format.formatter -> Experiment.figure -> unit
+(** Columns: figure, algorithm, processors, mpl, net_time, net_per_pair,
+    elapsed, completed, cache_miss_rate. *)
+
+val chart : Format.formatter -> Experiment.figure -> unit
+(** Terminal rendering of the figure: per algorithm, one bar per
+    processor count, scaled to the figure's maximum net time — the
+    closest a terminal gets to the paper's plots. *)
+
+val summary : Format.formatter -> Experiment.figure -> unit
+(** The paper's qualitative claims evaluated on this figure: which
+    algorithm wins at 3+ processors, the MS/two-lock/single-lock
+    ordering, and lock degradation under multiprogramming. *)

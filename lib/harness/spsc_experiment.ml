@@ -1,0 +1,60 @@
+type measurement = {
+  algorithm : string;
+  items : int;
+  cycles_per_item : float;
+  completed : bool;
+}
+
+let engine () = Sim.Engine.create (Sim.Config.with_processors 2)
+
+let finish eng ~name ~items outcome =
+  {
+    algorithm = name;
+    items;
+    cycles_per_item = float_of_int (Sim.Engine.elapsed eng) /. float_of_int items;
+    completed = outcome = Sim.Engine.Completed;
+  }
+
+let run_lamport ?(items = 20_000) ?(capacity = 256) () =
+  let eng = engine () in
+  let q = Squeues.Lamport_queue.init ~capacity eng in
+  ignore
+    (Sim.Engine.spawn eng (fun () ->
+         for v = 1 to items do
+           while not (Squeues.Lamport_queue.push q v) do
+             Sim.Api.work 32 (* full: let the consumer drain *)
+           done
+         done));
+  ignore
+    (Sim.Engine.spawn eng (fun () ->
+         let received = ref 0 in
+         while !received < items do
+           match Squeues.Lamport_queue.pop q with
+           | Some _ -> incr received
+           | None -> Sim.Api.work 32
+         done));
+  let outcome = Sim.Engine.run ~max_steps:100_000_000 eng in
+  finish eng ~name:"lamport-spsc" ~items outcome
+
+let run_ms ?(items = 20_000) () =
+  let eng = engine () in
+  let q = Squeues.Ms_queue.init eng in
+  ignore
+    (Sim.Engine.spawn eng (fun () ->
+         for v = 1 to items do
+           Squeues.Ms_queue.enqueue q v
+         done));
+  ignore
+    (Sim.Engine.spawn eng (fun () ->
+         let received = ref 0 in
+         while !received < items do
+           match Squeues.Ms_queue.dequeue q with
+           | Some _ -> incr received
+           | None -> Sim.Api.work 32
+         done));
+  let outcome = Sim.Engine.run ~max_steps:100_000_000 eng in
+  finish eng ~name:"ms-nonblocking" ~items outcome
+
+let pp_measurement fmt m =
+  Format.fprintf fmt "%-16s %8.0f cycles/item%s" m.algorithm m.cycles_per_item
+    (if m.completed then "" else " [incomplete]")

@@ -1,0 +1,24 @@
+(** Single-producer/single-consumer ablation: Lamport's wait-free ring
+    (paper ref. [9]) against the general-purpose MS queue at exactly two
+    processors.
+
+    The paper surveys Lamport's algorithm as the wait-free-but-restricted
+    point of the design space; this experiment quantifies the
+    restriction's payoff: with one producer and one consumer, the ring
+    needs no read-modify-write at all, while the MS queue still pays its
+    CAS protocol.  The gap is the price of multi-producer/multi-consumer
+    generality. *)
+
+type measurement = {
+  algorithm : string;
+  items : int;
+  cycles_per_item : float;
+  completed : bool;
+}
+
+val run_lamport : ?items:int -> ?capacity:int -> unit -> measurement
+val run_ms : ?items:int -> unit -> measurement
+(** Both: one producer on processor 0, one consumer on processor 1,
+    [items] (default 20,000) transferred. *)
+
+val pp_measurement : Format.formatter -> measurement -> unit

@@ -1,0 +1,56 @@
+type point = {
+  other_work : int;
+  net_per_pair : float;
+  completed : bool;
+}
+
+type series = {
+  algorithm : string;
+  processors : int;
+  points : point list;
+}
+
+let default_work_values = [ 0; 200; 600; 1_200; 2_400; 4_800 ]
+
+let sweep (module Q : Squeues.Intf.S) ?(processors = 8) ?(pairs = 8_000)
+    ?(work_values = default_work_values) () =
+  let points =
+    List.map
+      (fun other_work ->
+        let m =
+          Workload.run
+            (module Q)
+            {
+              Params.default with
+              processors;
+              total_pairs = pairs;
+              other_work;
+            }
+        in
+        {
+          other_work;
+          net_per_pair = m.Workload.net_per_pair;
+          completed = m.Workload.completed;
+        })
+      (List.sort compare work_values)
+  in
+  { algorithm = Q.name; processors; points }
+
+let table fmt (series : series list) =
+  (match series with
+  | [] -> ()
+  | first :: _ ->
+      Format.fprintf fmt "(net cycles/pair at p = %d, by other-work length)@."
+        first.processors;
+      Format.fprintf fmt "%-18s" "algorithm";
+      List.iter (fun p -> Format.fprintf fmt "%8d" p.other_work) first.points;
+      Format.fprintf fmt "@.");
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "%-18s" s.algorithm;
+      List.iter
+        (fun p ->
+          Format.fprintf fmt "%7.0f%s" p.net_per_pair (if p.completed then " " else "!"))
+        s.points;
+      Format.fprintf fmt "@.")
+    series

@@ -1,0 +1,37 @@
+(** Sensitivity to the "other work" between queue operations.
+
+    The paper inserts ~6 µs of local work between operations "to make
+    the experiments more realistic by preventing long runs of queue
+    operations by the same process", and notes that backoff tuning only
+    stops mattering "in programs that do at least a modest amount of
+    work between queue operations" (§4).  This sweep varies that work
+    from zero (pure back-to-back contention) upward at a fixed processor
+    count: with no think time the lock-based queues are fully
+    serialized and collapse, while the non-blocking queues degrade far
+    more gracefully; with enough think time every algorithm converges to
+    its uncontended cost.  The crossover work length is a useful summary
+    of how much contention each algorithm tolerates. *)
+
+type point = {
+  other_work : int;
+  net_per_pair : float;
+  completed : bool;
+}
+
+type series = {
+  algorithm : string;
+  processors : int;
+  points : point list;  (** ascending [other_work] *)
+}
+
+val sweep :
+  (module Squeues.Intf.S) ->
+  ?processors:int ->
+  ?pairs:int ->
+  ?work_values:int list ->
+  unit ->
+  series
+(** Defaults: 8 processors, 8,000 pairs per point,
+    work values [0; 200; 600; 1200; 2400; 4800]. *)
+
+val table : Format.formatter -> series list -> unit

@@ -1,0 +1,89 @@
+type measurement = {
+  algorithm : string;
+  params : Params.t;
+  elapsed : int;
+  net_time : int;
+  net_per_pair : float;
+  pairs_done : int;
+  completed : bool;
+  exhausted_pool : bool;
+  stats : Sim.Stats.t;
+}
+
+let run ?(stall = fun _ -> None) (module Q : Squeues.Intf.S) (params : Params.t) =
+  let cfg =
+    {
+      (Sim.Config.with_processors params.processors) with
+      quantum = params.quantum;
+      seed = params.seed;
+    }
+  in
+  let eng = Sim.Engine.create cfg in
+  let options =
+    {
+      Squeues.Intf.pool = params.pool;
+      bounded = params.bounded_pool;
+      backoff = params.backoff;
+    }
+  in
+  let q = Q.init ~options eng in
+  let n_process = params.processors * params.multiprogramming in
+  let pairs_done = ref 0 in
+  let exhausted = ref false in
+  (* the paper's split: every process gets ⌊total/n⌋, the first
+     [total mod n] one extra *)
+  let share i = (params.total_pairs / n_process) + (if i < params.total_pairs mod n_process then 1 else 0) in
+  let master_rng = Sim.Rng.create params.seed in
+  let process_rngs = Array.init n_process (fun _ -> Sim.Rng.split master_rng) in
+  let body i () =
+    let my_pairs = share i in
+    let rng = process_rngs.(i) in
+    (* the paper's other work is "approximately" 6 µs: vary it +/-12.5%
+       per iteration, and stagger start-up, so the deterministic
+       simulation does not phase-lock processes into lockstep resonance *)
+    let other_work () =
+      let w = params.other_work in
+      Sim.Api.work (w - (w / 8) + Sim.Rng.int rng (max 1 (w / 4)))
+    in
+    (try
+       Sim.Api.work (1 + Sim.Rng.int rng (max 1 (2 * params.other_work)));
+       for k = 1 to my_pairs do
+         Q.enqueue q ((i * 10_000_000) + k);
+         other_work ();
+         ignore (Q.dequeue q);
+         other_work ();
+         incr pairs_done
+       done
+     with Squeues.Intf.Out_of_nodes -> exhausted := true);
+    ()
+  in
+  let pids = List.init n_process (fun i -> Sim.Engine.spawn eng (body i)) in
+  List.iter
+    (fun pid ->
+      match stall pid with
+      | Some (at, duration) -> Sim.Engine.plan_stall eng pid ~at ~duration
+      | None -> ())
+    pids;
+  let outcome = Sim.Engine.run ~max_steps:params.max_steps eng in
+  let elapsed = Sim.Engine.elapsed eng in
+  (* one processor's other-work share: total/p pairs, two spins each *)
+  let other_work_share = params.total_pairs / params.processors * 2 * params.other_work in
+  let net_time = elapsed - other_work_share in
+  {
+    algorithm = Q.name;
+    params;
+    elapsed;
+    net_time;
+    net_per_pair = float_of_int net_time /. float_of_int (max 1 params.total_pairs);
+    pairs_done = !pairs_done;
+    completed = (outcome = Sim.Engine.Completed) && not !exhausted;
+    exhausted_pool = !exhausted;
+    stats = Sim.Engine.stats eng;
+  }
+
+let pp_measurement fmt m =
+  Format.fprintf fmt "%-18s p=%-2d mpl=%d net=%d (%.0f/pair)%s%s" m.algorithm
+    m.params.Params.processors m.params.Params.multiprogramming m.net_time
+    m.net_per_pair
+    (if m.completed then "" else " [incomplete]")
+    (if m.exhausted_pool then " [pool exhausted]" else "")

@@ -1,0 +1,34 @@
+(** The paper's benchmark workload (§4).
+
+    Every process repeats: enqueue an item, spin through ~6 µs of "other
+    work", dequeue an item, spin again — the other work "serves to make
+    the experiments more realistic by preventing long runs of queue
+    operations by the same process".  With [n] processes, each performs
+    [total_pairs/n] iterations (±1, as in the paper's ⌊·⌋/⌈·⌉ split).
+
+    The reported {e net time} subtracts, as the paper does, the time one
+    processor spends on its share of the other work, leaving queue
+    overhead plus any critical-path excess. *)
+
+type measurement = {
+  algorithm : string;
+  params : Params.t;
+  elapsed : int;  (** total simulated cycles *)
+  net_time : int;  (** elapsed minus one processor's other-work share *)
+  net_per_pair : float;  (** net cycles per enqueue/dequeue pair *)
+  pairs_done : int;  (** completed pairs (= total unless the run aborted) *)
+  completed : bool;  (** false on step-limit (blocked) or pool exhaustion *)
+  exhausted_pool : bool;  (** a bounded pool ran dry ({!Squeues.Intf.Out_of_nodes}) *)
+  stats : Sim.Stats.t;
+}
+
+val run :
+  ?stall:(Sim.Engine.pid -> (int * int) option) ->
+  (module Squeues.Intf.S) ->
+  Params.t ->
+  measurement
+(** Execute one configuration.  [stall], given a process id, may return
+    [(at, duration)] to plan a delay for that process (delay-injection
+    experiments); default none. *)
+
+val pp_measurement : Format.formatter -> measurement -> unit

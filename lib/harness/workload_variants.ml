@@ -1,0 +1,82 @@
+type measurement = {
+  algorithm : string;
+  variant : string;
+  total_ops : int;
+  cycles_per_op : float;
+  completed : bool;
+}
+
+let measure ~name ~variant ~total_ops eng outcome =
+  {
+    algorithm = name;
+    variant;
+    total_ops;
+    cycles_per_op = float_of_int (Sim.Engine.elapsed eng) /. float_of_int total_ops;
+    completed = outcome = Sim.Engine.Completed;
+  }
+
+let producer_consumer (module Q : Squeues.Intf.S) ?(processors = 8) ?(items = 16_000)
+    ?(other_work = 1_200) () =
+  let eng = Sim.Engine.create (Sim.Config.with_processors processors) in
+  let q = Q.init eng in
+  let producers = processors / 2 in
+  let consumers = processors - producers in
+  let consumed = ref 0 in
+  let rng = Sim.Rng.create 0x50434F4EL in
+  let jitter = Array.init processors (fun _ -> 1 + Sim.Rng.int rng other_work) in
+  for i = 0 to producers - 1 do
+    let share = (items / producers) + if i < items mod producers then 1 else 0 in
+    ignore
+      (Sim.Engine.spawn eng (fun () ->
+           Sim.Api.work jitter.(i);
+           for k = 1 to share do
+             Q.enqueue q ((i * 1_000_000) + k);
+             Sim.Api.work other_work
+           done))
+  done;
+  (* consumers drain a shared budget of items; the counter is host-side
+     state, so bumping it is free and does not perturb the simulation *)
+  for i = 0 to consumers - 1 do
+    ignore
+      (Sim.Engine.spawn eng (fun () ->
+           Sim.Api.work jitter.(producers + i);
+           let rec loop () =
+             if !consumed < items then begin
+               (match Q.dequeue q with
+               | Some _ -> incr consumed
+               | None -> ());
+               Sim.Api.work other_work;
+               loop ()
+             end
+           in
+           loop ()))
+  done;
+  let outcome = Sim.Engine.run ~max_steps:500_000_000 eng in
+  measure ~name:Q.name ~variant:"producer-consumer" ~total_ops:(2 * items) eng outcome
+
+let burst (module Q : Squeues.Intf.S) ?(processors = 8) ?(bursts = 50) ?(burst = 32)
+    ?(other_work = 300) () =
+  let eng = Sim.Engine.create (Sim.Config.with_processors processors) in
+  let q = Q.init eng in
+  for i = 0 to processors - 1 do
+    ignore
+      (Sim.Engine.spawn eng (fun () ->
+           for b = 1 to bursts do
+             for k = 1 to burst do
+               Q.enqueue q ((i * 1_000_000) + (b * 1_000) + k);
+               Sim.Api.work other_work
+             done;
+             for _ = 1 to burst do
+               ignore (Q.dequeue q);
+               Sim.Api.work other_work
+             done
+           done))
+  done;
+  let outcome = Sim.Engine.run ~max_steps:500_000_000 eng in
+  measure ~name:Q.name ~variant:"burst" eng outcome
+    ~total_ops:(2 * processors * bursts * burst)
+
+let pp_measurement fmt m =
+  Format.fprintf fmt "%-18s %-18s %7.0f cycles/op%s" m.algorithm m.variant
+    m.cycles_per_op
+    (if m.completed then "" else " [incomplete]")

@@ -1,0 +1,45 @@
+(** Workload variants beyond the paper's symmetric loop.
+
+    The paper's benchmark has every process alternate enqueue/dequeue.
+    Two natural variations probe different parts of the design space:
+
+    - {!producer_consumer}: half the processes only enqueue, half only
+      dequeue.  This is the two-lock queue's best case — its whole
+      concurrency story is one enqueuer {e in parallel with} one
+      dequeuer, and with disjoint populations the head and tail locks
+      never contend with each other.
+    - {!burst}: each process enqueues a burst of [burst] items, then
+      drains as many.  The queue gets genuinely long, exercising
+      free-list growth and the traversal-free property of all the
+      list-based queues (cost must not grow with queue length). *)
+
+type measurement = {
+  algorithm : string;
+  variant : string;
+  total_ops : int;
+  cycles_per_op : float;
+  completed : bool;
+}
+
+val producer_consumer :
+  (module Squeues.Intf.S) ->
+  ?processors:int ->
+  ?items:int ->
+  ?other_work:int ->
+  unit ->
+  measurement
+(** Defaults: 8 processors (4 producers, 4 consumers), 16,000 items,
+    1,200-cycle other work. *)
+
+val burst :
+  (module Squeues.Intf.S) ->
+  ?processors:int ->
+  ?bursts:int ->
+  ?burst:int ->
+  ?other_work:int ->
+  unit ->
+  measurement
+(** Defaults: 8 processors, 50 bursts of 32 items per process,
+    300-cycle other work between operations. *)
+
+val pp_measurement : Format.formatter -> measurement -> unit

@@ -1,0 +1,106 @@
+type verdict =
+  | Linearizable
+  | Not_linearizable
+  | Inconclusive
+
+(* The sequential specification: a functional FIFO queue as a pair of
+   lists (front, reversed back). *)
+module Spec = struct
+  let empty = ([], [])
+
+  let push (front, back) v = (front, v :: back)
+
+  let pop = function
+    | v :: front, back -> Some (v, (front, back))
+    | [], [] -> None
+    | [], back -> (
+        match List.rev back with
+        | v :: front -> Some (v, (front, []))
+        | [] -> assert false)
+
+  (* Canonical form for memoization: the split point must not matter. *)
+  let canonical (front, back) = front @ List.rev back
+
+  let apply t (op : History.op) =
+    match op with
+    | Enq v -> Some (push t v)
+    | Deq None -> if t = ([], []) then Some t else None
+    | Deq (Some v) -> (
+        match pop t with
+        | Some (v', t') when v = v' -> Some t'
+        | Some _ | None -> None)
+end
+
+let check ?(max_configs = 2_000_000) (history : History.t) =
+  let ops = Array.of_list history in
+  let n = Array.length ops in
+  if n = 0 then Linearizable
+  else begin
+    (* done-set as a bitset over bytes, to key the memo table *)
+    let seen : (string * int list, unit) Hashtbl.t = Hashtbl.create 4096 in
+    let done_ = Bytes.make ((n + 7) / 8) '\000' in
+    let is_done i = Char.code (Bytes.get done_ (i / 8)) land (1 lsl (i mod 8)) <> 0 in
+    let set_done i b =
+      let old = Char.code (Bytes.get done_ (i / 8)) in
+      let bit = 1 lsl (i mod 8) in
+      Bytes.set done_ (i / 8) (Char.chr (if b then old lor bit else old land lnot bit))
+    in
+    let budget = ref max_configs in
+    let exception Out_of_budget in
+    (* an op is eligible to linearize next iff no other pending op
+       finished before it started *)
+    let min_pending_finish () =
+      let m = ref max_int in
+      for i = 0 to n - 1 do
+        if not (is_done i) then m := min !m ops.(i).History.finish
+      done;
+      !m
+    in
+    let rec search remaining spec =
+      if remaining = 0 then true
+      else begin
+        let key = (Bytes.to_string done_, Spec.canonical spec) in
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.add seen key ();
+          decr budget;
+          if !budget <= 0 then raise Out_of_budget;
+          let horizon = min_pending_finish () in
+          let rec try_ops i =
+            if i >= n then false
+            else if (not (is_done i)) && ops.(i).History.start <= horizon then begin
+              match Spec.apply spec ops.(i).History.op with
+              | Some spec' ->
+                  set_done i true;
+                  let ok = search (remaining - 1) spec' in
+                  set_done i false;
+                  if ok then true else try_ops (i + 1)
+              | None -> try_ops (i + 1)
+            end
+            else try_ops (i + 1)
+          in
+          try_ops 0
+        end
+      end
+    in
+    match search n Spec.empty with
+    | true -> Linearizable
+    | false -> Not_linearizable
+    | exception Out_of_budget -> Inconclusive
+  end
+
+let check_exn ?max_configs history =
+  match check ?max_configs history with
+  | Linearizable -> ()
+  | (Not_linearizable | Inconclusive) as v ->
+      let sorted =
+        List.sort (fun a b -> compare a.History.start b.History.start) history
+      in
+      let buf = Buffer.create 256 in
+      let fmt = Format.formatter_of_buffer buf in
+      Format.fprintf fmt "%s history (%d ops):@."
+        (match v with Not_linearizable -> "non-linearizable" | _ -> "inconclusive")
+        (List.length sorted);
+      List.iter (fun e -> Format.fprintf fmt "  %a@." History.pp_entry e) sorted;
+      Format.pp_print_flush fmt ();
+      failwith (Buffer.contents buf)

@@ -1,0 +1,27 @@
+(** Linearizability checking of queue histories (Wing & Gong's
+    algorithm, with Lowe-style memoization of explored configurations).
+
+    A history is linearizable iff its operations can be totally ordered
+    such that (a) the order respects real time — an operation that
+    finished before another started comes first — and (b) the ordered
+    operations are a legal run of the sequential FIFO queue.  The search
+    tries every real-time-eligible operation at each position, executes
+    it against the specification, and memoizes (completed-set, queue
+    contents) configurations to prune re-exploration.
+
+    Worst-case exponential; intended for the test suite's histories
+    (tens of operations with bounded concurrency).  [max_configs] bounds
+    the search so a pathological history yields [Inconclusive] rather
+    than hanging. *)
+
+type verdict =
+  | Linearizable
+  | Not_linearizable
+  | Inconclusive  (** the configuration budget was exhausted *)
+
+val check : ?max_configs:int -> History.t -> verdict
+(** [max_configs] defaults to 2_000_000 explored configurations. *)
+
+val check_exn : ?max_configs:int -> History.t -> unit
+(** Raises [Failure] with a readable rendering of the history unless
+    the verdict is [Linearizable]. *)

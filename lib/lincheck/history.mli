@@ -1,0 +1,41 @@
+(** Concurrent histories of queue operations.
+
+    A history is the set of completed operations, each with an
+    invocation/response interval on a single global timeline.  The
+    recorder produces valid intervals for both execution substrates:
+
+    - native domains: stamps come from one [Atomic] counter, so stamp
+      order is a real-time order;
+    - simulated processes: wrapper code runs host-side between effect
+      resumptions, and the engine resumes processes in global simulated
+      time order, so the same counter yields intervals consistent with
+      the simulation's linearization order.
+
+    Linearizability of a history is then checked by {!Checker} against
+    the sequential FIFO specification. *)
+
+type op =
+  | Enq of int
+  | Deq of int option  (** the result observed *)
+
+type entry = { proc : int; op : op; start : int; finish : int }
+
+type t = entry list
+(** Unordered; the checker sorts as needed. *)
+
+type recorder
+
+val create_recorder : unit -> recorder
+
+val record : recorder -> proc:int -> (unit -> op) -> unit
+(** [record r ~proc f] runs [f] (which performs one queue operation and
+    returns its descriptor) between two stamps and logs the entry.
+    Thread-safe across domains; [proc] must be unique per thread of
+    control. *)
+
+val history : recorder -> t
+(** Collect all recorded entries.  Call only after the recorded
+    processes have finished. *)
+
+val pp_op : Format.formatter -> op -> unit
+val pp_entry : Format.formatter -> entry -> unit

@@ -1,0 +1,27 @@
+type t = { initial : int; limit : int; mutable bound : int; mutable seed : int }
+
+(* Self-seeding xorshift: mixing the state's physical id via Hashtbl.hash
+   keeps independent backoff states from spinning in lockstep without
+   touching any global RNG. *)
+let create ?(initial = 16) ?(limit = 4096) () =
+  if initial <= 0 || limit < initial then invalid_arg "Backoff.create";
+  let t = { initial; limit; bound = initial; seed = 0 } in
+  t.seed <- Hashtbl.hash t lxor 0x9E3779B9;
+  t
+
+let next_random t =
+  let s = t.seed in
+  let s = s lxor (s lsl 13) in
+  let s = s lxor (s lsr 7) in
+  let s = s lxor (s lsl 17) in
+  t.seed <- s land max_int;
+  t.seed
+
+let once t =
+  let iterations = 1 + (next_random t mod t.bound) in
+  for _ = 1 to iterations do
+    Domain.cpu_relax ()
+  done;
+  t.bound <- min t.limit (t.bound * 2)
+
+let reset t = t.bound <- t.initial

@@ -1,0 +1,18 @@
+(** Bounded exponential backoff for native (multi-domain) spinning.
+
+    The paper's locks are test-and-test&set with bounded exponential
+    backoff [12, 1]; its non-blocking algorithms back off after failed
+    CASes "where appropriate" (§4).  Each waiting step spins on
+    [Domain.cpu_relax] for a pseudo-random number of iterations drawn
+    below a bound that doubles up to a limit.  State is cheap to create
+    per operation; reuse within an operation, not across domains. *)
+
+type t
+
+val create : ?initial:int -> ?limit:int -> unit -> t
+(** [initial] defaults to 16 iterations, [limit] to 4096. *)
+
+val once : t -> unit
+(** Spin once and double the bound (saturating). *)
+
+val reset : t -> unit

@@ -1,0 +1,35 @@
+type node = { locked : bool Atomic.t }
+
+(* The tail holds the node the next acquirer must wait on.  A token
+   carries the acquirer's own node (to release) and the predecessor
+   node it inherits for its next acquisition. *)
+type t = node Atomic.t
+type token = { mine : node; pred : node }
+
+let name = "clh"
+
+let create () = Atomic.make { locked = Atomic.make false }
+
+let acquire t =
+  let mine = { locked = Atomic.make true } in
+  let pred = Atomic.exchange t mine in
+  let b = Backoff.create ~limit:64 () in
+  while Atomic.get pred.locked do
+    Backoff.once b
+  done;
+  { mine; pred }
+
+let release _t { mine; pred = _ } =
+  (* the classic protocol hands the predecessor node back for reuse; the
+     GC makes that recycling unnecessary here *)
+  Atomic.set mine.locked false
+
+let with_lock t f =
+  let token = acquire t in
+  match f () with
+  | result ->
+      release t token;
+      result
+  | exception e ->
+      release t token;
+      raise e

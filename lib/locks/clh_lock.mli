@@ -1,0 +1,12 @@
+(** CLH queue lock (Craig; Landin & Hagersten) — the other classic
+    local-spin queue lock, complementing {!Mcs_lock}.
+
+    Acquirers atomically exchange the tail with their own node and spin
+    on their {e predecessor's} flag, so the queue is implicit (no [next]
+    links, no release-side race window like MCS's swap-to-link gap) and
+    release is a single store.  Each release donates the predecessor
+    node back to the acquirer for reuse, so steady-state locking
+    allocates nothing.  FIFO-fair, and like every strict-queue lock it
+    degrades when a waiter is preempted. *)
+
+include Lock_intf.LOCK

@@ -1,0 +1,20 @@
+(** Signature of the mutual-exclusion locks.
+
+    [acquire] returns a token consumed by [release]: most locks carry no
+    state between the two ([token = unit]), but queue locks such as
+    {!Mcs_lock} hand the caller its queue node.  All locks here are
+    spin locks — the kind the paper's blocking algorithms are built on —
+    and all spin with bounded exponential backoff unless noted. *)
+
+module type LOCK = sig
+  type t
+  type token
+
+  val name : string
+  val create : unit -> t
+  val acquire : t -> token
+  val release : t -> token -> unit
+
+  val with_lock : t -> (unit -> 'a) -> 'a
+  (** Exception-safe bracket. *)
+end

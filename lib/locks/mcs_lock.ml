@@ -1,0 +1,51 @@
+type node = { locked : bool Atomic.t; next : node option Atomic.t }
+
+type t = node option Atomic.t
+
+(* [boxed] is the exact [Some me] stored in the tail: Atomic.compare_and_set
+   compares physically, so release must CAS with the identical box. *)
+type token = { me : node; boxed : node option }
+
+let name = "mcs"
+let create () = Atomic.make None
+
+let acquire t =
+  let me = { locked = Atomic.make true; next = Atomic.make None } in
+  let boxed = Some me in
+  (match Atomic.exchange t boxed with
+  | None -> () (* the lock was free *)
+  | Some pred ->
+      Atomic.set pred.next (Some me);
+      let b = Backoff.create ~limit:64 () in
+      while Atomic.get me.locked do
+        Backoff.once b
+      done);
+  { me; boxed }
+
+let release t { me; boxed } =
+  match Atomic.get me.next with
+  | Some succ -> Atomic.set succ.locked false
+  | None ->
+      if Atomic.compare_and_set t boxed None then ()
+      else begin
+        (* a successor swapped itself in but has not linked yet: the same
+           swap-to-link window as the MC queue — wait for the link *)
+        let rec wait () =
+          match Atomic.get me.next with
+          | Some succ -> Atomic.set succ.locked false
+          | None ->
+              Domain.cpu_relax ();
+              wait ()
+        in
+        wait ()
+      end
+
+let with_lock t f =
+  let token = acquire t in
+  match f () with
+  | result ->
+      release t token;
+      result
+  | exception e ->
+      release t token;
+      raise e

@@ -1,0 +1,14 @@
+(** MCS queue lock (Mellor-Crummey & Scott [12]).
+
+    Acquirers enqueue a node by atomically exchanging the lock's tail
+    pointer, then spin on a flag {e in their own node} — each waiter
+    spins on a distinct location, so handoff causes one coherence miss
+    instead of a broadcast storm.  FIFO-fair and the scalable choice on
+    a dedicated machine; like all strict-queue locks it suffers when a
+    waiter is preempted.  The swap-then-link structure is the same
+    pattern as Mellor-Crummey's queue enqueue ({!Baselines.Mc_queue}).
+
+    The token returned by [acquire] is the caller's queue node and must
+    be passed to [release]. *)
+
+include Lock_intf.LOCK

@@ -1,0 +1,23 @@
+type t = bool Atomic.t
+type token = unit
+
+let name = "tas"
+let create () = Atomic.make false
+
+let acquire t =
+  let b = Backoff.create () in
+  while Atomic.exchange t true do
+    Backoff.once b
+  done
+
+let release t () = Atomic.set t false
+
+let with_lock t f =
+  acquire t;
+  match f () with
+  | result ->
+      release t ();
+      result
+  | exception e ->
+      release t ();
+      raise e

@@ -1,0 +1,7 @@
+(** Plain test&set spin lock — the primitive available on machines
+    without a universal atomic primitive (paper §1, §5).  Every
+    acquisition attempt is a read-modify-write, so under contention the
+    lock word ping-pongs between caches; kept mainly as the baseline the
+    better locks are measured against. *)
+
+include Lock_intf.LOCK with type token = unit

@@ -1,0 +1,31 @@
+type t = { next : int Atomic.t; serving : int Atomic.t }
+type token = unit
+
+let name = "ticket"
+let create () = { next = Atomic.make 0; serving = Atomic.make 0 }
+
+let acquire t =
+  let ticket = Atomic.fetch_and_add t.next 1 in
+  let rec wait () =
+    let s = Atomic.get t.serving in
+    if s <> ticket then begin
+      (* proportional backoff: spin longer the further back in line *)
+      for _ = 1 to (ticket - s) * 8 do
+        Domain.cpu_relax ()
+      done;
+      wait ()
+    end
+  in
+  wait ()
+
+let release t () = Atomic.incr t.serving
+
+let with_lock t f =
+  acquire t;
+  match f () with
+  | result ->
+      release t ();
+      result
+  | exception e ->
+      release t ();
+      raise e

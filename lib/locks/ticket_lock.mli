@@ -1,0 +1,9 @@
+(** Ticket lock: FIFO-fair mutual exclusion from two counters.
+
+    Acquirers take a ticket with [fetch_and_add] and spin until the
+    now-serving counter reaches it, backing off proportionally to their
+    distance from the head of the line.  Fair but sensitive to preemption
+    of any waiter (the line cannot move past it) — a useful contrast to
+    both TTAS and MCS in the lock ablation. *)
+
+include Lock_intf.LOCK with type token = unit

@@ -1,0 +1,30 @@
+type t = bool Atomic.t
+type token = unit
+
+let name = "ttas"
+let create () = Atomic.make false
+
+let acquire t =
+  let b = Backoff.create () in
+  let rec outer () =
+    while Atomic.get t do
+      Backoff.once b
+    done;
+    if Atomic.exchange t true then begin
+      Backoff.once b;
+      outer ()
+    end
+  in
+  outer ()
+
+let release t () = Atomic.set t false
+
+let with_lock t f =
+  acquire t;
+  match f () with
+  | result ->
+      release t ();
+      result
+  | exception e ->
+      release t ();
+      raise e

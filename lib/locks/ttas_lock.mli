@@ -1,0 +1,7 @@
+(** Test-and-test&set lock with bounded exponential backoff — the lock
+    the paper uses for its lock-based algorithms (§4).  Waiters spin on
+    plain reads (cache-local after the first miss) and attempt the
+    test&set only when the lock is observed free, backing off after each
+    failed attempt. *)
+
+include Lock_intf.LOCK with type token = unit

@@ -1,0 +1,84 @@
+open Sim
+
+type proc_state =
+  | Runnable of (Op.reply -> Api.step) * Op.reply
+  | Done
+
+type t = {
+  mem : Memory.t;
+  hp : Heap.t;
+  procs : proc_state array;
+  mutable first_failure : (int * exn) option;
+  mutable steps : int;
+}
+
+let start eng bodies =
+  let n = Array.length bodies in
+  if n > (Engine.config eng).Config.n_processors then
+    invalid_arg "Machine.start: more processes than simulated processors";
+  {
+    mem = Engine.memory eng;
+    hp = Engine.heap eng;
+    procs =
+      Array.map (fun body -> Runnable ((fun _ -> Api.reify body ()), Op.Unit)) bodies;
+    first_failure = None;
+    steps = 0;
+  }
+
+let n_procs t = Array.length t.procs
+
+let enabled t =
+  let acc = ref [] in
+  for i = Array.length t.procs - 1 downto 0 do
+    match t.procs.(i) with
+    | Runnable _ -> acc := i :: !acc
+    | Done -> ()
+  done;
+  !acc
+
+let all_done t = Array.for_all (function Done -> true | Runnable _ -> false) t.procs
+
+(* Same functional semantics as Engine.exec_op, without the cost model. *)
+let exec_op t ~proc (op : Op.t) : Op.reply =
+  match op with
+  | Op.Read a -> Op.Word (Memory.read t.mem ~proc a)
+  | Op.Write (a, v) ->
+      Memory.write t.mem ~proc a v;
+      Op.Unit
+  | Op.Cas { addr; expected; desired } ->
+      Op.Bool (Memory.cas t.mem ~proc addr ~expected ~desired)
+  | Op.Fetch_and_add (a, d) -> Op.Word (Memory.fetch_and_add t.mem ~proc a d)
+  | Op.Swap (a, v) -> Op.Word (Memory.swap t.mem ~proc a v)
+  | Op.Test_and_set a -> Op.Bool (Memory.test_and_set t.mem ~proc a)
+  | Op.Load_linked a -> Op.Word (Memory.load_linked t.mem ~proc a)
+  | Op.Store_conditional (a, v) -> Op.Bool (Memory.store_conditional t.mem ~proc a v)
+  | Op.Alloc n -> Op.Int (Heap.alloc t.hp n)
+  | Op.Free { addr; size } ->
+      Heap.free t.hp ~addr ~size;
+      Op.Unit
+  | Op.Work _ | Op.Yield | Op.Count _ -> Op.Unit
+  | Op.Now -> Op.Int t.steps
+  | Op.Self -> Op.Int proc
+
+let step t i =
+  match t.procs.(i) with
+  | Done -> invalid_arg "Machine.step: process already finished"
+  | Runnable (k, reply) -> (
+      t.steps <- t.steps + 1;
+      match k reply with
+      | Api.Done ->
+          t.procs.(i) <- Done;
+          `Finished
+      | Api.Raised e ->
+          t.procs.(i) <- Done;
+          if t.first_failure = None then t.first_failure <- Some (i, e);
+          `Finished
+      | Api.Pending (op, k') ->
+          let reply' = exec_op t ~proc:i op in
+          t.procs.(i) <- Runnable (k', reply');
+          (match op with
+          | Op.Work _ | Op.Yield -> `Pause_hint
+          | _ -> `Ran))
+
+let failure t = t.first_failure
+let steps_taken t = t.steps

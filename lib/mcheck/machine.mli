@@ -1,0 +1,35 @@
+(** Deterministic single-step execution of simulated processes, for
+    schedule exploration.
+
+    Unlike {!Sim.Engine}, which advances processes by a clock-driven
+    cost model, this machine executes exactly the operation the caller
+    chooses, against the same {!Sim.Memory}/{!Sim.Heap} semantics and at
+    the same operation granularity.  {!Explore} drives it through every
+    schedule of interest; timing-related operations ([work], [count])
+    are no-ops here because only interleaving matters. *)
+
+type t
+
+val start : Sim.Engine.t -> (unit -> unit) array -> t
+(** Wrap the process bodies.  Process [i] issues memory operations as
+    simulated processor [i], so the engine must have been created with
+    at least as many processors as there are bodies. *)
+
+val n_procs : t -> int
+
+val enabled : t -> int list
+(** Indices of processes that have not yet finished (or failed). *)
+
+val all_done : t -> bool
+
+val step : t -> int -> [ `Ran | `Finished | `Pause_hint ]
+(** Execute one operation of the given process.  [`Finished] means the
+    process body returned (or raised — see {!failure}); [`Pause_hint]
+    means the operation was a [work]/[yield], i.e. the process expects
+    others to run (spin-wait backoff) — schedulers should rotate.
+    Raises [Invalid_argument] if the process already finished. *)
+
+val failure : t -> (int * exn) option
+(** First process failure, if any. *)
+
+val steps_taken : t -> int

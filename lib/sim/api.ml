@@ -1,0 +1,61 @@
+type _ Effect.t += Sim_op : Op.t -> Op.reply Effect.t
+
+let perform op = Effect.perform (Sim_op op)
+
+let unit_reply = function
+  | Op.Unit -> ()
+  | r -> invalid_arg (Format.asprintf "Api: expected unit reply, got %a" Op.pp_reply r)
+
+let word_reply = function
+  | Op.Word w -> w
+  | r -> invalid_arg (Format.asprintf "Api: expected word reply, got %a" Op.pp_reply r)
+
+let bool_reply = function
+  | Op.Bool b -> b
+  | r -> invalid_arg (Format.asprintf "Api: expected bool reply, got %a" Op.pp_reply r)
+
+let int_reply = function
+  | Op.Int n -> n
+  | r -> invalid_arg (Format.asprintf "Api: expected int reply, got %a" Op.pp_reply r)
+
+let read addr = word_reply (perform (Op.Read addr))
+let write addr v = unit_reply (perform (Op.Write (addr, v)))
+
+let cas addr ~expected ~desired =
+  bool_reply (perform (Op.Cas { addr; expected; desired }))
+
+let fetch_and_add addr delta =
+  Word.to_int (word_reply (perform (Op.Fetch_and_add (addr, delta))))
+
+let swap addr v = word_reply (perform (Op.Swap (addr, v)))
+let test_and_set addr = bool_reply (perform (Op.Test_and_set addr))
+let load_linked addr = word_reply (perform (Op.Load_linked addr))
+let store_conditional addr v = bool_reply (perform (Op.Store_conditional (addr, v)))
+let alloc n = int_reply (perform (Op.Alloc n))
+let free ~addr ~size = unit_reply (perform (Op.Free { addr; size }))
+let work n = if n > 0 then unit_reply (perform (Op.Work n))
+let yield () = unit_reply (perform Op.Yield)
+let count name = unit_reply (perform (Op.Count name))
+let now () = int_reply (perform Op.Now)
+let self () = int_reply (perform Op.Self)
+
+type step =
+  | Done
+  | Raised of exn
+  | Pending of Op.t * (Op.reply -> step)
+
+let reify body () =
+  let open Effect.Deep in
+  match_with body ()
+    {
+      retc = (fun () -> Done);
+      exnc = (fun e -> Raised e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Sim_op op ->
+              Some
+                (fun (k : (a, step) continuation) ->
+                  Pending (op, fun reply -> continue k reply))
+          | _ -> None);
+    }

@@ -1,0 +1,59 @@
+(** The programming interface of simulated processes.
+
+    Simulated algorithm code calls these functions; each performs one
+    {!Api.op} effect which suspends the process until the scheduler has
+    executed the operation against shared memory and charged its cost.
+    Code using this API must run under a handler installed by
+    {!Api.reify} (which {!Engine} and {!Mcheck} do internally); calling
+    these functions elsewhere raises [Effect.Unhandled]. *)
+
+type _ Effect.t += Sim_op : Op.t -> Op.reply Effect.t
+
+(** {1 Memory operations} *)
+
+val read : int -> Word.t
+val write : int -> Word.t -> unit
+
+val cas : int -> expected:Word.t -> desired:Word.t -> bool
+(** The paper's [CAS(addr, expected, new)]; counted pointers compare on
+    both fields (see {!Word.equal}). *)
+
+val fetch_and_add : int -> int -> int
+(** Returns the previous integer value. *)
+
+val swap : int -> Word.t -> Word.t
+val test_and_set : int -> bool
+val load_linked : int -> Word.t
+val store_conditional : int -> Word.t -> bool
+
+(** {1 Allocation} *)
+
+val alloc : int -> int
+val free : addr:int -> size:int -> unit
+
+(** {1 Control} *)
+
+val work : int -> unit
+(** Spin for [n] cycles of process-local computation ("other work"). *)
+
+val yield : unit -> unit
+val count : string -> unit
+val now : unit -> int
+val self : unit -> int
+
+(** {1 Reification}
+
+    Turning a process body into a stream of operations.  This is the
+    single point where effects are handled; schedulers consume the
+    resulting {!step} values and decide when each operation executes. *)
+
+type step =
+  | Done  (** the process body returned *)
+  | Raised of exn  (** the process body raised *)
+  | Pending of Op.t * (Op.reply -> step)
+      (** the process performed an operation; feed the reply to continue *)
+
+val reify : (unit -> unit) -> unit -> step
+(** [reify body] delays [body]; applying the result runs it up to its
+    first operation.  Continuations are one-shot: applying the same
+    [reply -> step] twice is an error. *)

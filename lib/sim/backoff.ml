@@ -1,0 +1,17 @@
+type t = {
+  initial : int;
+  limit : int;
+  mutable bound : int;
+  rng : Rng.t;
+}
+
+let create ?(initial = 16) ?(limit = 8192) ~seed () =
+  if initial <= 0 || limit < initial then invalid_arg "Backoff.create";
+  { initial; limit; bound = initial; rng = Rng.create (Int64.of_int seed) }
+
+let once t =
+  let delay = 1 + Rng.int t.rng t.bound in
+  Api.work delay;
+  t.bound <- min t.limit (t.bound * 2)
+
+let reset t = t.bound <- t.initial

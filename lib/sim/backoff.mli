@@ -1,0 +1,22 @@
+(** Bounded exponential backoff for simulated algorithms.
+
+    The paper uses test-and-test&set locks with bounded exponential
+    backoff and applies backoff "where appropriate" in the non-blocking
+    algorithms (§4).  Backoff is what keeps a contended spin from
+    saturating the bus — and, in this simulator, what keeps spinning
+    cheap in host time: each wait is a single {!Api.work} operation
+    rather than a cache-hit read per cycle. *)
+
+type t
+
+val create : ?initial:int -> ?limit:int -> seed:int -> unit -> t
+(** [create ~seed ()] makes a fresh backoff state.  [initial] (default 16)
+    is the first bound; [limit] (default 8192) caps the growth.  The
+    delay drawn for each wait is uniform in [\[1, bound\]]. *)
+
+val once : t -> unit
+(** Wait (perform {!Api.work}) for a random delay and double the bound,
+    saturating at the limit.  Must run inside a simulated process. *)
+
+val reset : t -> unit
+(** Return the bound to its initial value (after a success). *)

@@ -1,0 +1,65 @@
+(* Sharer sets are bit masks over processors, so the model supports up to
+   62 simulated processors on a 64-bit host — far beyond the paper's 12. *)
+
+type t = {
+  cfg : Config.t;
+  lines : (int, int) Hashtbl.t;  (* addr -> sharer bit mask *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidations : int;
+}
+
+let create cfg =
+  if cfg.Config.n_processors > 62 then invalid_arg "Cache.create: too many processors";
+  { cfg; lines = Hashtbl.create 4096; hits = 0; misses = 0; invalidations = 0 }
+
+let line t addr = (addr - 1) / t.cfg.Config.line_words
+
+let sharers t line = try Hashtbl.find t.lines line with Not_found -> 0
+
+let popcount mask =
+  let rec go acc m = if m = 0 then acc else go (acc + (m land 1)) (m lsr 1) in
+  go 0 mask
+
+let read_cost t ~proc ~addr =
+  let addr = line t addr in
+  let mask = sharers t addr in
+  let bit = 1 lsl proc in
+  if mask land bit <> 0 then begin
+    t.hits <- t.hits + 1;
+    t.cfg.Config.cache_hit_cost
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    Hashtbl.replace t.lines addr (mask lor bit);
+    t.cfg.Config.cache_miss_cost
+  end
+
+let write_cost t ~proc ~addr =
+  let addr = line t addr in
+  let mask = sharers t addr in
+  let bit = 1 lsl proc in
+  if mask = bit then begin
+    (* Sole owner: silent upgrade / hit. *)
+    t.hits <- t.hits + 1;
+    t.cfg.Config.cache_hit_cost
+  end
+  else begin
+    let remote = popcount (mask land lnot bit) in
+    t.misses <- t.misses + 1;
+    t.invalidations <- t.invalidations + remote;
+    Hashtbl.replace t.lines addr bit;
+    t.cfg.Config.cache_miss_cost + (remote * t.cfg.Config.invalidate_cost)
+  end
+
+let rmw_cost t ~proc ~addr =
+  write_cost t ~proc ~addr + t.cfg.Config.atomic_extra_cost
+
+let hits t = t.hits
+let misses t = t.misses
+let invalidations t = t.invalidations
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.invalidations <- 0

@@ -1,0 +1,43 @@
+(** Invalidation-based cache-coherence cost model.
+
+    This is the part of the simulator responsible for reproducing the
+    paper's dominant performance effect: with two or more active
+    processors, head/tail pointers and queue nodes ping-pong between
+    caches, so "a high fraction of references miss in the cache"
+    (paper, §4).  We model a MESI-like write-invalidate protocol at the
+    granularity of [Config.line_words]-word lines (so co-located cells
+    contend as one unit — false sharing included):
+
+    - a read hits if the reading processor holds the line (shared or
+      exclusive), otherwise it misses and joins the sharer set;
+    - a write (or any read-modify-write) hits only if the writer is the
+      {e sole} owner; otherwise it misses and pays an additional
+      invalidation cost per remote sharer, then becomes sole owner.
+
+    The module computes cycle costs and keeps hit/miss/invalidation
+    statistics; it never affects functional behaviour. *)
+
+type t
+
+val create : Config.t -> t
+
+val read_cost : t -> proc:int -> addr:int -> int
+(** Cost in cycles of a load by [proc]; updates the sharer sets. *)
+
+val write_cost : t -> proc:int -> addr:int -> int
+(** Cost in cycles of a store by [proc]; invalidates remote copies. *)
+
+val rmw_cost : t -> proc:int -> addr:int -> int
+(** Cost of a read-modify-write primitive: a write acquisition plus the
+    configured atomic overhead, whether or not the operation (e.g. a CAS)
+    ends up modifying the cell — acquiring the line exclusively is what
+    costs, exactly why failed CASes are not free. *)
+
+(** {1 Statistics} *)
+
+val hits : t -> int
+val misses : t -> int
+val invalidations : t -> int
+(** Number of remote copies invalidated by writes. *)
+
+val reset_stats : t -> unit

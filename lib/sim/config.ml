@@ -1,0 +1,37 @@
+type t = {
+  n_processors : int;
+  line_words : int;
+  cache_hit_cost : int;
+  cache_miss_cost : int;
+  invalidate_cost : int;
+  atomic_extra_cost : int;
+  alloc_cost : int;
+  quantum : int;
+  context_switch_cost : int;
+  seed : int64;
+}
+
+let default =
+  {
+    n_processors = 1;
+    line_words = 4;
+    cache_hit_cost = 2;
+    cache_miss_cost = 150;
+    invalidate_cost = 25;
+    atomic_extra_cost = 20;
+    alloc_cost = 100;
+    quantum = 2_000_000;
+    context_switch_cost = 400;
+    seed = 0x4D53515545554531L (* "MSQUEUE1" *);
+  }
+
+let with_processors p =
+  if p <= 0 then invalid_arg "Config.with_processors: p must be positive";
+  { default with n_processors = p }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>processors=%d line=%dw hit=%d miss=%d inval=%d atomic=%d alloc=%d@ \
+     quantum=%d ctx=%d seed=%Ld@]"
+    t.n_processors t.line_words t.cache_hit_cost t.cache_miss_cost t.invalidate_cost
+    t.atomic_extra_cost t.alloc_cost t.quantum t.context_switch_cost t.seed

@@ -1,0 +1,42 @@
+(** Cost-model and machine parameters of the simulated multiprocessor.
+
+    All times are in abstract {e cycles}.  Defaults are calibrated so that
+    the ratios of the paper's testbed (12-node SGI Challenge, ~µs-scale
+    queue operations, 10 ms scheduling quantum, ~6 µs "other work") are
+    preserved: with [cycle ≈ 5 ns], other work is ~1200 cycles and the
+    quantum is ~2,000,000 cycles — three orders of magnitude above a
+    critical section, which is what makes preemption of a lock holder
+    catastrophic in Figures 4 and 5. *)
+
+type t = {
+  n_processors : int;  (** number of simulated CPUs *)
+  line_words : int;
+      (** words per cache line; coherence (and so contention) operates
+          at this granularity, and the heap aligns every allocation to
+          it, so co-location is controlled by allocating cells together *)
+  cache_hit_cost : int;
+      (** cycles for a load/store that hits in the local cache *)
+  cache_miss_cost : int;
+      (** cycles to fetch a line from memory or a remote cache *)
+  invalidate_cost : int;
+      (** extra cycles per remote sharer invalidated by a write *)
+  atomic_extra_cost : int;
+      (** extra cycles for any read-modify-write primitive *)
+  alloc_cost : int;  (** cycles for a runtime heap allocation *)
+  quantum : int;
+      (** scheduling quantum in cycles; multiprogrammed processes are
+          preempted when it expires *)
+  context_switch_cost : int;  (** cycles charged on each switch *)
+  seed : int64;  (** master seed for all deterministic randomness *)
+}
+
+val default : t
+(** One processor, SGI-Challenge-flavoured cost ratios: a remote
+    coherence miss on that machine took on the order of a microsecond —
+    ~200 cycles at mid-90s clock rates — so the default miss cost is 150
+    cycles against a 2-cycle hit. *)
+
+val with_processors : int -> t
+(** [with_processors p] is {!default} with [n_processors = p]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,348 @@
+type pid = int
+
+type proc_state =
+  | Runnable
+  | Stalled of int  (* absolute cycle at which the stall ends *)
+  | Finished
+  | Killed
+
+type process = {
+  pid : pid;
+  cpu : int;
+  mutable k : Op.reply -> Api.step;
+  mutable reply : Op.reply;
+  mutable state : proc_state;
+  mutable finish_time : int;
+  mutable planned_stalls : (int * int) list;  (* (at, duration), at-ordered *)
+}
+
+type processor = {
+  id : int;
+  mutable clock : int;
+  mutable busy : int;  (* cycles spent executing ops and switching *)
+  runq : process Queue.t;
+  mutable quantum_left : int;
+}
+
+type t = {
+  cfg : Config.t;
+  mem : Memory.t;
+  cache : Cache.t;
+  hp : Heap.t;
+  processors : processor array;
+  procs : (pid, process) Hashtbl.t;
+  counters : (string, int ref) Hashtbl.t;
+  mutable next_pid : int;
+  mutable next_cpu : int;  (* round-robin spawn assignment *)
+  mutable remaining : int;  (* spawned, not finished, not killed *)
+  mutable steps : int;
+  mutable context_switches : int;
+  mutable failure : exn option;
+  mutable trace : Trace.t option;
+}
+
+type outcome =
+  | Completed
+  | Step_limit
+
+let create (cfg : Config.t) =
+  let mem = Memory.create ~n_processors:cfg.n_processors in
+  {
+    cfg;
+    mem;
+    cache = Cache.create cfg;
+    hp = Heap.create ~line_words:cfg.line_words mem;
+    processors =
+      Array.init cfg.n_processors (fun id ->
+          { id; clock = 0; busy = 0; runq = Queue.create (); quantum_left = cfg.quantum });
+    procs = Hashtbl.create 64;
+    counters = Hashtbl.create 16;
+    next_pid = 0;
+    next_cpu = 0;
+    remaining = 0;
+    steps = 0;
+    context_switches = 0;
+    failure = None;
+    trace = None;
+  }
+
+let memory t = t.mem
+let heap t = t.hp
+let config t = t.cfg
+let setup_alloc t n = Heap.alloc t.hp n
+let poke t addr v = Memory.poke t.mem addr v
+let peek t addr = Memory.peek t.mem addr
+
+let spawn ?cpu t body =
+  let cpu =
+    match cpu with
+    | Some c ->
+        if c < 0 || c >= t.cfg.n_processors then invalid_arg "Engine.spawn: bad cpu";
+        c
+    | None ->
+        let c = t.next_cpu in
+        t.next_cpu <- (t.next_cpu + 1) mod t.cfg.n_processors;
+        c
+  in
+  let pid = t.next_pid in
+  t.next_pid <- pid + 1;
+  let start = Api.reify body in
+  let p =
+    {
+      pid;
+      cpu;
+      k = (fun _reply -> start ());
+      reply = Op.Unit;
+      state = Runnable;
+      finish_time = -1;
+      planned_stalls = [];
+    }
+  in
+  Hashtbl.add t.procs pid p;
+  Queue.push p t.processors.(cpu).runq;
+  t.remaining <- t.remaining + 1;
+  pid
+
+let find_process t pid =
+  match Hashtbl.find_opt t.procs pid with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Engine: unknown pid %d" pid)
+
+let stall t pid cycles =
+  if cycles < 0 then invalid_arg "Engine.stall: negative duration";
+  let p = find_process t pid in
+  match p.state with
+  | Runnable -> p.state <- Stalled (t.processors.(p.cpu).clock + cycles)
+  | Stalled until -> p.state <- Stalled (max until (t.processors.(p.cpu).clock + cycles))
+  | Finished | Killed -> ()
+
+let plan_stall t pid ~at ~duration =
+  if at < 0 || duration <= 0 then invalid_arg "Engine.plan_stall";
+  let p = find_process t pid in
+  p.planned_stalls <-
+    List.sort (fun (a, _) (b, _) -> compare a b) ((at, duration) :: p.planned_stalls)
+
+let kill t pid =
+  let p = find_process t pid in
+  match p.state with
+  | Finished | Killed -> ()
+  | Runnable | Stalled _ ->
+      p.state <- Killed;
+      t.remaining <- t.remaining - 1
+
+let bump_counter t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> incr r
+  | None -> Hashtbl.add t.counters name (ref 1)
+
+(* Execute one operation for process [p] on processor [cpu]; returns the
+   cycle cost and the reply fed back to the process. *)
+let exec_op t (cpu : processor) (p : process) (op : Op.t) : int * Op.reply =
+  let proc = cpu.id in
+  match op with
+  | Op.Read a ->
+      (Cache.read_cost t.cache ~proc ~addr:a, Op.Word (Memory.read t.mem ~proc a))
+  | Op.Write (a, v) ->
+      let cost = Cache.write_cost t.cache ~proc ~addr:a in
+      Memory.write t.mem ~proc a v;
+      (cost, Op.Unit)
+  | Op.Cas { addr; expected; desired } ->
+      let cost = Cache.rmw_cost t.cache ~proc ~addr in
+      let ok = Memory.cas t.mem ~proc addr ~expected ~desired in
+      (cost, Op.Bool ok)
+  | Op.Fetch_and_add (a, d) ->
+      let cost = Cache.rmw_cost t.cache ~proc ~addr:a in
+      (cost, Op.Word (Memory.fetch_and_add t.mem ~proc a d))
+  | Op.Swap (a, v) ->
+      let cost = Cache.rmw_cost t.cache ~proc ~addr:a in
+      (cost, Op.Word (Memory.swap t.mem ~proc a v))
+  | Op.Test_and_set a ->
+      let cost = Cache.rmw_cost t.cache ~proc ~addr:a in
+      (cost, Op.Bool (Memory.test_and_set t.mem ~proc a))
+  | Op.Load_linked a ->
+      (Cache.read_cost t.cache ~proc ~addr:a, Op.Word (Memory.load_linked t.mem ~proc a))
+  | Op.Store_conditional (a, v) ->
+      let cost = Cache.rmw_cost t.cache ~proc ~addr:a in
+      (cost, Op.Bool (Memory.store_conditional t.mem ~proc a v))
+  | Op.Alloc n -> (t.cfg.alloc_cost, Op.Int (Heap.alloc t.hp n))
+  | Op.Free { addr; size } ->
+      Heap.free t.hp ~addr ~size;
+      (t.cfg.alloc_cost, Op.Unit)
+  | Op.Work n -> (n, Op.Unit)
+  | Op.Yield -> (1, Op.Unit)
+  | Op.Count name ->
+      bump_counter t name;
+      (0, Op.Unit)
+  | Op.Now -> (0, Op.Int cpu.clock)
+  | Op.Self -> (0, Op.Int p.pid)
+
+let context_switch t (cpu : processor) =
+  cpu.clock <- cpu.clock + t.cfg.context_switch_cost;
+  cpu.busy <- cpu.busy + t.cfg.context_switch_cost;
+  cpu.quantum_left <- t.cfg.quantum;
+  t.context_switches <- t.context_switches + 1;
+  Memory.clear_reservation t.mem ~proc:cpu.id
+
+(* Drop finished/killed processes from the front, skip over stalled ones
+   (charging one context switch if we had to pass any), and return the
+   process to run next on [cpu] — or how long the processor must idle. *)
+let rec select t (cpu : processor) ~rotated =
+  if Queue.is_empty cpu.runq then `Idle_forever
+  else
+    let p = Queue.peek cpu.runq in
+    match p.state with
+    | Finished | Killed ->
+        ignore (Queue.pop cpu.runq);
+        select t cpu ~rotated
+    | Runnable ->
+        if rotated > 0 then context_switch t cpu;
+        `Run p
+    | Stalled until when until <= cpu.clock ->
+        p.state <- Runnable;
+        if rotated > 0 then context_switch t cpu;
+        `Run p
+    | Stalled _ ->
+        if rotated >= Queue.length cpu.runq then begin
+          (* Everyone on this processor is stalled: idle to the earliest
+             wake-up.  [until] of the current front is not necessarily the
+             minimum, so scan. *)
+          let earliest =
+            Queue.fold
+              (fun acc q ->
+                match q.state with Stalled u -> min acc u | _ -> acc)
+              max_int cpu.runq
+          in
+          `Idle_until earliest
+        end
+        else begin
+          ignore (Queue.pop cpu.runq);
+          Queue.push p cpu.runq;
+          select t cpu ~rotated:(rotated + 1)
+        end
+
+(* A processor is eligible if its run queue holds any process that is not
+   finished or killed. *)
+let eligible cpu =
+  Queue.fold
+    (fun acc p -> acc || match p.state with Runnable | Stalled _ -> true | _ -> false)
+    false cpu.runq
+
+let pick_processor t =
+  let best = ref None in
+  Array.iter
+    (fun cpu ->
+      if eligible cpu then
+        match !best with
+        | Some b when b.clock <= cpu.clock -> ()
+        | _ -> best := Some cpu)
+    t.processors;
+  !best
+
+let step_processor t (cpu : processor) =
+  match select t cpu ~rotated:0 with
+  | `Idle_forever -> ()
+  | `Idle_until c -> cpu.clock <- max cpu.clock c
+  | `Run p -> (
+      match p.planned_stalls with
+      | (at, duration) :: rest when at <= cpu.clock ->
+          (* a planned delay fires between two operations *)
+          p.planned_stalls <- rest;
+          p.state <- Stalled (cpu.clock + duration)
+      | _ ->
+      (* Preempt at quantum expiry when someone else is waiting. *)
+      if cpu.quantum_left <= 0 then
+        if Queue.length cpu.runq > 1 then begin
+          ignore (Queue.pop cpu.runq);
+          Queue.push p cpu.runq;
+          context_switch t cpu
+          (* Re-selection happens on the next global step; the clock moved,
+             so another processor may now be due first. *)
+        end
+        else cpu.quantum_left <- t.cfg.quantum
+      else
+        match p.k p.reply with
+        | Api.Done ->
+            p.state <- Finished;
+            p.finish_time <- cpu.clock;
+            t.remaining <- t.remaining - 1;
+            ignore (Queue.pop cpu.runq)
+        | Api.Raised e ->
+            p.state <- Finished;
+            p.finish_time <- cpu.clock;
+            t.remaining <- t.remaining - 1;
+            ignore (Queue.pop cpu.runq);
+            if t.failure = None then t.failure <- Some e
+        | Api.Pending (op, k) ->
+            let cost, reply = exec_op t cpu p op in
+            cpu.clock <- cpu.clock + cost;
+            cpu.busy <- cpu.busy + cost;
+            (match t.trace with
+            | Some tr ->
+                Trace.record tr
+                  { Trace.time = cpu.clock; cpu = cpu.id; pid = p.pid; op; reply }
+            | None -> ());
+            cpu.quantum_left <- cpu.quantum_left - cost;
+            t.steps <- t.steps + 1;
+            p.k <- k;
+            p.reply <- reply;
+            if op = Op.Yield && Queue.length cpu.runq > 1 then begin
+              ignore (Queue.pop cpu.runq);
+              Queue.push p cpu.runq;
+              context_switch t cpu
+            end)
+
+let run ?(max_steps = 1_000_000_000) t =
+  let outcome = ref Completed in
+  (try
+     while t.remaining > 0 do
+       if t.steps >= max_steps then begin
+         outcome := Step_limit;
+         raise Exit
+       end;
+       match pick_processor t with
+       | Some cpu -> step_processor t cpu
+       | None ->
+           (* remaining > 0 but nobody eligible: impossible by construction,
+              since killed/finished decrement [remaining]. *)
+           assert false
+     done
+   with Exit -> ());
+  (match t.failure with
+  | Some e ->
+      t.failure <- None;
+      raise e
+  | None -> ());
+  !outcome
+
+let elapsed t =
+  Array.fold_left (fun acc cpu -> max acc cpu.clock) 0 t.processors
+
+let finish_time t pid =
+  let p = find_process t pid in
+  if p.finish_time < 0 then invalid_arg "Engine.finish_time: process not finished";
+  p.finish_time
+
+let enable_trace ?limit t =
+  match t.trace with
+  | Some tr -> tr
+  | None ->
+      let tr = Trace.create ?limit () in
+      t.trace <- Some tr;
+      tr
+
+let trace t = t.trace
+
+let stats t =
+  {
+    Stats.elapsed = elapsed t;
+    steps = t.steps;
+    cache_hits = Cache.hits t.cache;
+    cache_misses = Cache.misses t.cache;
+    invalidations = Cache.invalidations t.cache;
+    context_switches = t.context_switches;
+    counters =
+      Hashtbl.fold (fun k v acc -> (k, !v) :: acc) t.counters []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b);
+    per_cpu =
+      Array.to_list (Array.map (fun cpu -> (cpu.clock, cpu.busy)) t.processors);
+  }

@@ -1,0 +1,94 @@
+(** The simulated multiprocessor: processors, scheduler, and clock.
+
+    An engine owns shared {!Memory}, a {!Cache} cost model and a {!Heap},
+    and runs a set of spawned processes to completion.  Each simulated
+    processor has its own cycle clock and a round-robin run queue;
+    assigning more processes than processors yields a multiprogrammed
+    system in which the quantum expiring preempts the running process
+    {e wherever it happens to be} — including inside a critical section,
+    the scenario Figures 4 and 5 of the paper are about.
+
+    Scheduling is deterministic: at every step the engine advances the
+    runnable processor with the smallest clock (ties broken by processor
+    id), executes exactly one operation of its current process, and
+    charges that operation's cost to the processor's clock.  Memory
+    effects therefore occur in a single global order consistent with the
+    per-processor clocks. *)
+
+type t
+
+type pid = int
+
+val create : Config.t -> t
+
+val memory : t -> Memory.t
+val heap : t -> Heap.t
+val config : t -> Config.t
+
+(** {1 Host-side setup}
+
+    Zero-cost helpers for building initial data structures before the
+    simulation starts. *)
+
+val setup_alloc : t -> int -> int
+(** Allocate cells without charging simulated time. *)
+
+val poke : t -> int -> Word.t -> unit
+val peek : t -> int -> Word.t
+
+(** {1 Processes} *)
+
+val spawn : ?cpu:int -> t -> (unit -> unit) -> pid
+(** Register a process.  Without [cpu], processes are assigned to
+    processors round-robin in spawn order, so spawning [k * n_processors]
+    processes gives a multiprogramming level of [k], as in the paper. *)
+
+val stall : t -> pid -> int -> unit
+(** [stall t pid cycles] delays the process for [cycles] of simulated
+    time starting from its processor's current clock — a page fault or
+    external delay.  While stalled, its processor runs its other
+    processes (after a context switch) or idles. *)
+
+val plan_stall : t -> pid -> at:int -> duration:int -> unit
+(** Schedule a delay in advance: the first time the process is about to
+    execute an operation at or after cycle [at], it is stalled for
+    [duration] cycles instead.  Models a page fault or long preemption
+    landing at an uncontrolled point {e inside} an operation — the
+    scenario behind the paper's Valois memory-exhaustion observation and
+    the non-blocking liveness claims.  Multiple plans may be registered;
+    they fire in [at] order. *)
+
+val kill : t -> pid -> unit
+(** Permanently halt a process.  [run] does not wait for killed
+    processes; a non-blocking algorithm must allow the others to finish
+    while a blocking one will spin to the step limit. *)
+
+(** {1 Running} *)
+
+type outcome =
+  | Completed  (** every live process ran to completion *)
+  | Step_limit  (** the step budget was exhausted — livelock/blocking *)
+
+val run : ?max_steps:int -> t -> outcome
+(** Execute until all non-killed processes finish.  A process whose body
+    raises causes [run] to re-raise that exception after marking the
+    process finished.  [max_steps] (default 1 billion) bounds total
+    operations so blocked systems terminate with [Step_limit]. *)
+
+val elapsed : t -> int
+(** Maximum processor clock — the parallel makespan in cycles. *)
+
+val finish_time : t -> pid -> int
+(** Clock of the process's processor when it completed.
+    Raises [Invalid_argument] if it has not finished. *)
+
+val stats : t -> Stats.t
+
+(** {1 Tracing} *)
+
+val enable_trace : ?limit:int -> t -> Trace.t
+(** Start recording every operation into a fresh bounded trace (see
+    {!Trace}); returns the buffer for querying.  Idempotent: a second
+    call returns the existing buffer. *)
+
+val trace : t -> Trace.t option

@@ -1,0 +1,40 @@
+type t = {
+  memory : Memory.t;
+  line_words : int;
+  free_lists : (int, int list ref) Hashtbl.t;  (* size -> base addresses *)
+  mutable live : int;
+  mutable total : int;
+}
+
+let create ?(line_words = 1) memory =
+  { memory; line_words; free_lists = Hashtbl.create 16; live = 0; total = 0 }
+
+(* Every block is rounded up to whole lines and starts on a line
+   boundary, so distinct allocations never share a line; co-location is
+   opt-in by allocating cells in a single call. *)
+let padded t n = (n + t.line_words - 1) / t.line_words * t.line_words
+
+let alloc t n =
+  if n <= 0 then invalid_arg "Heap.alloc";
+  let n = padded t n in
+  t.live <- t.live + n;
+  t.total <- t.total + n;
+  match Hashtbl.find_opt t.free_lists n with
+  | Some ({ contents = addr :: rest } as cell) ->
+      cell := rest;
+      for i = 0 to n - 1 do
+        Memory.poke t.memory (addr + i) Word.zero
+      done;
+      addr
+  | Some { contents = [] } | None -> Memory.grow t.memory n
+
+let free t ~addr ~size =
+  if size <= 0 then invalid_arg "Heap.free";
+  let size = padded t size in
+  t.live <- t.live - size;
+  match Hashtbl.find_opt t.free_lists size with
+  | Some cell -> cell := addr :: !cell
+  | None -> Hashtbl.add t.free_lists size (ref [ addr ])
+
+let live_words t = t.live
+let allocated_words t = t.total

@@ -1,0 +1,34 @@
+(** Allocator for simulated shared memory.
+
+    A bump allocator over {!Memory.grow} with size-segregated free lists.
+    The queue algorithms of the paper manage their own node free lists in
+    shared memory (a Treiber stack); this heap is what those free lists
+    are initially filled from, and what a runtime [new_node()] falls back
+    to when a pool is unbounded.
+
+    Allocation has no coherence footprint (a real allocator touches
+    mostly-local metadata); the {!Engine} charges [alloc_cost] cycles for
+    runtime allocations performed through the {!Api.alloc} effect. *)
+
+type t
+
+val create : ?line_words:int -> Memory.t -> t
+(** [line_words] (default 1) sets the alignment unit: every block is
+    line-aligned and line-padded, so separate allocations never share a
+    cache line. *)
+
+val alloc : t -> int -> int
+(** [alloc t n] returns the base address of [n] fresh (or recycled,
+    zeroed) contiguous cells. *)
+
+val free : t -> addr:int -> size:int -> unit
+(** Return a block to the size-segregated free list.  The block must have
+    been obtained from [alloc t size]. *)
+
+val live_words : t -> int
+(** Words currently allocated and not freed — the measure used by the
+    Valois memory-exhaustion experiment. *)
+
+val allocated_words : t -> int
+(** Total words ever handed out (recycled blocks counted once per
+    allocation). *)

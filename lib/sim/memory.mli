@@ -1,0 +1,67 @@
+(** Shared memory of the simulated multiprocessor.
+
+    A flat, growable array of {!Word.t} cells indexed by integer
+    addresses starting at [1] (address [0] is {!Word.nil}).  All accesses
+    here are {e functional correctness only}; timing and coherence costs
+    are accounted separately by {!Cache}, and the two are combined by
+    {!Engine}.
+
+    Load-linked / store-conditional is modelled with one reservation per
+    processor, broken by any store (plain write, successful CAS, swap,
+    fetch&add, test&set or SC) to the reserved address by any processor —
+    the discipline of the MIPS R4000 the paper emulated its atomics on. *)
+
+type t
+
+val create : n_processors:int -> t
+
+val size : t -> int
+(** Number of allocated cells (the highest valid address). *)
+
+val grow : t -> int -> int
+(** [grow t n] appends [n] fresh zeroed cells and returns the address of
+    the first.  Used by {!Heap}; not directly by simulated code. *)
+
+(** {1 Data operations}
+
+    Each operation takes the id of the processor performing it so that
+    reservations can be managed.  These functions perform the memory
+    semantics only; cost accounting happens in {!Engine}. *)
+
+val read : t -> proc:int -> int -> Word.t
+
+val write : t -> proc:int -> int -> Word.t -> unit
+
+val cas : t -> proc:int -> int -> expected:Word.t -> desired:Word.t -> bool
+(** Compare-and-swap with structural comparison ({!Word.equal}); counted
+    pointers compare on both address and count, modelling the paper's
+    double-word CAS. *)
+
+val fetch_and_add : t -> proc:int -> int -> int -> Word.t
+(** Returns the previous value.  Raises [Invalid_argument] if the cell
+    holds a pointer. *)
+
+val swap : t -> proc:int -> int -> Word.t -> Word.t
+(** Unconditional atomic exchange (the paper's [fetch_and_store]);
+    returns the previous value. *)
+
+val test_and_set : t -> proc:int -> int -> bool
+(** Sets the cell to [Int 1]; returns [true] iff it was previously
+    [Int 0] (i.e. the lock was acquired). *)
+
+val load_linked : t -> proc:int -> int -> Word.t
+
+val store_conditional : t -> proc:int -> int -> Word.t -> bool
+(** Succeeds iff this processor's reservation on the address is intact. *)
+
+val clear_reservation : t -> proc:int -> unit
+(** Drop [proc]'s LL reservation.  Called by the scheduler on context
+    switches: an SC straddling a preemption must fail, as on the R4000. *)
+
+(** {1 Host-side access}
+
+    Zero-cost accessors for building initial data structures and for
+    checking invariants from tests; never used by simulated processes. *)
+
+val peek : t -> int -> Word.t
+val poke : t -> int -> Word.t -> unit

@@ -1,0 +1,46 @@
+type t =
+  | Read of int
+  | Write of int * Word.t
+  | Cas of { addr : int; expected : Word.t; desired : Word.t }
+  | Fetch_and_add of int * int
+  | Swap of int * Word.t
+  | Test_and_set of int
+  | Load_linked of int
+  | Store_conditional of int * Word.t
+  | Alloc of int
+  | Free of { addr : int; size : int }
+  | Work of int
+  | Yield
+  | Count of string
+  | Now
+  | Self
+
+type reply =
+  | Unit
+  | Word of Word.t
+  | Bool of bool
+  | Int of int
+
+let pp fmt = function
+  | Read a -> Format.fprintf fmt "read %d" a
+  | Write (a, v) -> Format.fprintf fmt "write %d <- %a" a Word.pp v
+  | Cas { addr; expected; desired } ->
+      Format.fprintf fmt "cas %d (%a -> %a)" addr Word.pp expected Word.pp desired
+  | Fetch_and_add (a, d) -> Format.fprintf fmt "faa %d += %d" a d
+  | Swap (a, v) -> Format.fprintf fmt "swap %d <- %a" a Word.pp v
+  | Test_and_set a -> Format.fprintf fmt "tas %d" a
+  | Load_linked a -> Format.fprintf fmt "ll %d" a
+  | Store_conditional (a, v) -> Format.fprintf fmt "sc %d <- %a" a Word.pp v
+  | Alloc n -> Format.fprintf fmt "alloc %d" n
+  | Free { addr; size } -> Format.fprintf fmt "free %d[%d]" addr size
+  | Work n -> Format.fprintf fmt "work %d" n
+  | Yield -> Format.fprintf fmt "yield"
+  | Count name -> Format.fprintf fmt "count %s" name
+  | Now -> Format.fprintf fmt "now"
+  | Self -> Format.fprintf fmt "self"
+
+let pp_reply fmt = function
+  | Unit -> Format.fprintf fmt "()"
+  | Word w -> Word.pp fmt w
+  | Bool b -> Format.fprintf fmt "%b" b
+  | Int n -> Format.fprintf fmt "%d" n

@@ -1,0 +1,34 @@
+(** The instruction set visible to simulated processes.
+
+    A simulated process is ordinary OCaml code that {e performs} one
+    {!Api} effect per shared-memory access; the effect payload is an
+    {!Op.t}, and the scheduler replies with an {!Op.reply}.  Preemption,
+    delay injection and interleaving exploration all happen at the
+    granularity of these operations, which is the granularity at which
+    the paper's algorithms synchronize. *)
+
+type t =
+  | Read of int
+  | Write of int * Word.t
+  | Cas of { addr : int; expected : Word.t; desired : Word.t }
+  | Fetch_and_add of int * int
+  | Swap of int * Word.t
+  | Test_and_set of int
+  | Load_linked of int
+  | Store_conditional of int * Word.t
+  | Alloc of int  (** runtime allocation of [n] cells *)
+  | Free of { addr : int; size : int }
+  | Work of int  (** spin for [n] cycles of local computation *)
+  | Yield  (** voluntarily relinquish the processor *)
+  | Count of string  (** bump a named statistics counter; free *)
+  | Now  (** read the local processor clock *)
+  | Self  (** the id of the running process *)
+
+type reply =
+  | Unit
+  | Word of Word.t
+  | Bool of bool
+  | Int of int
+
+val pp : Format.formatter -> t -> unit
+val pp_reply : Format.formatter -> reply -> unit

@@ -1,0 +1,30 @@
+(** Deterministic pseudo-random number generation for the simulator.
+
+    The simulator must be fully reproducible from a seed: scheduling
+    tie-breaks, backoff jitter and workload generation all draw from
+    [Rng.t] states that are split deterministically, never from global
+    mutable state.  The generator is SplitMix64 (Steele, Lea & Flood,
+    OOPSLA 2014), which is small, fast, and has a well-defined [split]. *)
+
+type t
+(** A mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] returns a fresh generator seeded with [seed]. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator with the same current state. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    statistically independent of [t]'s subsequent output.  Used to give
+    each simulated process its own stream. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val bool : t -> bool
+(** A uniform boolean. *)

@@ -1,0 +1,36 @@
+type t = {
+  elapsed : int;
+  steps : int;
+  cache_hits : int;
+  cache_misses : int;
+  invalidations : int;
+  context_switches : int;
+  counters : (string * int) list;
+  per_cpu : (int * int) list;
+}
+
+let counter t name =
+  match List.assoc_opt name t.counters with
+  | Some n -> n
+  | None -> 0
+
+let utilization t =
+  let clock, busy =
+    List.fold_left (fun (c, b) (clock, busy) -> (c + clock, b + busy)) (0, 0) t.per_cpu
+  in
+  if clock = 0 then 1. else float_of_int busy /. float_of_int clock
+
+let miss_rate t =
+  let total = t.cache_hits + t.cache_misses in
+  if total = 0 then 0. else float_of_int t.cache_misses /. float_of_int total
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>elapsed=%d cycles steps=%d utilization=%.0f%%@ \
+     cache: hits=%d misses=%d (%.1f%%) inval=%d@ \
+     context switches=%d@ %a@]"
+    t.elapsed t.steps (100. *. utilization t) t.cache_hits t.cache_misses
+    (100. *. miss_rate t) t.invalidations t.context_switches
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space (fun fmt (k, v) ->
+         Format.fprintf fmt "%s=%d" k v))
+    t.counters

@@ -1,0 +1,28 @@
+(** Immutable snapshot of a simulation run's measurements. *)
+
+type t = {
+  elapsed : int;  (** latest processor clock at snapshot time, cycles *)
+  steps : int;  (** operations executed *)
+  cache_hits : int;
+  cache_misses : int;
+  invalidations : int;
+  context_switches : int;
+  counters : (string * int) list;
+      (** algorithm-defined counters ({!Api.count}), sorted by name *)
+  per_cpu : (int * int) list;
+      (** per processor: (final clock, busy cycles).  Busy counts
+          operation costs and context switches; the difference is time
+          spent idle waiting for stalled processes. *)
+}
+
+val counter : t -> string -> int
+(** [counter t name] is the named counter's value, or [0] if never bumped. *)
+
+val miss_rate : t -> float
+(** Misses over total cache accesses; [0.] when there were none. *)
+
+val utilization : t -> float
+(** Busy cycles over total processor-cycles ([1.] when no processor
+    ever idled). *)
+
+val pp : Format.formatter -> t -> unit

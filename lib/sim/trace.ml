@@ -1,0 +1,60 @@
+type event = {
+  time : int;
+  cpu : int;
+  pid : int;
+  op : Op.t;
+  reply : Op.reply;
+}
+
+type t = {
+  limit : int;
+  buffer : event option array;
+  mutable next : int;  (* total events ever recorded *)
+}
+
+let create ?(limit = 65_536) () =
+  if limit <= 0 then invalid_arg "Trace.create";
+  { limit; buffer = Array.make limit None; next = 0 }
+
+let record t event =
+  t.buffer.(t.next mod t.limit) <- Some event;
+  t.next <- t.next + 1
+
+let length t = min t.next t.limit
+
+let dropped t = max 0 (t.next - t.limit)
+
+let events t =
+  let n = length t in
+  let start = t.next - n in
+  List.init n (fun i -> Option.get t.buffer.((start + i) mod t.limit))
+
+let clear t =
+  Array.fill t.buffer 0 t.limit None;
+  t.next <- 0
+
+let by_pid t pid = List.filter (fun e -> e.pid = pid) (events t)
+
+let op_addr (op : Op.t) =
+  match op with
+  | Op.Read a
+  | Op.Write (a, _)
+  | Op.Cas { addr = a; _ }
+  | Op.Fetch_and_add (a, _)
+  | Op.Swap (a, _)
+  | Op.Test_and_set a
+  | Op.Load_linked a
+  | Op.Store_conditional (a, _) -> Some a
+  | Op.Free { addr = a; _ } -> Some a
+  | Op.Alloc _ | Op.Work _ | Op.Yield | Op.Count _ | Op.Now | Op.Self -> None
+
+let touching t ~addr =
+  List.filter (fun e -> op_addr e.op = Some addr) (events t)
+
+let pp_event fmt e =
+  Format.fprintf fmt "[%8d] cpu%d p%d %a -> %a" e.time e.cpu e.pid Op.pp e.op
+    Op.pp_reply e.reply
+
+let pp fmt t =
+  List.iter (fun e -> Format.fprintf fmt "%a@." pp_event e) (events t);
+  if dropped t > 0 then Format.fprintf fmt "... (%d earlier events dropped)@." (dropped t)

@@ -1,0 +1,44 @@
+(** Execution traces of simulated runs.
+
+    When enabled on an {!Engine}, every operation is recorded with its
+    processor, process, clock and reply — the raw material for debugging
+    an interleaving, asserting fine-grained scheduling properties in
+    tests, or replaying the history of a failure found by the model
+    checker.  Recording is host-side only and does not perturb simulated
+    timing. *)
+
+type event = {
+  time : int;  (** processor clock when the operation completed *)
+  cpu : int;
+  pid : int;
+  op : Op.t;
+  reply : Op.reply;
+}
+
+type t
+(** A bounded trace buffer: the most recent [limit] events are kept. *)
+
+val create : ?limit:int -> unit -> t
+(** [limit] defaults to 65,536 events. *)
+
+val record : t -> event -> unit
+
+val events : t -> event list
+(** Oldest first. *)
+
+val length : t -> int
+
+val dropped : t -> int
+(** Events discarded because the buffer was full. *)
+
+val clear : t -> unit
+
+(** {1 Queries} *)
+
+val by_pid : t -> int -> event list
+
+val touching : t -> addr:int -> event list
+(** Events whose operation reads or writes the given address. *)
+
+val pp_event : Format.formatter -> event -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,34 @@
+type ptr = { addr : int; count : int }
+
+type t =
+  | Int of int
+  | Ptr of ptr
+
+let nil = 0
+
+let null ~count = Ptr { addr = nil; count }
+
+let ptr ?(count = 0) addr = Ptr { addr; count }
+
+let is_null p = p.addr = nil
+
+let equal a b =
+  match a, b with
+  | Int x, Int y -> x = y
+  | Ptr p, Ptr q -> p.addr = q.addr && p.count = q.count
+  | Int _, Ptr _ | Ptr _, Int _ -> false
+
+let zero = Int 0
+
+let to_int = function
+  | Int n -> n
+  | Ptr _ -> invalid_arg "Word.to_int: pointer"
+
+let to_ptr = function
+  | Ptr p -> p
+  | Int _ -> invalid_arg "Word.to_ptr: integer"
+
+let pp fmt = function
+  | Int n -> Format.fprintf fmt "%d" n
+  | Ptr p when is_null p -> Format.fprintf fmt "null/%d" p.count
+  | Ptr p -> Format.fprintf fmt "@%d/%d" p.addr p.count

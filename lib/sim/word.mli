@@ -1,0 +1,48 @@
+(** Machine words of the simulated multiprocessor.
+
+    A simulated memory cell holds one {!t}.  Two shapes exist:
+
+    - [Int n]: an integer datum (queue values, lock states, counters,
+      reference counts).
+    - [Ptr p]: a {e counted pointer} — an address paired with a
+      modification count, the ABA-avoidance device of Michael & Scott's
+      Figure 1 ([structure pointer_t {ptr, count}]).  On the paper's
+      hardware this pair occupies a double word updated by a double-word
+      [compare_and_swap]; here a cell stores the pair directly and
+      {!Memory} CASes it atomically, which models the same primitive.
+
+    The null pointer is represented as address {!nil}; null pointers carry
+    counts like any other (line E9 of the paper CASes a null [next] whose
+    count must match). *)
+
+type ptr = { addr : int; count : int }
+
+type t =
+  | Int of int
+  | Ptr of ptr
+
+val nil : int
+(** The null address.  No allocation ever returns it. *)
+
+val null : count:int -> t
+(** [null ~count] is a null counted pointer. *)
+
+val ptr : ?count:int -> int -> t
+(** [ptr addr] is [Ptr {addr; count}] with [count] defaulting to [0]. *)
+
+val is_null : ptr -> bool
+
+val equal : t -> t -> bool
+(** Structural equality, the comparison performed by the simulated
+    [compare_and_swap]: both address and count must match for pointers. *)
+
+val zero : t
+(** [Int 0], the initial content of fresh memory. *)
+
+val to_int : t -> int
+(** Projection; raises [Invalid_argument] on a pointer. *)
+
+val to_ptr : t -> ptr
+(** Projection; raises [Invalid_argument] on an integer. *)
+
+val pp : Format.formatter -> t -> unit

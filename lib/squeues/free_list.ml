@@ -1,0 +1,52 @@
+open Sim
+
+type t = { top : int; link_offset : int }
+
+let init eng ~link_offset =
+  let top = Engine.setup_alloc eng 1 in
+  Engine.poke eng top (Word.null ~count:0);
+  { top; link_offset }
+
+let push_host eng t node =
+  let old_top = Word.to_ptr (Engine.peek eng t.top) in
+  Engine.poke eng (node + t.link_offset) (Word.ptr old_top.Word.addr);
+  Engine.poke eng t.top (Word.Ptr { addr = node; count = old_top.Word.count })
+
+let prefill eng t ~node_size ~count =
+  for _ = 1 to count do
+    let node = Engine.setup_alloc eng node_size in
+    push_host eng t node
+  done
+
+let rec push t node =
+  let top = Word.to_ptr (Api.read t.top) in
+  Api.write (node + t.link_offset) (Word.ptr top.Word.addr);
+  if
+    Api.cas t.top ~expected:(Word.Ptr top)
+      ~desired:(Word.Ptr { addr = node; count = top.Word.count + 1 })
+  then ()
+  else begin
+    Api.count "freelist.push_retry";
+    push t node
+  end
+
+let rec pop t =
+  let top = Word.to_ptr (Api.read t.top) in
+  if Word.is_null top then None
+  else
+    let next = Word.to_ptr (Api.read (top.Word.addr + t.link_offset)) in
+    if
+      Api.cas t.top ~expected:(Word.Ptr top)
+        ~desired:(Word.Ptr { addr = next.Word.addr; count = top.Word.count + 1 })
+    then Some top.Word.addr
+    else begin
+      Api.count "freelist.pop_retry";
+      pop t
+    end
+
+let length_host eng t =
+  let rec walk addr acc =
+    if addr = Word.nil then acc
+    else walk (Word.to_ptr (Engine.peek eng (addr + t.link_offset))).Word.addr (acc + 1)
+  in
+  walk (Word.to_ptr (Engine.peek eng t.top)).Word.addr 0

@@ -1,0 +1,31 @@
+(** Non-blocking free list: Treiber's stack in simulated memory.
+
+    "We use Treiber's simple and efficient non-blocking stack algorithm
+    to implement a non-blocking free list" (paper, §2).  The top-of-stack
+    cell is a counted pointer CASed with an incremented count, so popping
+    is immune to the ABA problem even though nodes are recycled
+    constantly.  A node's link cell (its second word) doubles as the
+    stack link while the node is free. *)
+
+type t
+
+val init : Sim.Engine.t -> link_offset:int -> t
+(** Host-side: allocate the top-of-stack cell.  [link_offset] is the
+    offset within a node of the word used as the stack link (the node's
+    [next] field for every queue in this repository). *)
+
+val prefill : Sim.Engine.t -> t -> node_size:int -> count:int -> unit
+(** Host-side: allocate [count] nodes of [node_size] cells and push them
+    (at zero simulated cost, like pre-experiment initialization). *)
+
+val push_host : Sim.Engine.t -> t -> int -> unit
+(** Host-side: push one node at zero simulated cost (initialization). *)
+
+val push : t -> int -> unit
+(** Simulated: push the node at the given base address. *)
+
+val pop : t -> int option
+(** Simulated: pop a node base address, or [None] when empty. *)
+
+val length_host : Sim.Engine.t -> t -> int
+(** Host-side: number of nodes currently on the list (leak audits). *)

@@ -1,0 +1,70 @@
+open Sim
+
+(* No dummy node: Head is the first item or null, Tail the last or null.
+   Nodes are heap-allocated and never recycled, so every model-checker
+   finding is a pure interleaving consequence of the unspecified cases,
+   not an ABA artifact. *)
+type t = {
+  head : int;  (* plain pointer cell *)
+  tail : int;  (* plain pointer cell *)
+}
+
+let name = "hwang-briggs-incomplete"
+
+let null = Word.null ~count:0
+
+let init ?options:_ eng =
+  let head = Engine.setup_alloc eng 1 in
+  let tail = Engine.setup_alloc eng 1 in
+  Engine.poke eng head null;
+  Engine.poke eng tail null;
+  { head; tail }
+
+let enqueue t v =
+  let node = Api.alloc Node.size in
+  Api.write (node + Node.value_offset) (Word.Int v);
+  Api.write (node + Node.next_offset) null;
+  let rec loop () =
+    let tl = Word.to_ptr (Api.read t.tail) in
+    if Word.is_null tl then begin
+      (* the unspecified empty case, resolved naively: claim Tail, then
+         publish Head with a plain write *)
+      if Api.cas t.tail ~expected:null ~desired:(Word.ptr node) then
+        Api.write t.head (Word.ptr node)
+      else loop ()
+    end
+    else if
+      Api.cas
+        (tl.Word.addr + Node.next_offset)
+        ~expected:null ~desired:(Word.ptr node)
+    then
+      (* swing Tail; no helping — the description has none *)
+      ignore (Api.cas t.tail ~expected:(Word.Ptr tl) ~desired:(Word.ptr node))
+    else loop ()
+  in
+  loop ()
+
+let dequeue t =
+  let rec loop () =
+    let h = Word.to_ptr (Api.read t.head) in
+    if Word.is_null h then None
+    else begin
+      let next = Node.next h.Word.addr in
+      if Api.cas t.head ~expected:(Word.Ptr h) ~desired:(Word.Ptr next) then begin
+        if Word.is_null next then
+          (* the unspecified single-item case, resolved naively: we
+             removed the last node, so clear Tail too *)
+          ignore (Api.cas t.tail ~expected:(Word.Ptr h) ~desired:null);
+        Some (Node.value h.Word.addr)
+      end
+      else loop ()
+    end
+  in
+  loop ()
+
+let length t eng =
+  let rec walk addr acc =
+    if addr = Word.nil then acc
+    else walk (Word.to_ptr (Engine.peek eng (addr + Node.next_offset))).Word.addr (acc + 1)
+  in
+  walk (Word.to_ptr (Engine.peek eng t.head)).Word.addr 0

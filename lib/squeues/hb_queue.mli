@@ -1,0 +1,25 @@
+(** The Hwang & Briggs-style CAS queue as the paper characterizes it —
+    {e incompletely specified} (paper ref. [7], §1).
+
+    "These algorithms are incompletely specified; they omit details such
+    as the handling of empty or single-item queues, or concurrent
+    enqueues and dequeues."  This reconstruction implements exactly the
+    straightforward part — CAS the tail's link for enqueue, CAS the head
+    pointer for dequeue, no dummy node, no helping — and resolves the
+    unspecified cases in the naive way a reader of the incomplete
+    description might: enqueue publishes [Head] directly when it finds
+    the queue empty; dequeue clears [Tail] when it removes what it
+    believes is the last node.
+
+    The result is correct sequentially and breaks under concurrency at
+    precisely the unspecified boundaries: {!Mcheck} finds both lost
+    items (an enqueue's empty-path [Head] publication stomped) and
+    non-linearizable behaviour within two preemptions, which is the
+    paper's point in listing it among the inadequate prior work.
+
+    Do not use this queue for anything except studying why the missing
+    cases matter. *)
+
+include Intf.S
+
+val length : t -> Sim.Engine.t -> int

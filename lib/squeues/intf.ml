@@ -1,0 +1,42 @@
+(** Common interface of the simulated queue algorithms.
+
+    Every algorithm of the paper's evaluation implements {!S} so the
+    experiment harness ({!Harness}) can run them interchangeably.  [init]
+    builds the initial structure host-side (no simulated cost, like
+    pre-experiment setup on the real machine); [enqueue]/[dequeue] run
+    inside simulated processes and perform {!Sim.Api} effects only. *)
+
+type options = {
+  pool : int;
+      (** nodes preallocated on the shared free list (the paper used
+          64,000 for the Valois memory experiment) *)
+  bounded : bool;
+      (** when [true], an empty free list raises {!Out_of_nodes} instead
+          of falling back to runtime allocation *)
+  backoff : bool;
+      (** bounded exponential backoff on contention (locks always spin
+          with backoff; this also enables backoff after failed CAS in the
+          non-blocking algorithms, as in the paper's §4) *)
+}
+
+let default_options = { pool = 256; bounded = false; backoff = true }
+
+exception Out_of_nodes
+(** Raised inside a simulated process when a bounded node pool is
+    exhausted — the failure mode of the Valois §1 experiment. *)
+
+module type S = sig
+  type t
+
+  val name : string
+  (** Short identifier used in reports ("ms-nonblocking", "two-lock", ...). *)
+
+  val init : ?options:options -> Sim.Engine.t -> t
+  (** Allocate and initialize the queue and its node pool (host-side). *)
+
+  val enqueue : t -> int -> unit
+  (** Must run inside a simulated process.  Blocking algorithms spin. *)
+
+  val dequeue : t -> int option
+  (** [None] when the queue is observed empty (linearizably). *)
+end

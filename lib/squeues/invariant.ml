@@ -1,0 +1,43 @@
+open Sim
+
+type descriptor = {
+  head_cell : int;
+  tail_cell : int;
+  next_offset : int;
+  has_dummy : bool;
+}
+
+type violation =
+  | Cycle of int
+  | Tail_not_in_list of int
+  | Null_head
+
+let check eng d =
+  let head = Word.to_ptr (Engine.peek eng d.head_cell) in
+  let tail = Word.to_ptr (Engine.peek eng d.tail_cell) in
+  if Word.is_null head then
+    if d.has_dummy then Error Null_head
+    else if Word.is_null tail then Ok 0
+    else Error (Tail_not_in_list tail.Word.addr)
+  else begin
+    let visited = Hashtbl.create 64 in
+    let exception Violation of violation in
+    try
+      let rec walk addr count tail_seen =
+        if Hashtbl.mem visited addr then raise (Violation (Cycle addr));
+        Hashtbl.add visited addr ();
+        let tail_seen = tail_seen || addr = tail.Word.addr in
+        let next = Word.to_ptr (Engine.peek eng (addr + d.next_offset)) in
+        if Word.is_null next then
+          if tail_seen then Ok (count + 1)
+          else raise (Violation (Tail_not_in_list tail.Word.addr))
+        else walk next.Word.addr (count + 1) tail_seen
+      in
+      walk head.Word.addr 0 false
+    with Violation v -> Error v
+  end
+
+let pp_violation fmt = function
+  | Cycle addr -> Format.fprintf fmt "list cycles back to node %d" addr
+  | Tail_not_in_list addr -> Format.fprintf fmt "tail points to %d, not in the list" addr
+  | Null_head -> Format.fprintf fmt "head pointer of a dummy-node queue is null"

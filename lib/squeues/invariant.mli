@@ -1,0 +1,34 @@
+(** Host-side structural invariant checking (paper §3.1).
+
+    Walks simulated memory at a quiescent point (or any point, for the
+    lock-free structures' stable properties) and verifies the safety
+    properties the paper proves:
+
+    + the linked list is always connected (the walk from the first node
+      reaches null without cycling);
+    + ...nodes are only inserted at the end and deleted at the beginning —
+      checked behaviourally by the linearizability tests; here we check
+      the structural consequences:
+    + [Head] points to the first node of the list;
+    + [Tail] points to a node {e in} the list.
+
+    The descriptor abstracts over representation differences (counted or
+    plain pointers, node layout). *)
+
+type descriptor = {
+  head_cell : int;  (** cell holding the head pointer *)
+  tail_cell : int;  (** cell holding the tail pointer *)
+  next_offset : int;  (** offset of the next field within a node *)
+  has_dummy : bool;  (** head points at a dummy rather than the first item *)
+}
+
+type violation =
+  | Cycle of int  (** the walk revisited this address *)
+  | Tail_not_in_list of int  (** tail's target *)
+  | Null_head  (** a dummy-node queue's head pointer is null *)
+
+val check : Sim.Engine.t -> descriptor -> (int, violation) result
+(** [check eng d] walks the list; [Ok n] gives the number of nodes
+    reachable from head (including the dummy if any). *)
+
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,43 @@
+open Sim
+
+(* head and tail live in separate allocations (and so separate cache
+   lines); slots are a contiguous block.  Indices grow unboundedly and
+   wrap on access, as in the native Core.Spsc_queue. *)
+type t = {
+  head : int;  (* cell: written only by the consumer *)
+  tail : int;  (* cell: written only by the producer *)
+  slots : int;  (* base address of [capacity] cells *)
+  capacity : int;
+}
+
+let init ?(capacity = 1024) eng =
+  if capacity < 1 then invalid_arg "Lamport_queue.init";
+  let head = Engine.setup_alloc eng 1 in
+  let tail = Engine.setup_alloc eng 1 in
+  let slots = Engine.setup_alloc eng capacity in
+  Engine.poke eng head (Word.Int 0);
+  Engine.poke eng tail (Word.Int 0);
+  { head; tail; slots; capacity }
+
+let push t v =
+  let tail = Word.to_int (Api.read t.tail) in
+  let head = Word.to_int (Api.read t.head) in
+  if tail - head >= t.capacity then false
+  else begin
+    Api.write (t.slots + (tail mod t.capacity)) (Word.Int v);
+    Api.write t.tail (Word.Int (tail + 1));
+    true
+  end
+
+let pop t =
+  let head = Word.to_int (Api.read t.head) in
+  let tail = Word.to_int (Api.read t.tail) in
+  if head = tail then None
+  else begin
+    let v = Word.to_int (Api.read (t.slots + (head mod t.capacity))) in
+    Api.write t.head (Word.Int (head + 1));
+    Some v
+  end
+
+let length t eng =
+  Word.to_int (Engine.peek eng t.tail) - Word.to_int (Engine.peek eng t.head)

@@ -1,0 +1,26 @@
+(** Lamport's wait-free single-producer/single-consumer ring (paper
+    ref. [9]), simulated.
+
+    Included for the survey completeness of §1 and for the SPSC
+    ablation: at two processors with one producer and one consumer, the
+    wait-free ring's only coherence traffic is the two index words and
+    the slots, with no read-modify-write at all — the lower bound any
+    general queue is paying CAS overhead against.
+
+    Not an {!Intf.S} implementation: its correctness contract (one
+    enqueuer, one dequeuer) does not fit the symmetric workload.  The
+    harness's SPSC experiment drives it directly. *)
+
+type t
+
+val init : ?capacity:int -> Sim.Engine.t -> t
+(** Host-side; [capacity] defaults to 1024 items. *)
+
+val push : t -> int -> bool
+(** Producer only (simulated).  [false] when full; wait-free. *)
+
+val pop : t -> int option
+(** Consumer only (simulated).  [None] when empty; wait-free. *)
+
+val length : t -> Sim.Engine.t -> int
+(** Host-side occupancy. *)

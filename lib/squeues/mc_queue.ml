@@ -1,0 +1,97 @@
+open Sim
+
+type t = {
+  head : int;  (* counted pointer cell: the dummy node *)
+  tail : int;  (* plain pointer cell, updated only by swap *)
+  pool : Node.pool;
+  backoff : bool;
+}
+
+let name = "mc-lockfree"
+
+let init ?(options = Intf.default_options) eng =
+  let pool = Node.make_pool eng options in
+  let dummy = Engine.setup_alloc eng Node.size in
+  Engine.poke eng (dummy + Node.next_offset) (Word.null ~count:0);
+  let head = Engine.setup_alloc eng 1 in
+  let tail = Engine.setup_alloc eng 1 in
+  Engine.poke eng head (Word.ptr dummy);
+  Engine.poke eng tail (Word.ptr dummy);
+  { head; tail; pool; backoff = options.backoff }
+
+(* Enqueue never retries: the swap atomically claims the predecessor.
+   The window between the swap and the link is the blocking gap.  The
+   link itself is a CAS — the paper describes the algorithm as "a
+   fetch_and_store-modify-compare_and_swap sequence" (§1) — which always
+   succeeds (the swap made this enqueuer the only writer of that cell)
+   but costs a read-modify-write. *)
+let enqueue t v =
+  let node = Node.new_node t.pool in
+  Node.set_value node v;
+  Node.set_next node (Word.null ~count:0);
+  let prev = Word.to_ptr (Api.swap t.tail (Word.ptr node)) in
+  let linked =
+    Api.cas
+      (prev.Word.addr + Node.next_offset)
+      ~expected:(Word.null ~count:0) ~desired:(Word.ptr node)
+  in
+  assert linked
+
+let dequeue t =
+  let b =
+    if t.backoff then Some (Backoff.create ~seed:((Api.self () * 69069) + t.head) ())
+    else None
+  in
+  let wait () =
+    match b with
+    | Some b -> Backoff.once b
+    | None -> Api.work 1
+  in
+  let rec loop () =
+    let head = Word.to_ptr (Api.read t.head) in
+    let next = Node.next head.Word.addr in
+    if Word.is_null next then begin
+      let tail = Word.to_ptr (Api.read t.tail) in
+      if tail.Word.addr = head.Word.addr then
+        (* dummy is also the last node: the queue is empty *)
+        if Word.equal (Api.read t.head) (Word.Ptr head) then None else loop ()
+      else begin
+        (* an enqueuer has swapped Tail but not yet linked: wait for it *)
+        Api.count "mc.link_wait";
+        wait ();
+        loop ()
+      end
+    end
+    else begin
+      let value = Node.value next.Word.addr in
+      if
+        Api.cas t.head ~expected:(Word.Ptr head)
+          ~desired:(Word.Ptr { addr = next.Word.addr; count = head.Word.count + 1 })
+      then begin
+        Node.free_node t.pool head.Word.addr;
+        Some value
+      end
+      else begin
+        Api.count "mc.deq_cas_fail";
+        wait ();
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+let descriptor t =
+  {
+    Invariant.head_cell = t.head;
+    tail_cell = t.tail;
+    next_offset = Node.next_offset;
+    has_dummy = true;
+  }
+
+let length t eng =
+  let rec walk addr acc =
+    match Word.to_ptr (Engine.peek eng (addr + Node.next_offset)) with
+    | p when Word.is_null p -> acc
+    | p -> walk p.Word.addr (acc + 1)
+  in
+  walk (Word.to_ptr (Engine.peek eng t.head)).Word.addr 0

@@ -1,0 +1,19 @@
+(** Mellor-Crummey's lock-free but blocking queue (paper ref. [11]),
+    simulated.
+
+    Reconstructed from the paper's characterization of TR 229: the
+    enqueue uses compare&swap in a {e fetch_and_store-modify} sequence —
+    [swap] the new node into [Tail], then write the predecessor's [next]
+    link — so no ABA precautions are needed and the constant overhead is
+    low.  The same feature makes the algorithm {e blocking}: between the
+    swap and the link the list is disconnected, and a dequeuer that
+    reaches the gap must spin until the delayed enqueuer writes the link.
+    On a multiprogrammed system an inopportune preemption in that window
+    stalls every dequeuer (Figures 4 and 5). *)
+
+include Intf.S
+
+val descriptor : t -> Invariant.descriptor
+(** Structural descriptor for {!Invariant.check}. *)
+
+val length : t -> Sim.Engine.t -> int

@@ -1,0 +1,130 @@
+open Sim
+
+type t = {
+  head : int;  (* cell holding the counted Head pointer *)
+  tail : int;  (* cell holding the counted Tail pointer *)
+  pool : Node.pool;
+  backoff : bool;
+  eng : Engine.t;  (* retained for host-side inspection only *)
+}
+
+let name = "ms-nonblocking"
+
+(* initialize(Q): a single dummy node, pointed to by both Head and Tail. *)
+let init ?(options = Intf.default_options) eng =
+  let pool = Node.make_pool eng options in
+  let dummy = Engine.setup_alloc eng Node.size in
+  Engine.poke eng (dummy + Node.next_offset) (Word.null ~count:0);
+  let head = Engine.setup_alloc eng 1 in
+  let tail = Engine.setup_alloc eng 1 in
+  Engine.poke eng head (Word.ptr dummy);
+  Engine.poke eng tail (Word.ptr dummy);
+  { head; tail; pool; backoff = options.backoff; eng }
+
+let make_backoff t =
+  if t.backoff then
+    Some (Backoff.create ~seed:((Api.self () * 40503) + t.head) ())
+  else None
+
+let maybe_backoff = function
+  | Some b -> Backoff.once b
+  | None -> ()
+
+let enqueue t v =
+  let node = Node.new_node t.pool in (* E1 *)
+  Node.set_value node v; (* E2 *)
+  Node.clear_next_ptr node; (* E3: null the ptr subfield, keep the count *)
+  let b = make_backoff t in
+  let rec loop () =
+    (* E4: repeat *)
+    let tail = Word.to_ptr (Api.read t.tail) in (* E5 *)
+    let next = Node.next tail.Word.addr in (* E6 *)
+    if Word.equal (Api.read t.tail) (Word.Ptr tail) then (* E7 *)
+      if Word.is_null next then begin
+        (* E8 *)
+        if
+          Api.cas
+            (tail.Word.addr + Node.next_offset) (* E9 *)
+            ~expected:(Word.Ptr next)
+            ~desired:(Word.Ptr { addr = node; count = next.Word.count + 1 })
+        then tail (* E10: break *)
+        else begin
+          Api.count "ms.enq_cas_fail";
+          maybe_backoff b;
+          loop ()
+        end
+      end
+      else begin
+        (* E11: Tail was not pointing to the last node *)
+        ignore
+          (Api.cas t.tail (* E12: try to swing Tail to the next node *)
+             ~expected:(Word.Ptr tail)
+             ~desired:(Word.Ptr { addr = next.Word.addr; count = tail.Word.count + 1 }));
+        loop ()
+      end
+    else loop ()
+  in
+  let tail = loop () in
+  (* E13: enqueue done; try to swing Tail to the inserted node *)
+  ignore
+    (Api.cas t.tail ~expected:(Word.Ptr tail)
+       ~desired:(Word.Ptr { addr = node; count = tail.Word.count + 1 }))
+
+let dequeue t =
+  let b = make_backoff t in
+  let rec loop () =
+    (* D1: repeat *)
+    let head = Word.to_ptr (Api.read t.head) in (* D2 *)
+    let tail = Word.to_ptr (Api.read t.tail) in (* D3 *)
+    let next = Node.next head.Word.addr in (* D4 *)
+    if Word.equal (Api.read t.head) (Word.Ptr head) then (* D5 *)
+      if head.Word.addr = tail.Word.addr then
+        if Word.is_null next then None (* D6-D8: queue is empty *)
+        else begin
+          (* D9: Tail is falling behind; try to advance it *)
+          ignore
+            (Api.cas t.tail ~expected:(Word.Ptr tail)
+               ~desired:
+                 (Word.Ptr { addr = next.Word.addr; count = tail.Word.count + 1 }));
+          loop ()
+        end
+      else begin
+        (* D10-D11: read value before the CAS; otherwise another dequeue
+           might free the node holding it *)
+        let value = Node.value next.Word.addr in
+        if
+          Api.cas t.head (* D12 *)
+            ~expected:(Word.Ptr head)
+            ~desired:(Word.Ptr { addr = next.Word.addr; count = head.Word.count + 1 })
+        then begin
+          Node.free_node t.pool head.Word.addr; (* D14: free the old dummy *)
+          Some value (* D15 *)
+        end
+        else begin
+          Api.count "ms.deq_cas_fail";
+          maybe_backoff b;
+          loop ()
+        end
+      end
+    else loop ()
+  in
+  loop ()
+
+let head t = Word.to_ptr (Engine.peek t.eng t.head)
+let tail t = Word.to_ptr (Engine.peek t.eng t.tail)
+
+let descriptor t =
+  {
+    Invariant.head_cell = t.head;
+    tail_cell = t.tail;
+    next_offset = Node.next_offset;
+    has_dummy = true;
+  }
+
+let length t eng =
+  let rec walk addr acc =
+    match Word.to_ptr (Engine.peek eng (addr + Node.next_offset)) with
+    | p when Word.is_null p -> acc
+    | p -> walk p.Word.addr (acc + 1)
+  in
+  walk (head t).Word.addr 0

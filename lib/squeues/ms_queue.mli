@@ -1,0 +1,25 @@
+(** The paper's non-blocking concurrent queue (Figure 1), simulated.
+
+    A singly-linked list with counted [Head] and [Tail] pointers and a
+    dummy node at the head.  [Tail] points to the last or second-to-last
+    node; lagging tails are helped forward (E12/D9).  Modification
+    counters incremented on every successful CAS make node recycling
+    through the free list safe against ABA.  Dequeue ensures [Tail] never
+    points to a dequeued node before swinging [Head] past it, so dequeued
+    nodes are immediately reusable (D14).
+
+    Line numbers in the implementation refer to the paper's pseudo-code. *)
+
+include Intf.S
+
+val head : t -> Sim.Word.ptr
+(** Host-side snapshot of [Head] (tests and invariant checking). *)
+
+val tail : t -> Sim.Word.ptr
+
+val descriptor : t -> Invariant.descriptor
+(** Structural descriptor for {!Invariant.check}. *)
+
+val length : t -> Sim.Engine.t -> int
+(** Host-side: number of items (list length minus the dummy).  Only
+    meaningful while no simulated process is mid-operation. *)

@@ -1,0 +1,37 @@
+open Sim
+
+let value_offset = 0
+let next_offset = 1
+let size = 2
+
+type pool = { free : Free_list.t; bounded : bool }
+
+let make_pool eng (options : Intf.options) =
+  let free = Free_list.init eng ~link_offset:next_offset in
+  Free_list.prefill eng free ~node_size:size ~count:options.pool;
+  { free; bounded = options.bounded }
+
+let new_node pool =
+  match Free_list.pop pool.free with
+  | Some node -> node
+  | None ->
+      if pool.bounded then raise Intf.Out_of_nodes
+      else begin
+        Api.count "pool.heap_alloc";
+        let node = Api.alloc size in
+        (* fresh heap cells hold Int 0; the next field must be a null
+           pointer so clear_next_ptr and readers see a counted pointer *)
+        Api.write (node + next_offset) (Word.null ~count:0);
+        node
+      end
+
+let free_node pool node = Free_list.push pool.free node
+
+let value node = Word.to_int (Api.read (node + value_offset))
+let set_value node v = Api.write (node + value_offset) (Word.Int v)
+let next node = Word.to_ptr (Api.read (node + next_offset))
+let set_next node w = Api.write (node + next_offset) w
+
+let clear_next_ptr node =
+  let old = Word.to_ptr (Api.read (node + next_offset)) in
+  Api.write (node + next_offset) (Word.Ptr { addr = Word.nil; count = old.Word.count })

@@ -1,0 +1,37 @@
+(** Queue nodes and the shared node pool.
+
+    All the list-based queues except Valois's use two-word nodes:
+    [value] at offset 0 and [next] (a counted pointer) at offset 1.
+    Nodes live on a per-queue {!Free_list}; [new_node] is the paper's
+    [new_node()] ("allocate a new node from the free list") and
+    [free_node] its [free()]. *)
+
+val value_offset : int
+val next_offset : int
+val size : int
+
+type pool
+
+val make_pool : Sim.Engine.t -> Intf.options -> pool
+(** Host-side: create a free list prefilled with [options.pool] nodes. *)
+
+val new_node : pool -> int
+(** Simulated: pop a node from the free list; when the list is empty,
+    allocate from the heap, or raise {!Intf.Out_of_nodes} if the pool is
+    bounded. *)
+
+val free_node : pool -> int -> unit
+(** Simulated: return a node to the free list. *)
+
+(** {1 Field access from simulated code} *)
+
+val value : int -> int
+val set_value : int -> int -> unit
+val next : int -> Sim.Word.ptr
+val set_next : int -> Sim.Word.t -> unit
+
+val clear_next_ptr : int -> unit
+(** The paper's line E3: [node->next.ptr = NULL] — null the pointer
+    subfield while {e preserving the modification count}, so a recycled
+    node's [next] cell keeps its monotonically growing count.  Costs a
+    read and a write, as on the real double-word representation. *)

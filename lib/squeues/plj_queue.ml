@@ -1,0 +1,123 @@
+open Sim
+
+type t = {
+  head : int;  (* counted pointer cell *)
+  tail : int;  (* counted pointer cell *)
+  pool : Node.pool;
+  backoff : bool;
+}
+
+let name = "plj-nonblocking"
+
+let init ?(options = Intf.default_options) eng =
+  let pool = Node.make_pool eng options in
+  let dummy = Engine.setup_alloc eng Node.size in
+  Engine.poke eng (dummy + Node.next_offset) (Word.null ~count:0);
+  let head = Engine.setup_alloc eng 1 in
+  let tail = Engine.setup_alloc eng 1 in
+  Engine.poke eng head (Word.ptr dummy);
+  Engine.poke eng tail (Word.ptr dummy);
+  { head; tail; pool; backoff = options.backoff }
+
+let make_backoff t =
+  if t.backoff then Some (Backoff.create ~seed:((Api.self () * 25214903917) + t.tail) ())
+  else None
+
+let maybe_backoff = function
+  | Some b -> Backoff.once b
+  | None -> ()
+
+(* Snapshot of the full queue state: both shared variables and the link
+   after the tail, re-validated until consistent. *)
+let rec snapshot t =
+  let head = Word.to_ptr (Api.read t.head) in
+  let tail = Word.to_ptr (Api.read t.tail) in
+  let tail_next = Node.next tail.Word.addr in
+  let head_next = Node.next head.Word.addr in
+  if
+    Word.equal (Api.read t.head) (Word.Ptr head)
+    && Word.equal (Api.read t.tail) (Word.Ptr tail)
+  then (head, tail, head_next, tail_next)
+  else begin
+    Api.count "plj.snapshot_retry";
+    snapshot t
+  end
+
+(* Complete a slower enqueuer's operation: swing the lagging tail. *)
+let help_tail t (tail : Word.ptr) (tail_next : Word.ptr) =
+  ignore
+    (Api.cas t.tail ~expected:(Word.Ptr tail)
+       ~desired:(Word.Ptr { addr = tail_next.Word.addr; count = tail.Word.count + 1 }))
+
+let enqueue t v =
+  let node = Node.new_node t.pool in
+  Node.set_value node v;
+  Node.clear_next_ptr node;
+  let b = make_backoff t in
+  let rec loop () =
+    let _head, tail, _head_next, tail_next = snapshot t in
+    if not (Word.is_null tail_next) then begin
+      (* the queue is mid-enqueue: finish the other process's operation *)
+      help_tail t tail tail_next;
+      loop ()
+    end
+    else if
+      Api.cas
+        (tail.Word.addr + Node.next_offset)
+        ~expected:(Word.Ptr tail_next)
+        ~desired:(Word.Ptr { addr = node; count = tail_next.Word.count + 1 })
+    then
+      ignore
+        (Api.cas t.tail ~expected:(Word.Ptr tail)
+           ~desired:(Word.Ptr { addr = node; count = tail.Word.count + 1 }))
+    else begin
+      Api.count "plj.enq_cas_fail";
+      maybe_backoff b;
+      loop ()
+    end
+  in
+  loop ()
+
+let dequeue t =
+  let b = make_backoff t in
+  let rec loop () =
+    let head, tail, head_next, tail_next = snapshot t in
+    if head.Word.addr = tail.Word.addr then
+      if Word.is_null tail_next then None
+      else begin
+        help_tail t tail tail_next;
+        loop ()
+      end
+    else begin
+      let value = Node.value head_next.Word.addr in
+      if
+        Api.cas t.head ~expected:(Word.Ptr head)
+          ~desired:(Word.Ptr { addr = head_next.Word.addr; count = head.Word.count + 1 })
+      then begin
+        Node.free_node t.pool head.Word.addr;
+        Some value
+      end
+      else begin
+        Api.count "plj.deq_cas_fail";
+        maybe_backoff b;
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+let descriptor t =
+  {
+    Invariant.head_cell = t.head;
+    tail_cell = t.tail;
+    next_offset = Node.next_offset;
+    has_dummy = true;
+  }
+
+let length t eng =
+  let rec walk addr acc =
+    match Word.to_ptr (Engine.peek eng (addr + Node.next_offset)) with
+    | p when Word.is_null p -> acc
+    | p -> walk p.Word.addr (acc + 1)
+  in
+  walk (Word.to_ptr (Engine.peek eng t.head)).Word.addr 0

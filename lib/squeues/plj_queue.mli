@@ -1,0 +1,22 @@
+(** Prakash, Lee & Johnson's snapshot-based non-blocking queue (paper
+    ref. [16]), simulated.
+
+    Reconstruction preserving the structure the paper contrasts itself
+    with: before updating, each operation takes a {e snapshot} of the
+    queue state by reading {e both} shared variables ([Head] and [Tail])
+    plus the relevant link and re-validating them, where the MS queue
+    re-checks only one ("we need to check only one shared variable
+    rather than two", §2); and faster processes {e complete the
+    operations of slower processes} (lagging-tail helping) rather than
+    wait.  The original's node representation (no dummy node) is
+    simplified to the dummy-node representation; the snapshot-and-help
+    control structure and its per-operation cost profile — strictly more
+    shared reads per operation than MS — are retained.  Non-blocking,
+    linearizable, ABA-safe via counted pointers. *)
+
+include Intf.S
+
+val descriptor : t -> Invariant.descriptor
+(** Structural descriptor for {!Invariant.check}. *)
+
+val length : t -> Sim.Engine.t -> int

@@ -1,0 +1,75 @@
+open Sim
+
+type t = {
+  head : int;  (* plain pointer cell: first node, nil when empty *)
+  tail : int;  (* plain pointer cell: last node, nil when empty *)
+  lock : Slock.t;
+  pool : Node.pool;
+  backoff : bool;
+}
+
+let name = "single-lock"
+
+(* head, tail and the lock share one allocation — and so one cache
+   line: the natural layout for a straightforward implementation, and
+   the reason this queue is the cheapest at one or two processors (one
+   coherence miss covers the whole structure) yet the worst under
+   contention (that line is a single hotspot). *)
+let init ?(options = Intf.default_options) eng =
+  let pool = Node.make_pool eng options in
+  let base = Engine.setup_alloc eng 3 in
+  let head = base and tail = base + 1 in
+  Engine.poke eng head (Word.null ~count:0);
+  Engine.poke eng tail (Word.null ~count:0);
+  { head; tail; lock = Slock.at eng (base + 2); pool; backoff = options.backoff }
+
+(* The lock serializes everything, so no dummy node is needed: an empty
+   queue is Head = Tail = null. *)
+let enqueue t v =
+  let node = Node.new_node t.pool in
+  Node.set_value node v;
+  Node.set_next node (Word.null ~count:0);
+  Slock.with_lock ~backoff:t.backoff t.lock (fun () ->
+      let last = Word.to_ptr (Api.read t.tail) in
+      if Word.is_null last then begin
+        Api.write t.head (Word.ptr node);
+        Api.write t.tail (Word.ptr node)
+      end
+      else begin
+        Node.set_next last.Word.addr (Word.ptr node);
+        Api.write t.tail (Word.ptr node)
+      end)
+
+let dequeue t =
+  let dequeued =
+    Slock.with_lock ~backoff:t.backoff t.lock (fun () ->
+        let first = Word.to_ptr (Api.read t.head) in
+        if Word.is_null first then None
+        else begin
+          let value = Node.value first.Word.addr in
+          let next = Node.next first.Word.addr in
+          Api.write t.head (Word.Ptr { next with Word.count = 0 });
+          if Word.is_null next then Api.write t.tail (Word.null ~count:0);
+          Some (value, first.Word.addr)
+        end)
+  in
+  match dequeued with
+  | None -> None
+  | Some (value, node) ->
+      Node.free_node t.pool node;
+      Some value
+
+let descriptor t =
+  {
+    Invariant.head_cell = t.head;
+    tail_cell = t.tail;
+    next_offset = Node.next_offset;
+    has_dummy = false;
+  }
+
+let length t eng =
+  let rec walk addr acc =
+    if addr = Word.nil then acc
+    else walk (Word.to_ptr (Engine.peek eng (addr + Node.next_offset))).Word.addr (acc + 1)
+  in
+  walk (Word.to_ptr (Engine.peek eng t.head)).Word.addr 0

@@ -1,0 +1,14 @@
+(** Baseline: a straightforward single-lock queue (paper §4).
+
+    One test-and-test&set lock with bounded exponential backoff protects
+    the whole structure; enqueues and dequeues fully serialize.  The
+    paper's point of comparison for low-contention performance ("for a
+    queue that is usually accessed by only one or two processors, a
+    single lock will run a little faster"). *)
+
+include Intf.S
+
+val descriptor : t -> Invariant.descriptor
+(** Structural descriptor for {!Invariant.check}. *)
+
+val length : t -> Sim.Engine.t -> int

@@ -1,0 +1,45 @@
+open Sim
+
+type t = { addr : int }
+
+let init eng =
+  let addr = Engine.setup_alloc eng 1 in
+  Engine.poke eng addr Word.zero;
+  { addr }
+
+let at eng addr =
+  Engine.poke eng addr Word.zero;
+  { addr }
+
+let acquire ?(backoff = true) t =
+  let b = lazy (Backoff.create ~seed:((Api.self () * 2654435761) + t.addr) ()) in
+  let wait () = if backoff then Backoff.once (Lazy.force b) else Api.work 1 in
+  let rec outer () =
+    (* test-and-test&set: spin on plain reads first *)
+    let rec spin () =
+      if not (Word.equal (Api.read t.addr) Word.zero) then begin
+        wait ();
+        spin ()
+      end
+    in
+    spin ();
+    if Api.test_and_set t.addr then ()
+    else begin
+      Api.count "lock.tas_fail";
+      wait ();
+      outer ()
+    end
+  in
+  outer ()
+
+let release t = Api.write t.addr Word.zero
+
+let with_lock ?backoff t f =
+  acquire ?backoff t;
+  match f () with
+  | result ->
+      release t;
+      result
+  | exception e ->
+      release t;
+      raise e

@@ -1,0 +1,31 @@
+(** Spin locks for the simulated machine.
+
+    The paper's lock-based algorithms use "test-and-test&set locks with
+    bounded exponential backoff" (§4).  [acquire] spins reading the lock
+    word (cache-local once loaded) and attempts [test_and_set] only when
+    it observes the lock free; each failure backs off for a bounded,
+    exponentially growing random delay. *)
+
+type t
+
+val init : Sim.Engine.t -> t
+(** Host-side: allocate the lock word (its own cache line), initially
+    free. *)
+
+val at : Sim.Engine.t -> int -> t
+(** Host-side: place the lock in an already-allocated cell — used to
+    co-locate a lock with the data it protects (the single-lock queue
+    keeps everything on one line, as a straightforward implementation
+    would). *)
+
+val acquire : ?backoff:bool -> t -> unit
+(** Simulated: spin until the lock is held by the caller.  [backoff]
+    defaults to [true]; disabling it turns the lock into plain
+    test-and-test&set (used by the backoff ablation). *)
+
+val release : t -> unit
+
+val with_lock : ?backoff:bool -> t -> (unit -> 'a) -> 'a
+(** [with_lock t f] brackets [f] with [acquire]/[release].  [f] must not
+    raise, except for the harness-fatal {!Intf.Out_of_nodes}, which is
+    re-raised after releasing. *)

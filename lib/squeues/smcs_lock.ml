@@ -1,0 +1,77 @@
+open Sim
+
+(* qnode layout: [0] locked flag (Int 0/1), [1] next pointer.  Nodes are
+   allocated per acquisition and freed on release; the allocator keeps
+   them line-aligned, so each waiter spins on its own line. *)
+let locked_off = 0
+let next_off = 1
+let node_size = 2
+
+type t = { tail : int (* plain pointer cell, swapped *) }
+type token = { node : int }
+
+let init eng =
+  let tail = Engine.setup_alloc eng 1 in
+  Engine.poke eng tail (Word.null ~count:0);
+  { tail }
+
+let acquire t =
+  let node = Api.alloc node_size in
+  Api.write (node + locked_off) (Word.Int 1);
+  Api.write (node + next_off) (Word.null ~count:0);
+  let prev = Word.to_ptr (Api.swap t.tail (Word.ptr node)) in
+  if not (Word.is_null prev) then begin
+    Api.write (prev.Word.addr + next_off) (Word.ptr node);
+    (* spin on our own flag — the defining property of the MCS lock.
+       Spin tightly first (the handoff is normally imminent and the
+       reads are cache-local), then back off exponentially so a
+       predecessor's preemption does not cost one simulation step per
+       few cycles. *)
+    let b = Backoff.create ~limit:1024 ~seed:(node + Api.self ()) () in
+    let rec wait spins =
+      if Word.to_int (Api.read (node + locked_off)) = 1 then begin
+        (* ~8k cycles of tight spinning covers any dedicated-mode queue
+           wait; only preemption-length stalls reach the backoff *)
+        if spins < 2048 then Api.work 4 else Backoff.once b;
+        wait (spins + 1)
+      end
+    in
+    wait 0
+  end;
+  { node }
+
+let release t { node } =
+  let next = Word.to_ptr (Api.read (node + next_off)) in
+  if Word.is_null next then begin
+    if Api.cas t.tail ~expected:(Word.ptr node) ~desired:(Word.null ~count:0) then
+      Api.free ~addr:node ~size:node_size
+    else begin
+      (* a successor swapped in but has not linked yet: wait for it *)
+      let b = Backoff.create ~limit:256 ~seed:(node + 1) () in
+      let rec wait () =
+        let next = Word.to_ptr (Api.read (node + next_off)) in
+        if Word.is_null next then begin
+          Backoff.once b;
+          wait ()
+        end
+        else next
+      in
+      let next = wait () in
+      Api.write (next.Word.addr + locked_off) (Word.Int 0);
+      Api.free ~addr:node ~size:node_size
+    end
+  end
+  else begin
+    Api.write (next.Word.addr + locked_off) (Word.Int 0);
+    Api.free ~addr:node ~size:node_size
+  end
+
+let with_lock t f =
+  let token = acquire t in
+  match f () with
+  | result ->
+      release t token;
+      result
+  | exception e ->
+      release t token;
+      raise e

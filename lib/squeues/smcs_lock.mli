@@ -1,0 +1,17 @@
+(** MCS queue lock on the simulated machine (Mellor-Crummey & Scott
+    [12]).
+
+    Acquirers swap their own queue node into the lock's tail and spin on
+    a flag {e local to that node}, so each waiter spins on a distinct
+    cache line and lock handoff costs one coherence transaction instead
+    of a broadcast storm — the scalable choice on a dedicated machine.
+    The token returned by [acquire] is the caller's node and must be
+    passed to [release]. *)
+
+type t
+type token
+
+val init : Sim.Engine.t -> t
+val acquire : t -> token
+val release : t -> token -> unit
+val with_lock : t -> (unit -> 'a) -> 'a

@@ -1,0 +1,36 @@
+open Sim
+
+(* next and now-serving live in one allocation: they are accessed
+   together and a single hot line matches common implementations. *)
+type t = { next : int; serving : int }
+
+let init eng =
+  let base = Engine.setup_alloc eng 2 in
+  Engine.poke eng base (Word.Int 0);
+  Engine.poke eng (base + 1) (Word.Int 0);
+  { next = base; serving = base + 1 }
+
+let acquire t =
+  let ticket = Api.fetch_and_add t.next 1 in
+  let rec wait () =
+    let serving = Word.to_int (Api.read t.serving) in
+    if serving <> ticket then begin
+      (* proportional backoff: one "expected critical section" per
+         position in line *)
+      Api.work (1 + ((ticket - serving) * 64));
+      wait ()
+    end
+  in
+  wait ()
+
+let release t = ignore (Api.fetch_and_add t.serving 1)
+
+let with_lock t f =
+  acquire t;
+  match f () with
+  | result ->
+      release t;
+      result
+  | exception e ->
+      release t;
+      raise e

@@ -1,0 +1,16 @@
+(** Ticket lock on the simulated machine.
+
+    FIFO-fair: acquirers take a ticket with [fetch_and_increment] and
+    spin until served, backing off in proportion to their distance from
+    the head of the line (Mellor-Crummey & Scott [12]).  Used by the
+    lock ablation to contrast the paper's TTAS choice with fair locks:
+    fairness costs little on a dedicated machine but is disastrous under
+    multiprogramming, because the line cannot advance past a preempted
+    waiter. *)
+
+type t
+
+val init : Sim.Engine.t -> t
+val acquire : t -> unit
+val release : t -> unit
+val with_lock : t -> (unit -> 'a) -> 'a

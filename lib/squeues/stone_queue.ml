@@ -1,0 +1,81 @@
+open Sim
+
+(* No dummy node: Head is the first item or null, Tail the last or null.
+   Nodes are heap-allocated (never recycled) so the races demonstrated
+   here are pure interleaving races, not ABA artifacts. *)
+type t = {
+  head : int;  (* plain pointer cell *)
+  tail : int;  (* plain pointer cell *)
+}
+
+let name = "stone-racy"
+
+let null = Word.null ~count:0
+
+let init ?options:_ eng =
+  let head = Engine.setup_alloc eng 1 in
+  let tail = Engine.setup_alloc eng 1 in
+  Engine.poke eng head null;
+  Engine.poke eng tail null;
+  { head; tail }
+
+let enqueue t v =
+  let node = Api.alloc Node.size in
+  Api.write (node + Node.value_offset) (Word.Int v);
+  Api.write (node + Node.next_offset) null;
+  (* claim the tail position *)
+  let rec claim () =
+    let tl = Word.to_ptr (Api.read t.tail) in
+    if Api.cas t.tail ~expected:(Word.Ptr tl) ~desired:(Word.ptr node) then tl
+    else claim ()
+  in
+  let prev = claim () in
+  if Word.is_null prev then
+    (* the queue was empty: publish via Head.  RACE: a dequeuer's repair
+       path writes Head concurrently and can overwrite this. *)
+    Api.write t.head (Word.ptr node)
+  else
+    (* link after the predecessor.  RACE: the predecessor may already
+       have been dequeued as the "last" node, stranding this one. *)
+    Api.write (prev.Word.addr + Node.next_offset) (Word.ptr node)
+
+let dequeue t =
+  let rec loop () =
+    let h = Word.to_ptr (Api.read t.head) in
+    if Word.is_null h then None
+    else begin
+      let next = Node.next h.Word.addr in
+      if
+        Api.cas t.head ~expected:(Word.Ptr h)
+          ~desired:(Word.Ptr { addr = next.Word.addr; count = 0 })
+      then begin
+        if Word.is_null next then begin
+          (* we think we emptied the queue; try to retire the tail *)
+          if not (Api.cas t.tail ~expected:(Word.Ptr h) ~desired:null) then begin
+            (* an enqueuer appended behind us: wait for its link and
+               repair Head.  The plain write below is the loss window. *)
+            let rec wait () =
+              let n = Node.next h.Word.addr in
+              if Word.is_null n then begin
+                Api.work 1;
+                wait ()
+              end
+              else n
+            in
+            let n = wait () in
+            Api.write t.head (Word.Ptr { addr = n.Word.addr; count = 0 })
+          end
+        end;
+        Some (Node.value h.Word.addr)
+      end
+      else loop ()
+    end
+  in
+  loop ()
+
+let length t eng =
+  let rec walk addr acc =
+    if addr = Word.nil then acc
+    else walk (Word.to_ptr (Engine.peek eng (addr + Node.next_offset))).Word.addr (acc + 1)
+  in
+  walk (Word.to_ptr (Engine.peek eng t.head)).Word.addr 0

@@ -1,0 +1,22 @@
+(** Stone's CAS-based shared queue (paper ref. [18]), reconstructed
+    {e with its race conditions intact}.
+
+    The paper reports: "Our experiments also revealed a race condition
+    in which a certain interleaving of a slow dequeue with faster
+    enqueues and dequeues by other process(es) can cause an enqueued
+    item to be lost permanently" (§1).  This reconstruction keeps the
+    algorithm's shape — no dummy node, [Tail] claimed by CAS, the
+    empty/non-empty boundary handled by nullable [Head]/[Tail] with a
+    repair path — and therefore its loss windows: a dequeuer that
+    empties the queue while an enqueuer is appending can strand the new
+    node, and the repair write to [Head] can stomp a concurrent
+    enqueuer's.  {!Mcheck} finds both within two preemptions; the test
+    suite asserts that it does (and that the MS queue survives the same
+    exploration).
+
+    Do not use this queue for anything except studying the race. *)
+
+include Intf.S
+
+val length : t -> Sim.Engine.t -> int
+(** Host-side: items reachable from [Head]. *)

@@ -1,0 +1,87 @@
+open Sim
+
+(* One anchor cell; nodes are the common two-word layout.  Nodes are
+   heap-allocated and never recycled so every failure found by the model
+   checker is a pure interleaving race. *)
+type t = { anchor : int }
+
+let name = "stone-ring-racy"
+
+let null = Word.null ~count:0
+
+let init ?options:_ eng =
+  let anchor = Engine.setup_alloc eng 1 in
+  Engine.poke eng anchor null;
+  { anchor }
+
+let enqueue t v =
+  let node = Api.alloc Node.size in
+  Api.write (node + Node.value_offset) (Word.Int v);
+  let rec loop () =
+    let a = Word.to_ptr (Api.read t.anchor) in
+    if Word.is_null a then begin
+      (* empty: the node circles to itself and becomes the anchor *)
+      Api.write (node + Node.next_offset) (Word.ptr node);
+      if Api.cas t.anchor ~expected:null ~desired:(Word.ptr node) then ()
+      else loop ()
+    end
+    else begin
+      (* insert after the tail: node.next = head; tail.next = node *)
+      let head = Node.next a.Word.addr in
+      Api.write (node + Node.next_offset) (Word.Ptr head);
+      if
+        Api.cas
+          (a.Word.addr + Node.next_offset)
+          ~expected:(Word.Ptr head) ~desired:(Word.ptr node)
+      then
+        (* swing the anchor to the new tail.  RACE: if this CAS loses —
+           in particular against a dequeuer that just emptied the queue
+           by anchoring null — the node linked above is lost, and this
+           reconstruction (like the original, per the paper's finding)
+           does not recover it. *)
+        ignore (Api.cas t.anchor ~expected:(Word.Ptr a) ~desired:(Word.ptr node))
+      else loop ()
+    end
+  in
+  loop ()
+
+let dequeue t =
+  let rec loop () =
+    let a = Word.to_ptr (Api.read t.anchor) in
+    if Word.is_null a then None
+    else begin
+      let head = Node.next a.Word.addr in
+      if head.Word.addr = a.Word.addr then begin
+        (* single node: empty the queue by clearing the anchor.  This is
+           the other half of the loss window. *)
+        if Api.cas t.anchor ~expected:(Word.Ptr a) ~desired:null then
+          Some (Node.value a.Word.addr)
+        else loop ()
+      end
+      else begin
+        (* unlink the head from behind the tail *)
+        let head_next = Node.next head.Word.addr in
+        if
+          Api.cas
+            (a.Word.addr + Node.next_offset)
+            ~expected:(Word.Ptr head) ~desired:(Word.Ptr head_next)
+        then Some (Node.value head.Word.addr)
+        else loop ()
+      end
+    end
+  in
+  loop ()
+
+let length t eng =
+  let a = Word.to_ptr (Engine.peek eng t.anchor) in
+  if Word.is_null a then 0
+  else begin
+    let rec walk addr acc =
+      if acc > 1_000_000 then acc (* corrupted ring; avoid divergence *)
+      else
+        let next = Word.to_ptr (Engine.peek eng (addr + Node.next_offset)) in
+        if next.Word.addr = a.Word.addr || Word.is_null next then acc
+        else walk next.Word.addr (acc + 1)
+    in
+    walk a.Word.addr 1
+  end

@@ -1,0 +1,24 @@
+(** Stone's non-blocking circular-list queue (paper ref. [19]),
+    reconstructed {e with its race condition intact}.
+
+    "Stone also presents a non-blocking queue based on a circular
+    singly-linked list.  The algorithm uses one anchor pointer to manage
+    the queue instead of the usual head and tail.  Our experiments
+    revealed a race condition in which a slow dequeuer can cause an
+    enqueued item to be lost permanently" (§1).
+
+    Representation: the anchor points at the tail node; the tail's
+    [next] closes the circle back to the head; an empty queue is a null
+    anchor.  The reconstruction keeps the fatal window: a dequeuer
+    removing the last node CASes the anchor to null, racing with an
+    enqueuer that has already linked a new node after that tail but not
+    yet swung the anchor — the new node is then unreachable forever.
+    {!Mcheck} finds the loss within two preemptions; the test suite
+    asserts it (and that the MS queue survives the same exploration).
+
+    Do not use this queue for anything except studying the race. *)
+
+include Intf.S
+
+val length : t -> Sim.Engine.t -> int
+(** Host-side: nodes reachable around the circle from the anchor. *)

@@ -1,0 +1,93 @@
+open Sim
+
+(* The two critical sections are lock-agnostic: a locker packages any of
+   the spin locks as a polymorphic bracket, so the same queue runs over
+   TTAS (the paper's choice), ticket or MCS locks — the queue-level lock
+   ablation. *)
+type locker = { with_lock : 'a. (unit -> 'a) -> 'a }
+
+type lock_kind = [ `Ttas | `Ticket | `Mcs ]
+
+type t = {
+  head : int;  (* plain pointer cell: always the dummy node *)
+  tail : int;  (* plain pointer cell: always the last node *)
+  h_lock : locker;
+  t_lock : locker;
+  pool : Node.pool;
+}
+
+let name = "two-lock"
+
+let make_locker eng ~backoff = function
+  | `Ttas ->
+      let l = Slock.init eng in
+      { with_lock = (fun f -> Slock.with_lock ~backoff l f) }
+  | `Ticket ->
+      let l = Sticket_lock.init eng in
+      { with_lock = (fun f -> Sticket_lock.with_lock l f) }
+  | `Mcs ->
+      let l = Smcs_lock.init eng in
+      { with_lock = (fun f -> Smcs_lock.with_lock l f) }
+
+let init_with_lock kind ?(options = Intf.default_options) eng =
+  let pool = Node.make_pool eng options in
+  let dummy = Engine.setup_alloc eng Node.size in
+  Engine.poke eng (dummy + Node.next_offset) (Word.null ~count:0);
+  let head = Engine.setup_alloc eng 1 in
+  let tail = Engine.setup_alloc eng 1 in
+  Engine.poke eng head (Word.ptr dummy);
+  Engine.poke eng tail (Word.ptr dummy);
+  {
+    head;
+    tail;
+    h_lock = make_locker eng ~backoff:options.backoff kind;
+    t_lock = make_locker eng ~backoff:options.backoff kind;
+    pool;
+  }
+
+let init ?options eng = init_with_lock `Ttas ?options eng
+
+let enqueue t v =
+  let node = Node.new_node t.pool in
+  Node.set_value node v;
+  Node.set_next node (Word.null ~count:0);
+  t.t_lock.with_lock (fun () ->
+      let last = Word.to_ptr (Api.read t.tail) in
+      Node.set_next last.Word.addr (Word.ptr node); (* link at the end *)
+      Api.write t.tail (Word.ptr node) (* swing Tail to node *))
+
+let dequeue t =
+  let dequeued =
+    t.h_lock.with_lock (fun () ->
+        let dummy = Word.to_ptr (Api.read t.head) in
+        let new_head = Node.next dummy.Word.addr in
+        if Word.is_null new_head then None
+        else begin
+          (* read the value before releasing: the node holding it becomes
+             the new dummy and may be freed by a later dequeue *)
+          let value = Node.value new_head.Word.addr in
+          Api.write t.head (Word.ptr new_head.Word.addr);
+          Some (value, dummy.Word.addr)
+        end)
+  in
+  match dequeued with
+  | None -> None
+  | Some (value, old_dummy) ->
+      Node.free_node t.pool old_dummy; (* free outside the critical section *)
+      Some value
+
+let descriptor t =
+  {
+    Invariant.head_cell = t.head;
+    tail_cell = t.tail;
+    next_offset = Node.next_offset;
+    has_dummy = true;
+  }
+
+let length t eng =
+  let rec walk addr acc =
+    match Word.to_ptr (Engine.peek eng (addr + Node.next_offset)) with
+    | p when Word.is_null p -> acc
+    | p -> walk p.Word.addr (acc + 1)
+  in
+  walk (Word.to_ptr (Engine.peek eng t.head)).Word.addr 0

@@ -1,0 +1,21 @@
+(** The paper's two-lock concurrent queue (Figure 2), simulated.
+
+    Separate head and tail test-and-test&set locks allow one enqueue and
+    one dequeue to proceed concurrently.  The dummy node at the head
+    means enqueuers never touch [Head] and dequeuers never touch [Tail],
+    so no lock-ordering deadlock is possible.  Livelock-free given
+    livelock-free locks (§3.3). *)
+
+include Intf.S
+
+type lock_kind = [ `Ttas | `Ticket | `Mcs ]
+
+val init_with_lock : lock_kind -> ?options:Intf.options -> Sim.Engine.t -> t
+(** The same queue over a different spin lock — the queue-level lock
+    ablation.  [init] is [init_with_lock `Ttas] (the paper's choice). *)
+
+val descriptor : t -> Invariant.descriptor
+(** Structural descriptor for {!Invariant.check}. *)
+
+val length : t -> Sim.Engine.t -> int
+(** Host-side item count (quiescent state only). *)

@@ -1,0 +1,197 @@
+open Sim
+
+(* Valois nodes carry a third word: the reference count.  The count
+   tracks data-structure references (Head, Tail, a predecessor's [next])
+   plus process-held temporary references from [safe_read]. *)
+let value_offset = 0
+let next_offset = 1
+let count_offset = 2
+let node_size = 3
+
+type t = {
+  head : int;  (* plain pointer cell *)
+  tail : int;  (* plain pointer cell *)
+  free : Free_list.t;
+  bounded : bool;
+  backoff : bool;
+}
+
+let name = "valois-refcount"
+
+let null = Word.null ~count:0
+
+let init ?(options = Intf.default_options) eng =
+  let free = Free_list.init eng ~link_offset:next_offset in
+  for _ = 1 to options.pool do
+    let node = Engine.setup_alloc eng node_size in
+    (* a free node holds the free list's single reference *)
+    Engine.poke eng (node + count_offset) (Word.Int 1);
+    Free_list.push_host eng free node
+  done;
+  let dummy = Engine.setup_alloc eng node_size in
+  Engine.poke eng (dummy + next_offset) null;
+  Engine.poke eng (dummy + count_offset) (Word.Int 2) (* Head + Tail *);
+  let head = Engine.setup_alloc eng 1 in
+  let tail = Engine.setup_alloc eng 1 in
+  Engine.poke eng head (Word.ptr dummy);
+  Engine.poke eng tail (Word.ptr dummy);
+  { head; tail; free; bounded = options.bounded; backoff = options.backoff }
+
+(* Allocation: popping transfers the free list's reference to the
+   allocator, so the count is already 1 and no write is needed. *)
+let new_node t =
+  match Free_list.pop t.free with
+  | Some node -> node
+  | None ->
+      if t.bounded then raise Intf.Out_of_nodes
+      else begin
+        Api.count "pool.heap_alloc";
+        let node = Api.alloc node_size in
+        Api.write (node + count_offset) (Word.Int 1);
+        node
+      end
+
+let incr_count node = ignore (Api.fetch_and_add (node + count_offset) 1)
+
+(* Drop one reference.  The releaser that observes the count at 1 holds
+   the only reference; it converts that reference into the free list's
+   (the count stays 1 — the corrected invariant that makes a stale
+   [safe_read] increment harmless) and reclaims the node, releasing the
+   node's own [next] reference in turn.  Decrements go through CAS so
+   that the 1 -> reclaim decision races with stray increments safely. *)
+let release t node =
+  let rec release_one node =
+    let c = Word.to_int (Api.read (node + count_offset)) in
+    if c > 1 then begin
+      if Api.cas (node + count_offset) ~expected:(Word.Int c) ~desired:(Word.Int (c - 1))
+      then None
+      else begin
+        Api.count "valois.release_retry";
+        release_one node
+      end
+    end
+    else begin
+      (* c = 1: last reference is ours.  Capture the successor link
+         before the push overwrites the next cell (it doubles as the
+         free-list link). *)
+      let next = Word.to_ptr (Api.read (node + next_offset)) in
+      Free_list.push t.free node;
+      if Word.is_null next then None else Some next.Word.addr
+    end
+  in
+  (* Reclaiming a node releases its successor: iterate instead of
+     recursing so a long retained suffix cannot blow the host stack. *)
+  let rec chain node =
+    match release_one node with
+    | None -> ()
+    | Some next -> chain next
+  in
+  chain node
+
+(* Read a shared pointer cell and acquire a reference on its target:
+   read, increment the target's count, re-validate the cell.  A stale
+   increment (the cell moved on) is undone with [release]. *)
+let safe_read t cell =
+  let rec loop () =
+    let p = Word.to_ptr (Api.read cell) in
+    if Word.is_null p then None
+    else begin
+      incr_count p.Word.addr;
+      if Word.equal (Api.read cell) (Word.Ptr p) then Some p.Word.addr
+      else begin
+        Api.count "valois.safe_read_retry";
+        release t p.Word.addr;
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+let make_backoff t =
+  if t.backoff then Some (Backoff.create ~seed:((Api.self () * 6364136223846793) + t.head) ())
+  else None
+
+let maybe_backoff = function
+  | Some b -> Backoff.once b
+  | None -> ()
+
+(* Help a lagging tail forward one node.  The prospective tail reference
+   is added before the CAS and undone if the CAS loses. *)
+let swing_tail t ~from_ ~to_ =
+  incr_count to_;
+  if Api.cas t.tail ~expected:(Word.ptr from_) ~desired:(Word.ptr to_) then
+    release t from_ (* Tail's old reference *)
+  else release t to_ (* undo the prospective reference *)
+
+let enqueue t v =
+  let node = new_node t in
+  Api.write (node + value_offset) (Word.Int v);
+  Api.write (node + next_offset) null;
+  let b = make_backoff t in
+  let rec loop () =
+    match safe_read t t.tail with
+    | None -> assert false (* the dummy-node invariant: Tail is never null *)
+    | Some tl ->
+        (* prospective link reference, added before publication *)
+        incr_count node;
+        if Api.cas (tl + next_offset) ~expected:null ~desired:(Word.ptr node) then begin
+          swing_tail t ~from_:tl ~to_:node;
+          release t tl (* our temporary reference *)
+        end
+        else begin
+          release t node; (* undo the prospective link reference *)
+          Api.count "valois.enq_cas_fail";
+          (* help: if the tail lags, advance it *)
+          let next = Word.to_ptr (Api.read (tl + next_offset)) in
+          if not (Word.is_null next) then swing_tail t ~from_:tl ~to_:next.Word.addr;
+          release t tl;
+          maybe_backoff b;
+          loop ()
+        end
+  in
+  loop ();
+  (* drop the creation reference now that the node is linked *)
+  release t node
+
+let dequeue t =
+  let b = make_backoff t in
+  let rec loop () =
+    match safe_read t t.head with
+    | None -> assert false (* the dummy-node invariant: Head is never null *)
+    | Some h -> (
+        match safe_read t (h + next_offset) with
+        | None ->
+            release t h;
+            None
+        | Some next ->
+            (* prospective Head reference on the new dummy *)
+            incr_count next;
+            if Api.cas t.head ~expected:(Word.ptr h) ~desired:(Word.ptr next) then begin
+              let value = Word.to_int (Api.read (next + value_offset)) in
+              release t h; (* Head's old reference *)
+              release t h; (* our temporary reference *)
+              release t next; (* our temporary reference *)
+              Some value
+            end
+            else begin
+              release t next; (* undo the prospective reference *)
+              release t next; (* our temporary reference *)
+              release t h;
+              Api.count "valois.deq_cas_fail";
+              maybe_backoff b;
+              loop ()
+            end)
+  in
+  loop ()
+
+let free_nodes t eng = Free_list.length_host eng t.free
+
+let refcount _t eng node = Word.to_int (Engine.peek eng (node + count_offset))
+
+let length t eng =
+  let rec walk addr acc =
+    match Word.to_ptr (Engine.peek eng (addr + next_offset)) with
+    | p when Word.is_null p -> acc
+    | p -> walk p.Word.addr (acc + 1)
+  in
+  walk (Word.to_ptr (Engine.peek eng t.head)).Word.addr 0

@@ -1,0 +1,38 @@
+(** Valois's reference-counted non-blocking queue (paper refs. [23, 24]),
+    with the memory-management corrections of Michael & Scott's TR 599,
+    simulated.
+
+    A singly-linked list with a dummy node; [Head]/[Tail] are plain
+    pointers because the ABA problem is prevented by reference counting
+    rather than modification counters: a node cannot be recycled while
+    any process or data-structure link still refers to it.  Every access
+    to a shared node goes through [safe_read] (read pointer, atomically
+    increment the target's count, re-validate), and every relinquished
+    reference through [release] (decrement; the releaser that takes the
+    count from 1 converts its reference into the free list's and pushes
+    the node, releasing the node's own [next] reference in turn).
+
+    Keeping a free-listed node's count at 1 — the free list's reference —
+    is the TR 599-style correction: a stale [safe_read] increment can no
+    longer resurrect a node whose count already reached zero, nor cause
+    a double free.
+
+    The scheme's documented flaw is preserved faithfully: a delayed
+    process holding one reference pins the node {e and all its
+    successors} (each node's [next] holds a counted reference), so no
+    finite pool suffices — the §1 memory-exhaustion experiment.
+    Per-operation cost is high (every traversal step is a
+    read-modify-write), which is why this algorithm trails the others at
+    low processor counts in Figure 3. *)
+
+include Intf.S
+
+val free_nodes : t -> Sim.Engine.t -> int
+(** Host-side: nodes currently on the free list.  At quiescence after a
+    drain, every node ever allocated except the current dummy must be
+    here — the reference-counting leak audit. *)
+
+val refcount : t -> Sim.Engine.t -> int -> int
+(** Host-side: the reference count of the node at the given address. *)
+
+val length : t -> Sim.Engine.t -> int

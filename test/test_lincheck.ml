@@ -1,0 +1,322 @@
+(* Tests of the linearizability checker (lib/lincheck): hand-crafted
+   histories with known verdicts, the recorder, and properties linking
+   sequential runs to linearizability. *)
+
+open Lincheck
+
+let entry proc op start finish = { History.proc; op; start; finish }
+
+let verdict =
+  Alcotest.testable
+    (fun fmt -> function
+      | Checker.Linearizable -> Format.fprintf fmt "Linearizable"
+      | Checker.Not_linearizable -> Format.fprintf fmt "Not_linearizable"
+      | Checker.Inconclusive -> Format.fprintf fmt "Inconclusive")
+    ( = )
+
+let check_v name expected history =
+  Alcotest.check verdict name expected (Checker.check history)
+
+(* ------------------------------------------------------------------ *)
+
+let test_empty () = check_v "empty history" Checker.Linearizable []
+
+let test_sequential_simple () =
+  check_v "enq then deq" Checker.Linearizable
+    [ entry 0 (History.Enq 1) 0 1; entry 0 (History.Deq (Some 1)) 2 3 ]
+
+let test_wrong_value () =
+  check_v "deq of never-enqueued value" Checker.Not_linearizable
+    [ entry 0 (History.Enq 1) 0 1; entry 0 (History.Deq (Some 2)) 2 3 ]
+
+let test_fifo_violation () =
+  check_v "LIFO order rejected" Checker.Not_linearizable
+    [
+      entry 0 (History.Enq 1) 0 1;
+      entry 0 (History.Enq 2) 2 3;
+      entry 0 (History.Deq (Some 2)) 4 5;
+      entry 0 (History.Deq (Some 1)) 6 7;
+    ]
+
+let test_empty_deq_when_nonempty () =
+  check_v "observed empty while an item is present" Checker.Not_linearizable
+    [ entry 0 (History.Enq 1) 0 1; entry 0 (History.Deq None) 2 3 ]
+
+let test_empty_deq_before_enq () =
+  check_v "empty dequeue before anything was enqueued" Checker.Linearizable
+    [ entry 0 (History.Deq None) 0 1; entry 0 (History.Enq 1) 2 3 ]
+
+let test_concurrent_flexibility () =
+  (* two overlapping enqueues and two dequeues that observe them in
+     either order: linearizable because the enqueues were concurrent *)
+  check_v "concurrent enqueues allow either order" Checker.Linearizable
+    [
+      entry 0 (History.Enq 1) 0 10;
+      entry 1 (History.Enq 2) 1 9;
+      entry 0 (History.Deq (Some 2)) 11 12;
+      entry 1 (History.Deq (Some 1)) 13 14;
+    ]
+
+let test_realtime_respected () =
+  (* enq 1 strictly precedes enq 2: dequeuing 2 before 1 is illegal *)
+  check_v "non-overlapping enqueues fix the order" Checker.Not_linearizable
+    [
+      entry 0 (History.Enq 1) 0 1;
+      entry 1 (History.Enq 2) 2 3;
+      entry 0 (History.Deq (Some 2)) 4 5;
+      entry 1 (History.Deq (Some 1)) 6 7;
+    ]
+
+let test_pending_overlap_empty () =
+  (* the paper's Stone non-linearizability pattern: enq b completes,
+     then a dequeue that started after it returns empty while b is
+     still in the queue, with only one other dequeue which took a *)
+  check_v "stone pattern rejected" Checker.Not_linearizable
+    [
+      entry 0 (History.Enq 10) 0 1;
+      entry 1 (History.Enq 20) 2 6;
+      entry 0 (History.Deq (Some 10)) 3 12;
+      entry 1 (History.Deq None) 7 8;
+    ]
+
+let test_duplicate_delivery () =
+  check_v "same item dequeued twice" Checker.Not_linearizable
+    [
+      entry 0 (History.Enq 1) 0 1;
+      entry 0 (History.Deq (Some 1)) 2 3;
+      entry 1 (History.Deq (Some 1)) 4 5;
+    ]
+
+let test_lost_item_is_fine () =
+  (* items may remain in the queue: absence of a dequeue is legal *)
+  check_v "leftover items" Checker.Linearizable
+    [ entry 0 (History.Enq 1) 0 1; entry 0 (History.Enq 2) 2 3 ]
+
+let test_check_exn () =
+  Alcotest.check_raises "check_exn raises on bad history"
+    (Failure
+       "non-linearizable history (2 ops):\n\
+       \  p0 [0,1] enq 1\n\
+       \  p0 [2,3] deq -> 2\n")
+    (fun () ->
+      Checker.check_exn
+        [ entry 0 (History.Enq 1) 0 1; entry 0 (History.Deq (Some 2)) 2 3 ])
+
+let test_inconclusive_budget () =
+  (* dozens of fully-concurrent operations with a tiny budget *)
+  let history =
+    List.init 20 (fun i -> entry i (History.Enq i) 0 1000)
+    @ List.init 20 (fun i -> entry (20 + i) (History.Deq (Some i)) 0 1000)
+  in
+  Alcotest.check verdict "budget exhausted" Checker.Inconclusive
+    (Checker.check ~max_configs:10 history)
+
+(* ------------------------------------------------------------------ *)
+(* Recorder *)
+
+let test_recorder_basic () =
+  let r = History.create_recorder () in
+  History.record r ~proc:0 (fun () -> History.Enq 1);
+  History.record r ~proc:1 (fun () -> History.Deq (Some 1));
+  let h = History.history r in
+  Alcotest.(check int) "two entries" 2 (List.length h);
+  let sorted = List.sort (fun a b -> compare a.History.start b.History.start) h in
+  (match sorted with
+  | [ a; b ] ->
+      Alcotest.(check bool) "intervals ordered" true (a.History.finish < b.History.start)
+  | _ -> Alcotest.fail "expected two entries");
+  check_v "recorded history is consistent" Checker.Linearizable h
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+(* Any single-process (sequential) run of the real queue yields a
+   linearizable history. *)
+let qcheck_sequential_always_linearizable =
+  QCheck2.Test.make ~count:50 ~name:"sequential MS-queue histories linearizable"
+    QCheck2.Gen.(
+      list_size (int_range 1 25)
+        (oneof [ map (fun v -> `Enq v) (int_range 0 50); return `Deq ]))
+    (fun ops ->
+      let q = Core.Ms_queue.create () in
+      let r = History.create_recorder () in
+      List.iter
+        (function
+          | `Enq v ->
+              History.record r ~proc:0 (fun () ->
+                  Core.Ms_queue.enqueue q v;
+                  History.Enq v)
+          | `Deq ->
+              History.record r ~proc:0 (fun () -> History.Deq (Core.Ms_queue.dequeue q)))
+        ops;
+      Checker.check (History.history r) = Checker.Linearizable)
+
+(* Corrupting one dequeue result in a valid sequential history makes it
+   non-linearizable (as long as the value is fresh). *)
+let qcheck_corruption_detected =
+  QCheck2.Test.make ~count:50 ~name:"corrupted histories rejected"
+    QCheck2.Gen.(int_range 1 15)
+    (fun n ->
+      let q = Core.Ms_queue.create () in
+      let r = History.create_recorder () in
+      for v = 1 to n do
+        History.record r ~proc:0 (fun () ->
+            Core.Ms_queue.enqueue q v;
+            History.Enq v)
+      done;
+      for _ = 1 to n do
+        History.record r ~proc:0 (fun () -> History.Deq (Core.Ms_queue.dequeue q))
+      done;
+      let h = History.history r in
+      let corrupted =
+        List.map
+          (fun e ->
+            match e.History.op with
+            | History.Deq (Some v) when v = 1 -> { e with History.op = History.Deq (Some 999) }
+            | _ -> e)
+          h
+      in
+      Checker.check corrupted = Checker.Not_linearizable)
+
+(* Interval widening preserves linearizability: if a history has a
+   witness order, enlarging operation intervals only adds freedom. *)
+let qcheck_widening_preserves =
+  QCheck2.Test.make ~count:60 ~name:"interval widening preserves linearizability"
+    QCheck2.Gen.(int_range 1 8)
+    (fun n ->
+      (* build a sequential (hence linearizable) history of n pairs *)
+      let entries = ref [] in
+      let t = ref 0 in
+      let stamp () = incr t; !t in
+      let q = Queue.create () in
+      for v = 1 to n do
+        let s = stamp () in
+        Queue.push v q;
+        let f = stamp () in
+        entries := { History.proc = 0; op = History.Enq v; start = s; finish = f } :: !entries;
+        let s = stamp () in
+        let r = Queue.take_opt q in
+        let f = stamp () in
+        entries := { History.proc = 0; op = History.Deq r; start = s; finish = f } :: !entries
+      done;
+      let widened =
+        List.map
+          (fun e -> { e with History.start = e.History.start - 1; finish = e.History.finish + 1 })
+          !entries
+      in
+      Checker.check widened = Checker.Linearizable)
+
+(* Making every operation fully concurrent can only keep (or create)
+   witnesses for histories whose values are a legal multiset. *)
+let qcheck_full_overlap_is_permissive =
+  QCheck2.Test.make ~count:60 ~name:"fully concurrent version stays linearizable"
+    QCheck2.Gen.(int_range 1 6)
+    (fun n ->
+      let entries =
+        List.concat
+          (List.init n (fun i ->
+               [
+                 { History.proc = i; op = History.Enq i; start = 0; finish = 1000 };
+                 { History.proc = n + i; op = History.Deq (Some i); start = 0; finish = 1000 };
+               ]))
+      in
+      Checker.check entries = Checker.Linearizable)
+
+(* The checker agrees with brute-force search on tiny histories: compare
+   against trying every permutation directly. *)
+let brute_force history =
+  let rec permutations = function
+    | [] -> [ [] ]
+    | l ->
+        List.concat_map
+          (fun x ->
+            let rest = List.filter (fun y -> y != x) l in
+            List.map (fun p -> x :: p) (permutations rest))
+          l
+  in
+  let respects_realtime order =
+    (* an order is real-time-consistent iff no operation is placed after
+       one that strictly finished before it started *)
+    let rec ok = function
+      | [] -> true
+      | e :: rest ->
+          List.for_all (fun later -> later.History.finish >= e.History.start) rest
+          && ok rest
+    in
+    ok order
+  in
+  let legal order =
+    let q = Queue.create () in
+    List.for_all
+      (fun e ->
+        match e.History.op with
+        | History.Enq v ->
+            Queue.push v q;
+            true
+        | History.Deq None -> Queue.is_empty q
+        | History.Deq (Some v) -> (
+            match Queue.take_opt q with Some v' -> v = v' | None -> false))
+      order
+  in
+  List.exists (fun o -> respects_realtime o && legal o) (permutations history)
+
+let history_gen =
+  QCheck2.Gen.(
+    let entry i =
+      let* op =
+        oneof
+          [
+            map (fun v -> History.Enq v) (int_range 0 3);
+            map (fun v -> History.Deq (if v = 0 then None else Some (v - 1))) (int_range 0 4);
+          ]
+      in
+      let* start = int_range 0 20 in
+      let* len = int_range 1 10 in
+      return { History.proc = i; op; start = start * 10; finish = (start * 10) + len }
+    in
+    let* n = int_range 1 5 in
+    flatten_l (List.init n entry))
+
+let qcheck_agrees_with_brute_force =
+  QCheck2.Test.make ~count:200 ~name:"checker agrees with brute force on tiny histories"
+    history_gen
+    (fun history ->
+      (* make stamps unique by spacing, as the recorder guarantees *)
+      let verdict = Checker.check history in
+      let brute = brute_force history in
+      match verdict with
+      | Checker.Linearizable -> brute
+      | Checker.Not_linearizable -> not brute
+      | Checker.Inconclusive -> true)
+
+let suites =
+  [
+    ( "lincheck.verdicts",
+      [
+        Alcotest.test_case "empty history" `Quick test_empty;
+        Alcotest.test_case "sequential simple" `Quick test_sequential_simple;
+        Alcotest.test_case "wrong value" `Quick test_wrong_value;
+        Alcotest.test_case "fifo violation" `Quick test_fifo_violation;
+        Alcotest.test_case "false empty" `Quick test_empty_deq_when_nonempty;
+        Alcotest.test_case "early empty ok" `Quick test_empty_deq_before_enq;
+        Alcotest.test_case "concurrent flexibility" `Quick test_concurrent_flexibility;
+        Alcotest.test_case "realtime respected" `Quick test_realtime_respected;
+        Alcotest.test_case "stone pattern" `Quick test_pending_overlap_empty;
+        Alcotest.test_case "duplicate delivery" `Quick test_duplicate_delivery;
+        Alcotest.test_case "leftover items ok" `Quick test_lost_item_is_fine;
+        Alcotest.test_case "check_exn message" `Quick test_check_exn;
+        Alcotest.test_case "inconclusive budget" `Quick test_inconclusive_budget;
+      ] );
+    ( "lincheck.recorder",
+      [
+        Alcotest.test_case "basic" `Quick test_recorder_basic;
+        QCheck_alcotest.to_alcotest qcheck_sequential_always_linearizable;
+        QCheck_alcotest.to_alcotest qcheck_corruption_detected;
+      ] );
+    ( "lincheck.properties",
+      [
+        QCheck_alcotest.to_alcotest qcheck_widening_preserves;
+        QCheck_alcotest.to_alcotest qcheck_full_overlap_is_permissive;
+        QCheck_alcotest.to_alcotest qcheck_agrees_with_brute_force;
+      ] );
+  ]

@@ -1,0 +1,15 @@
+(* Aggregate runner: each test_* module contributes its suites. *)
+let () =
+  Alcotest.run "msqueue"
+    (List.concat
+       [
+         Test_sim.suites;
+         Test_squeues.suites;
+         Test_core.suites;
+         Test_locks.suites;
+         Test_lincheck.suites;
+         Test_mcheck.suites;
+         Test_harness.suites;
+         Test_extensions.suites;
+         Test_more.suites;
+       ])

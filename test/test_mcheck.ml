@@ -1,0 +1,400 @@
+(* Tests of the model checker (lib/mcheck): the machine driver, the
+   preemption-bounded explorer, and the paper's Section 1 findings —
+   Stone's algorithm has interleaving bugs, the MS and two-lock queues
+   survive the same exploration. *)
+
+open Mcheck
+
+(* ------------------------------------------------------------------ *)
+(* Machine driver *)
+
+let engine procs = Sim.Engine.create (Sim.Config.with_processors procs)
+
+let test_machine_steps () =
+  let eng = engine 2 in
+  let a = Sim.Engine.setup_alloc eng 1 in
+  let m =
+    Machine.start eng
+      [|
+        (fun () ->
+          Sim.Api.write a (Sim.Word.Int 1);
+          Sim.Api.write a (Sim.Word.Int 2));
+        (fun () -> ignore (Sim.Api.read a));
+      |]
+  in
+  Alcotest.(check (list int)) "both enabled" [ 0; 1 ] (Machine.enabled m);
+  Alcotest.(check bool) "step runs" true (Machine.step m 0 = `Ran);
+  Alcotest.(check bool) "value visible" true
+    (Sim.Word.equal (Sim.Word.Int 1) (Sim.Engine.peek eng a));
+  ignore (Machine.step m 1);
+  (* proc 1's single read is done; it finishes on the next step *)
+  Alcotest.(check bool) "finish reported" true (Machine.step m 1 = `Finished);
+  Alcotest.(check (list int)) "one left" [ 0 ] (Machine.enabled m);
+  ignore (Machine.step m 0);
+  ignore (Machine.step m 0);
+  Alcotest.(check bool) "all done" true (Machine.all_done m)
+
+let test_machine_pause_hint () =
+  let eng = engine 1 in
+  let m = Machine.start eng [| (fun () -> Sim.Api.work 10) |] in
+  Alcotest.(check bool) "work gives pause hint" true (Machine.step m 0 = `Pause_hint)
+
+let test_machine_failure () =
+  let eng = engine 1 in
+  let m = Machine.start eng [| (fun () -> failwith "inside") |] in
+  ignore (Machine.step m 0);
+  match Machine.failure m with
+  | Some (0, Failure msg) when msg = "inside" -> ()
+  | _ -> Alcotest.fail "failure not captured"
+
+let test_machine_step_after_done () =
+  let eng = engine 1 in
+  let m = Machine.start eng [| (fun () -> ()) |] in
+  ignore (Machine.step m 0);
+  Alcotest.check_raises "stepping a finished process"
+    (Invalid_argument "Machine.step: process already finished") (fun () ->
+      ignore (Machine.step m 0))
+
+let test_machine_too_many_procs () =
+  let eng = engine 1 in
+  Alcotest.check_raises "more processes than processors"
+    (Invalid_argument "Machine.start: more processes than simulated processors")
+    (fun () -> ignore (Machine.start eng [| (fun () -> ()); (fun () -> ()) |]))
+
+(* ------------------------------------------------------------------ *)
+(* Explorer on toy programs *)
+
+(* A racy non-atomic counter: two increments lose an update in some
+   schedule with one preemption. *)
+let racy_counter_spec () =
+  let make () =
+    let eng = engine 2 in
+    let a = Sim.Engine.setup_alloc eng 1 in
+    let body () =
+      let v = Sim.Word.to_int (Sim.Api.read a) in
+      Sim.Api.write a (Sim.Word.Int (v + 1))
+    in
+    (eng, a, [| body; body |])
+  in
+  let check_final eng a =
+    if Sim.Word.equal (Sim.Word.Int 2) (Sim.Engine.peek eng a) then Ok ()
+    else Error "lost update"
+  in
+  { Explore.make; check_final; check_step = None }
+
+let test_explore_finds_lost_update () =
+  let r = Explore.explore ~max_preemptions:1 (racy_counter_spec ()) in
+  Alcotest.(check bool) "found" true (r.Explore.failures <> []);
+  (* the failing schedule preempts between the read and the write *)
+  match r.Explore.failures with
+  | { Explore.schedule = [ (_, _) ]; _ } :: _ -> ()
+  | _ -> Alcotest.fail "expected a one-preemption failure"
+
+let test_explore_zero_budget_misses_race () =
+  let r = Explore.explore ~max_preemptions:0 (racy_counter_spec ()) in
+  Alcotest.(check int) "serial schedule only" 1 r.Explore.runs;
+  Alcotest.(check bool) "no failure without preemption" true (r.Explore.failures = [])
+
+(* An atomic counter survives every schedule. *)
+let test_explore_atomic_counter_clean () =
+  let make () =
+    let eng = engine 2 in
+    let a = Sim.Engine.setup_alloc eng 1 in
+    let body () = ignore (Sim.Api.fetch_and_add a 1) in
+    (eng, a, [| body; body |])
+  in
+  let check_final eng a =
+    if Sim.Word.equal (Sim.Word.Int 2) (Sim.Engine.peek eng a) then Ok ()
+    else Error "lost update"
+  in
+  let r =
+    Explore.explore ~max_preemptions:2 { Explore.make; check_final; check_step = None }
+  in
+  Alcotest.(check bool) "several schedules" true (r.Explore.runs > 1);
+  Alcotest.(check bool) "no failures" true (r.Explore.failures = [])
+
+let test_explore_per_step_check () =
+  (* a per-step check that fails as soon as the cell becomes 1 *)
+  let make () =
+    let eng = engine 1 in
+    let a = Sim.Engine.setup_alloc eng 1 in
+    (eng, a, [| (fun () -> Sim.Api.write a (Sim.Word.Int 1)) |])
+  in
+  let check_step eng a =
+    if Sim.Word.equal (Sim.Word.Int 1) (Sim.Engine.peek eng a) then Error "saw 1"
+    else Ok ()
+  in
+  let r =
+    Explore.explore
+      {
+        Explore.make;
+        check_final = (fun _ _ -> Ok ());
+        check_step = Some check_step;
+      }
+  in
+  match r.Explore.failures with
+  | [ { Explore.at_step = Some _; message = "saw 1"; _ } ] -> ()
+  | _ -> Alcotest.fail "per-step failure not reported"
+
+let test_explore_divergence () =
+  (* a process that spins forever diverges rather than hanging *)
+  let make () =
+    let eng = engine 1 in
+    let a = Sim.Engine.setup_alloc eng 1 in
+    let body () =
+      while Sim.Word.equal (Sim.Api.read a) Sim.Word.zero do
+        Sim.Api.work 1
+      done
+    in
+    (eng, a, [| body |])
+  in
+  let r =
+    Explore.explore ~max_steps:1_000 ~max_preemptions:0
+      { Explore.make; check_final = (fun _ _ -> Ok ()); check_step = None }
+  in
+  Alcotest.(check int) "diverged" 1 r.Explore.diverged
+
+(* ------------------------------------------------------------------ *)
+(* Queues under exploration: linearizability across every schedule. *)
+
+let queue_spec (module Q : Squeues.Intf.S) ~procs ~ops =
+  let make () =
+    let eng = engine procs in
+    let q = Q.init eng in
+    let recorder = Lincheck.History.create_recorder () in
+    let bodies =
+      Array.init procs (fun i () ->
+          for k = 1 to ops do
+            let v = (i * 1000) + k in
+            Lincheck.History.record recorder ~proc:i (fun () ->
+                Q.enqueue q v;
+                Lincheck.History.Enq v);
+            Lincheck.History.record recorder ~proc:i (fun () ->
+                Lincheck.History.Deq (Q.dequeue q))
+          done)
+    in
+    (eng, recorder, bodies)
+  in
+  let check_final _eng recorder =
+    match Lincheck.Checker.check (Lincheck.History.history recorder) with
+    | Lincheck.Checker.Linearizable -> Ok ()
+    | Lincheck.Checker.Not_linearizable -> Error "non-linearizable"
+    | Lincheck.Checker.Inconclusive -> Error "inconclusive"
+  in
+  { Explore.make; check_final; check_step = None }
+
+let exhaustive_linearizable name (module Q : Squeues.Intf.S) () =
+  let r =
+    Explore.explore ~max_preemptions:2 (queue_spec (module Q) ~procs:2 ~ops:1)
+  in
+  if r.Explore.failures <> [] then
+    Alcotest.failf "%s: non-linearizable under %d schedules" name r.Explore.runs;
+  Alcotest.(check int) "no divergence" 0 r.Explore.diverged
+
+let test_stone_races_found () =
+  let r =
+    Explore.explore ~max_preemptions:2
+      (queue_spec (module Squeues.Stone_queue) ~procs:2 ~ops:1)
+  in
+  Alcotest.(check bool) "stone fails as the paper reports" true
+    (r.Explore.failures <> [])
+
+(* The MS queue's structural invariants (paper section 3.1) hold at
+   every operation boundary of every explored schedule. *)
+let test_ms_invariants_every_step () =
+  let make () =
+    let eng = engine 2 in
+    let q = Squeues.Ms_queue.init eng in
+    let bodies =
+      Array.init 2 (fun i () ->
+          Squeues.Ms_queue.enqueue q i;
+          ignore (Squeues.Ms_queue.dequeue q))
+    in
+    (eng, q, bodies)
+  in
+  let check_step eng q =
+    match Squeues.Invariant.check eng (Squeues.Ms_queue.descriptor q) with
+    | Ok _ -> Ok ()
+    | Error v -> Error (Format.asprintf "%a" Squeues.Invariant.pp_violation v)
+  in
+  let r =
+    Explore.explore ~max_preemptions:2
+      { Explore.make; check_final = (fun _ _ -> Ok ()); check_step = Some check_step }
+  in
+  Alcotest.(check bool) "invariants hold in every schedule" true
+    (r.Explore.failures = []);
+  Alcotest.(check bool) "many schedules" true (r.Explore.runs > 100)
+
+(* Random-schedule exploration: scales to 3 processes x 2 ops, where
+   the exhaustive space is out of reach; finds the Stone races too. *)
+
+let test_random_ms_clean () =
+  let r =
+    Explore.explore_random ~runs:400 ~seed:11L
+      (queue_spec (module Squeues.Ms_queue) ~procs:3 ~ops:2)
+  in
+  Alcotest.(check int) "no failures over random schedules" 0
+    (List.length r.Explore.failures);
+  Alcotest.(check int) "all runs executed" 400 r.Explore.runs
+
+let test_random_stone_fails () =
+  let r =
+    Explore.explore_random ~runs:400 ~seed:11L
+      (queue_spec (module Squeues.Stone_queue) ~procs:3 ~ops:2)
+  in
+  Alcotest.(check bool) "random schedules find the stone race" true
+    (r.Explore.failures <> [])
+
+let test_random_deterministic () =
+  let outcome seed =
+    let r =
+      Explore.explore_random ~runs:50 ~seed
+        (queue_spec (module Squeues.Stone_queue) ~procs:2 ~ops:1)
+    in
+    (r.Explore.runs, List.length r.Explore.failures)
+  in
+  Alcotest.(check (pair int int)) "same seed, same outcome" (outcome 5L) (outcome 5L);
+  (* different seeds explore different schedules; outcomes may differ,
+     but the runs executed must still be counted *)
+  let runs, _ = outcome 6L in
+  Alcotest.(check bool) "counts runs" true (runs > 0)
+
+(* Invariant matrix: MS, PLJ and the two-lock queue maintain the s3.1
+   structural properties at *every* operation boundary (what the paper
+   proves for its algorithms); MC and the single-lock queue restore them
+   only at operation/critical-section ends — MC's swap-to-link gap and
+   the single lock's two-word empty transition are visible mid-flight —
+   so they are checked at quiescence. *)
+
+let invariant_spec ~per_step (descriptor : 'q -> Squeues.Invariant.descriptor)
+    (init : Sim.Engine.t -> 'q) (enq : 'q -> int -> unit) (deq : 'q -> int option) =
+  let make () =
+    let eng = engine 2 in
+    let q = init eng in
+    let bodies =
+      Array.init 2 (fun i () ->
+          enq q i;
+          ignore (deq q))
+    in
+    (eng, q, bodies)
+  in
+  let check eng q =
+    match Squeues.Invariant.check eng (descriptor q) with
+    | Ok _ -> Ok ()
+    | Error v -> Error (Format.asprintf "%a" Squeues.Invariant.pp_violation v)
+  in
+  {
+    Explore.make;
+    check_final = check;
+    check_step = (if per_step then Some check else None);
+  }
+
+let check_invariant_matrix name spec () =
+  let r = Explore.explore ~max_preemptions:2 spec in
+  (match r.Explore.failures with
+  | [] -> ()
+  | f :: _ ->
+      Alcotest.failf "%s: %s under %s" name f.Explore.message
+        (Format.asprintf "%a" Explore.pp_schedule f.Explore.schedule));
+  Alcotest.(check bool) (name ^ ": explored many schedules") true (r.Explore.runs > 20)
+
+let test_invariants_ms =
+  check_invariant_matrix "ms"
+    (invariant_spec ~per_step:true Squeues.Ms_queue.descriptor
+       (fun eng -> Squeues.Ms_queue.init eng)
+       Squeues.Ms_queue.enqueue Squeues.Ms_queue.dequeue)
+
+let test_invariants_plj =
+  check_invariant_matrix "plj"
+    (invariant_spec ~per_step:true Squeues.Plj_queue.descriptor
+       (fun eng -> Squeues.Plj_queue.init eng)
+       Squeues.Plj_queue.enqueue Squeues.Plj_queue.dequeue)
+
+let test_invariants_two_lock =
+  check_invariant_matrix "two-lock"
+    (invariant_spec ~per_step:true Squeues.Two_lock_queue.descriptor
+       (fun eng -> Squeues.Two_lock_queue.init eng)
+       Squeues.Two_lock_queue.enqueue Squeues.Two_lock_queue.dequeue)
+
+let test_invariants_mc_final =
+  check_invariant_matrix "mc (final)"
+    (invariant_spec ~per_step:false Squeues.Mc_queue.descriptor
+       (fun eng -> Squeues.Mc_queue.init eng)
+       Squeues.Mc_queue.enqueue Squeues.Mc_queue.dequeue)
+
+let test_invariants_single_lock_final =
+  check_invariant_matrix "single-lock (final)"
+    (invariant_spec ~per_step:false Squeues.Single_lock_queue.descriptor
+       (fun eng -> Squeues.Single_lock_queue.init eng)
+       Squeues.Single_lock_queue.enqueue Squeues.Single_lock_queue.dequeue)
+
+(* And the negative control: MC's gap really is visible to the per-step
+   checker — the blocking window exists. *)
+let test_mc_gap_visible () =
+  let spec =
+    invariant_spec ~per_step:true Squeues.Mc_queue.descriptor
+      (fun eng -> Squeues.Mc_queue.init eng)
+      Squeues.Mc_queue.enqueue Squeues.Mc_queue.dequeue
+  in
+  let r = Explore.explore ~max_preemptions:1 spec in
+  Alcotest.(check bool) "tail-not-in-list observed mid-enqueue" true
+    (List.exists
+       (fun f ->
+         try
+           ignore (Str.search_forward (Str.regexp_string "tail points") f.Explore.message 0);
+           true
+         with Not_found -> false)
+       r.Explore.failures)
+
+let suites =
+  [
+    ( "mcheck.machine",
+      [
+        Alcotest.test_case "steps" `Quick test_machine_steps;
+        Alcotest.test_case "pause hint" `Quick test_machine_pause_hint;
+        Alcotest.test_case "failure capture" `Quick test_machine_failure;
+        Alcotest.test_case "step after done" `Quick test_machine_step_after_done;
+        Alcotest.test_case "too many procs" `Quick test_machine_too_many_procs;
+      ] );
+    ( "mcheck.explore",
+      [
+        Alcotest.test_case "finds lost update" `Quick test_explore_finds_lost_update;
+        Alcotest.test_case "zero budget misses race" `Quick
+          test_explore_zero_budget_misses_race;
+        Alcotest.test_case "atomic counter clean" `Quick test_explore_atomic_counter_clean;
+        Alcotest.test_case "per-step check" `Quick test_explore_per_step_check;
+        Alcotest.test_case "divergence" `Quick test_explore_divergence;
+      ] );
+    ( "mcheck.queues",
+      [
+        Alcotest.test_case "ms linearizable (all schedules)" `Slow
+          (exhaustive_linearizable "ms" (module Squeues.Ms_queue));
+        Alcotest.test_case "two-lock linearizable (all schedules)" `Slow
+          (exhaustive_linearizable "two-lock" (module Squeues.Two_lock_queue));
+        Alcotest.test_case "plj linearizable (all schedules)" `Slow
+          (exhaustive_linearizable "plj" (module Squeues.Plj_queue));
+        Alcotest.test_case "mc linearizable (all schedules)" `Slow
+          (exhaustive_linearizable "mc" (module Squeues.Mc_queue));
+        Alcotest.test_case "valois linearizable (all schedules)" `Slow
+          (exhaustive_linearizable "valois" (module Squeues.Valois_queue));
+        Alcotest.test_case "stone races found (paper s1)" `Quick test_stone_races_found;
+        Alcotest.test_case "ms invariants at every step" `Slow
+          test_ms_invariants_every_step;
+      ] );
+    ( "mcheck.invariant_matrix",
+      [
+        Alcotest.test_case "ms per-step" `Slow test_invariants_ms;
+        Alcotest.test_case "plj per-step" `Slow test_invariants_plj;
+        Alcotest.test_case "two-lock per-step" `Slow test_invariants_two_lock;
+        Alcotest.test_case "mc final-state" `Slow test_invariants_mc_final;
+        Alcotest.test_case "single-lock final-state" `Slow
+          test_invariants_single_lock_final;
+        Alcotest.test_case "mc gap visible per-step" `Quick test_mc_gap_visible;
+      ] );
+    ( "mcheck.random",
+      [
+        Alcotest.test_case "ms clean at 3x2" `Slow test_random_ms_clean;
+        Alcotest.test_case "stone caught at 3x2" `Slow test_random_stone_fails;
+        Alcotest.test_case "random mode deterministic" `Quick test_random_deterministic;
+      ] );
+  ]

@@ -1,0 +1,356 @@
+(* Additional behavioural coverage across the libraries: seeded
+   linearizability for every simulated queue, the two-lock functor over
+   every native lock, engine spawn/pinning corner cases, pretty-printer
+   smoke checks, and registry/params/stats accessors. *)
+
+open Sim
+
+(* ------------------------------------------------------------------ *)
+(* Every simulated queue is linearizable across seeded concurrent runs
+   (the racy reconstructions excluded, asserted to fail instead). *)
+
+let lincheck_rounds (module Q : Squeues.Intf.S) ~procs ~ops ~rounds =
+  let failures = ref 0 in
+  for round = 1 to rounds do
+    let eng =
+      Engine.create
+        {
+          (Config.with_processors procs) with
+          seed = Int64.of_int ((round * 104_729) + 7);
+          quantum = 4_000;
+        }
+    in
+    let q = Q.init eng in
+    let recorder = Lincheck.History.create_recorder () in
+    for i = 0 to procs - 1 do
+      ignore
+        (Engine.spawn eng (fun () ->
+             for k = 1 to ops do
+               let v = (i * 1_000) + k in
+               Lincheck.History.record recorder ~proc:i (fun () ->
+                   Q.enqueue q v;
+                   Lincheck.History.Enq v);
+               Api.work ((i * 31) + (k * 7));
+               Lincheck.History.record recorder ~proc:i (fun () ->
+                   Lincheck.History.Deq (Q.dequeue q));
+               Api.work ((i * 13) + k)
+             done))
+    done;
+    (match Engine.run ~max_steps:20_000_000 eng with
+    | Engine.Completed -> ()
+    | Engine.Step_limit -> Alcotest.fail "seeded run hit the step limit");
+    match Lincheck.Checker.check (Lincheck.History.history recorder) with
+    | Lincheck.Checker.Linearizable -> ()
+    | Lincheck.Checker.Not_linearizable -> incr failures
+    | Lincheck.Checker.Inconclusive -> ()
+  done;
+  !failures
+
+let test_seeded_linearizable name (module Q : Squeues.Intf.S) () =
+  let failures = lincheck_rounds (module Q) ~procs:3 ~ops:3 ~rounds:15 in
+  if failures > 0 then
+    Alcotest.failf "%s: %d/15 seeded runs non-linearizable" name failures
+
+let test_seeded_stone_fails () =
+  let failures =
+    lincheck_rounds (module Squeues.Stone_queue) ~procs:3 ~ops:3 ~rounds:15
+  in
+  Alcotest.(check bool) "stone fails under seeded runs too" true (failures > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Native-domain linearizability: record histories from real multicore
+   executions of the native queues and check them against the FIFO
+   specification — the recorder's Atomic stamps give a genuine real-time
+   order on this side too. *)
+
+let native_lincheck_round (module Q : Core.Queue_intf.S) ~domains ~ops ~round =
+  let q = Q.create () in
+  let recorder = Lincheck.History.create_recorder () in
+  let gate = Atomic.make 0 in
+  let ds =
+    List.init domains (fun i ->
+        Domain.spawn (fun () ->
+            Atomic.incr gate;
+            while Atomic.get gate < domains do
+              Domain.cpu_relax ()
+            done;
+            for k = 1 to ops do
+              let v = (i * 1_000) + (round * 100) + k in
+              Lincheck.History.record recorder ~proc:i (fun () ->
+                  Q.enqueue q v;
+                  Lincheck.History.Enq v);
+              Lincheck.History.record recorder ~proc:i (fun () ->
+                  Lincheck.History.Deq (Q.dequeue q))
+            done))
+  in
+  List.iter Domain.join ds;
+  Lincheck.Checker.check (Lincheck.History.history recorder)
+
+let test_native_linearizable name (module Q : Core.Queue_intf.S) () =
+  for round = 1 to 20 do
+    match native_lincheck_round (module Q) ~domains:3 ~ops:3 ~round with
+    | Lincheck.Checker.Linearizable -> ()
+    | Lincheck.Checker.Not_linearizable ->
+        Alcotest.failf "%s: non-linearizable native history (round %d)" name round
+    | Lincheck.Checker.Inconclusive -> () (* budget, not a verdict *)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* The native two-lock functor over every lock implementation. *)
+
+module TL_tas = Core.Two_lock_queue.Make (Locks.Tas_lock)
+module TL_ticket = Core.Two_lock_queue.Make (Locks.Ticket_lock)
+module TL_mcs = Core.Two_lock_queue.Make (Locks.Mcs_lock)
+module TL_clh = Core.Two_lock_queue.Make (Locks.Clh_lock)
+
+let functor_queues : (string * (module Core.Queue_intf.S)) list =
+  [
+    ("two-lock(tas)", (module TL_tas));
+    ("two-lock(ticket)", (module TL_ticket));
+    ("two-lock(mcs)", (module TL_mcs));
+    ("two-lock(clh)", (module TL_clh));
+  ]
+
+let test_functor_stress name (module Q : Core.Queue_intf.S) () =
+  let q = Q.create () in
+  let domains = 3 and per = 1_000 in
+  let count = Atomic.make 0 in
+  let ds =
+    List.init domains (fun i ->
+        Domain.spawn (fun () ->
+            for k = 1 to per do
+              Q.enqueue q ((i * 10_000) + k);
+              match Q.dequeue q with
+              | Some _ -> Atomic.incr count
+              | None -> ()
+            done))
+  in
+  List.iter Domain.join ds;
+  (* drain the remainder *)
+  let rec drain () =
+    match Q.dequeue q with
+    | Some _ ->
+        Atomic.incr count;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check int) (name ^ ": conservation") (domains * per) (Atomic.get count)
+
+(* ------------------------------------------------------------------ *)
+(* Engine corner cases *)
+
+let test_spawn_pinned_cpu () =
+  let eng = Engine.create (Config.with_processors 3) in
+  (* pin two processes to cpu 2; cpu 0 and 1 stay idle *)
+  let p0 = Engine.spawn ~cpu:2 eng (fun () -> Api.work 100) in
+  let p1 = Engine.spawn ~cpu:2 eng (fun () -> Api.work 100) in
+  ignore (Engine.run eng);
+  (* both ran on the same processor, so they serialize *)
+  let f0 = Engine.finish_time eng p0 and f1 = Engine.finish_time eng p1 in
+  Alcotest.(check bool) "serialized on one cpu" true (abs (f0 - f1) >= 100)
+
+let test_spawn_bad_cpu () =
+  let eng = Engine.create (Config.with_processors 2) in
+  Alcotest.check_raises "bad cpu" (Invalid_argument "Engine.spawn: bad cpu")
+    (fun () -> ignore (Engine.spawn ~cpu:5 eng (fun () -> ())))
+
+let test_finish_time_unfinished () =
+  let eng = Engine.create Config.default in
+  let pid = Engine.spawn eng (fun () -> ()) in
+  Alcotest.check_raises "unfinished process"
+    (Invalid_argument "Engine.finish_time: process not finished") (fun () ->
+      ignore (Engine.finish_time eng pid))
+
+let test_unknown_pid () =
+  let eng = Engine.create Config.default in
+  Alcotest.check_raises "unknown pid" (Invalid_argument "Engine: unknown pid 9")
+    (fun () -> Engine.kill eng 9)
+
+let test_stall_finished_noop () =
+  let eng = Engine.create Config.default in
+  let pid = Engine.spawn eng (fun () -> ()) in
+  ignore (Engine.run eng);
+  Engine.stall eng pid 1_000 (* must not raise *);
+  Engine.kill eng pid (* idempotent *);
+  Alcotest.(check pass) "no-op on finished process" () ()
+
+let test_config_validation () =
+  Alcotest.check_raises "zero processors"
+    (Invalid_argument "Config.with_processors: p must be positive") (fun () ->
+      ignore (Config.with_processors 0));
+  Alcotest.check_raises "too many processors for the cache mask"
+    (Invalid_argument "Cache.create: too many processors") (fun () ->
+      ignore (Engine.create (Config.with_processors 63)))
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printer smoke: every constructor renders without raising and
+   with the expected keywords. *)
+
+let contains s sub =
+  let re = Str.regexp_string sub in
+  try
+    ignore (Str.search_forward re s 0);
+    true
+  with Not_found -> false
+
+let test_op_pp () =
+  let cases =
+    [
+      (Op.Read 3, "read 3");
+      (Op.Write (4, Word.Int 7), "write 4");
+      (Op.Cas { addr = 5; expected = Word.zero; desired = Word.Int 1 }, "cas 5");
+      (Op.Fetch_and_add (6, 2), "faa 6");
+      (Op.Swap (7, Word.ptr 9), "swap 7");
+      (Op.Test_and_set 8, "tas 8");
+      (Op.Load_linked 9, "ll 9");
+      (Op.Store_conditional (10, Word.zero), "sc 10");
+      (Op.Alloc 2, "alloc 2");
+      (Op.Free { addr = 11; size = 2 }, "free 11");
+      (Op.Work 5, "work 5");
+      (Op.Yield, "yield");
+      (Op.Count "x", "count x");
+      (Op.Now, "now");
+      (Op.Self, "self");
+    ]
+  in
+  List.iter
+    (fun (op, keyword) ->
+      let rendered = Format.asprintf "%a" Op.pp op in
+      if not (contains rendered keyword) then
+        Alcotest.failf "Op.pp %S missing %S" rendered keyword)
+    cases
+
+let test_word_pp () =
+  Alcotest.(check string) "int" "42" (Format.asprintf "%a" Word.pp (Word.Int 42));
+  Alcotest.(check string) "null" "null/3"
+    (Format.asprintf "%a" Word.pp (Word.null ~count:3));
+  Alcotest.(check string) "ptr" "@7/2"
+    (Format.asprintf "%a" Word.pp (Word.ptr ~count:2 7))
+
+let test_config_pp () =
+  let rendered = Format.asprintf "%a" Config.pp Config.default in
+  Alcotest.(check bool) "mentions quantum" true (contains rendered "quantum")
+
+let test_stats_accessors () =
+  let eng = Engine.create Config.default in
+  ignore
+    (Engine.spawn eng (fun () ->
+         let a = Api.alloc 1 in
+         Api.write a (Word.Int 1);
+         ignore (Api.read a)));
+  ignore (Engine.run eng);
+  let s = Engine.stats eng in
+  Alcotest.(check bool) "hits+misses > 0" true (s.Stats.cache_hits + s.Stats.cache_misses > 0);
+  Alcotest.(check bool) "miss rate in [0,1]" true
+    (Stats.miss_rate s >= 0. && Stats.miss_rate s <= 1.);
+  let rendered = Format.asprintf "%a" Stats.pp s in
+  Alcotest.(check bool) "stats render" true (contains rendered "cache")
+
+let test_params_pp () =
+  let rendered = Format.asprintf "%a" Harness.Params.pp Harness.Params.default in
+  Alcotest.(check bool) "mentions pairs" true (contains rendered "pairs")
+
+let test_chart_renders () =
+  let fig =
+    Harness.Experiment.figure ~procs:[ 1; 2 ]
+      ~base:{ Harness.Params.default with total_pairs = 500 }
+      ~algos:
+        [ { Harness.Registry.key = "ms"; algo = (module Squeues.Ms_queue) } ]
+      3
+  in
+  let rendered = Format.asprintf "%a" Harness.Report.chart fig in
+  Alcotest.(check bool) "bars present" true (contains rendered "#");
+  Alcotest.(check bool) "algorithm named" true (contains rendered "ms-nonblocking")
+
+let test_registry_all_keys_resolve () =
+  List.iter
+    (fun key ->
+      let (module Q) = Harness.Registry.find key in
+      Alcotest.(check bool) (key ^ " has a name") true (String.length Q.name > 0))
+    Harness.Registry.keys
+
+(* ------------------------------------------------------------------ *)
+(* Valois allocation edges: unbounded pools fall back to the heap and
+   keep working (conservation holds across the fallback boundary). *)
+
+let test_valois_unbounded_fallback () =
+  let eng = Engine.create Config.default in
+  let q =
+    Squeues.Valois_queue.init
+      ~options:{ Squeues.Intf.default_options with pool = 2; bounded = false }
+      eng
+  in
+  let ok = ref true in
+  ignore
+    (Engine.spawn eng (fun () ->
+         (* grow the queue beyond the pool, then drain it *)
+         for v = 1 to 10 do
+           Squeues.Valois_queue.enqueue q v
+         done;
+         for v = 1 to 10 do
+           if Squeues.Valois_queue.dequeue q <> Some v then ok := false
+         done;
+         if Squeues.Valois_queue.dequeue q <> None then ok := false));
+  ignore (Engine.run eng);
+  Alcotest.(check bool) "fifo across the heap fallback" true !ok
+
+let suites =
+  let sim_queues : (string * (module Squeues.Intf.S)) list =
+    [
+      ("ms", (module Squeues.Ms_queue));
+      ("two-lock", (module Squeues.Two_lock_queue));
+      ("single-lock", (module Squeues.Single_lock_queue));
+      ("mc", (module Squeues.Mc_queue));
+      ("plj", (module Squeues.Plj_queue));
+      ("valois", (module Squeues.Valois_queue));
+    ]
+  in
+  [
+    ( "more.seeded_lincheck",
+      List.map
+        (fun (name, q) ->
+          Alcotest.test_case name `Slow (test_seeded_linearizable name q))
+        sim_queues
+      @ [ Alcotest.test_case "stone (expected failure)" `Slow test_seeded_stone_fails ]
+    );
+    ( "more.native_lincheck",
+      List.map
+        (fun (name, q) ->
+          Alcotest.test_case name `Slow (test_native_linearizable name q))
+        [
+          ("ms", (module Core.Ms_queue : Core.Queue_intf.S));
+          ("ms-counted", (module Core.Ms_queue_counted));
+          ("ms-hazard", (module Core.Ms_queue_hp));
+          ("two-lock", (module Core.Two_lock_queue));
+          ("single-lock", (module Baselines.Single_lock_queue));
+          ("mc", (module Baselines.Mc_queue));
+          ("plj", (module Baselines.Plj_queue));
+        ] );
+    ( "more.two_lock_functor",
+      List.map
+        (fun (name, q) -> Alcotest.test_case name `Slow (test_functor_stress name q))
+        functor_queues );
+    ( "more.engine_corners",
+      [
+        Alcotest.test_case "pinned cpu" `Quick test_spawn_pinned_cpu;
+        Alcotest.test_case "bad cpu" `Quick test_spawn_bad_cpu;
+        Alcotest.test_case "finish_time unfinished" `Quick test_finish_time_unfinished;
+        Alcotest.test_case "unknown pid" `Quick test_unknown_pid;
+        Alcotest.test_case "stall finished no-op" `Quick test_stall_finished_noop;
+        Alcotest.test_case "config validation" `Quick test_config_validation;
+      ] );
+    ( "more.rendering",
+      [
+        Alcotest.test_case "op pp" `Quick test_op_pp;
+        Alcotest.test_case "word pp" `Quick test_word_pp;
+        Alcotest.test_case "config pp" `Quick test_config_pp;
+        Alcotest.test_case "stats accessors" `Quick test_stats_accessors;
+        Alcotest.test_case "params pp" `Quick test_params_pp;
+        Alcotest.test_case "chart renders" `Quick test_chart_renders;
+        Alcotest.test_case "registry keys resolve" `Quick test_registry_all_keys_resolve;
+      ] );
+    ( "more.valois",
+      [ Alcotest.test_case "unbounded fallback" `Quick test_valois_unbounded_fallback ]
+    );
+  ]

@@ -1,0 +1,441 @@
+(* Tests of the simulated queue algorithms (lib/squeues): sequential
+   semantics (model-based, qcheck), concurrent conservation/order
+   checks, structural invariants, the free list, spin locks, and the
+   algorithm-specific behaviours (Valois reference counts, MC's
+   blocking gap, Stone's races are covered in test_mcheck). *)
+
+open Sim
+
+let all_queues : (string * (module Squeues.Intf.S)) list =
+  [
+    ("ms", (module Squeues.Ms_queue));
+    ("two-lock", (module Squeues.Two_lock_queue));
+    ("single-lock", (module Squeues.Single_lock_queue));
+    ("mc", (module Squeues.Mc_queue));
+    ("plj", (module Squeues.Plj_queue));
+    ("valois", (module Squeues.Valois_queue));
+    ("stone", (module Squeues.Stone_queue));
+  ]
+
+(* Run [body] as the only simulated process and return its result. *)
+let solo body =
+  let eng = Engine.create Config.default in
+  let result = ref None in
+  ignore (Engine.spawn eng (fun () -> result := Some (body eng)));
+  (match Engine.run eng with
+  | Engine.Completed -> ()
+  | Engine.Step_limit -> Alcotest.fail "solo run hit step limit");
+  Option.get !result
+
+(* ------------------------------------------------------------------ *)
+(* Sequential semantics: every queue behaves like a FIFO queue when
+   driven by a single process. *)
+
+let sequential_ops (module Q : Squeues.Intf.S) ops =
+  let eng = Engine.create Config.default in
+  let q = Q.init eng in
+  let out = ref [] in
+  ignore
+    (Engine.spawn eng (fun () ->
+         List.iter
+           (function
+             | `Enq v -> Q.enqueue q v
+             | `Deq -> out := Q.dequeue q :: !out)
+           ops));
+  (match Engine.run eng with
+  | Engine.Completed -> ()
+  | Engine.Step_limit -> Alcotest.fail "sequential run hit step limit");
+  List.rev !out
+
+let model_ops ops =
+  let q = Queue.create () in
+  let out = ref [] in
+  List.iter
+    (function
+      | `Enq v -> Queue.push v q
+      | `Deq -> out := Queue.take_opt q :: !out)
+    ops;
+  List.rev !out
+
+let test_sequential name (module Q : Squeues.Intf.S) () =
+  let ops =
+    [
+      `Deq; `Enq 1; `Enq 2; `Deq; `Enq 3; `Deq; `Deq; `Deq; `Enq 4; `Enq 5; `Enq 6;
+      `Deq; `Enq 7; `Deq; `Deq; `Deq;
+    ]
+  in
+  Alcotest.(check (list (option int)))
+    (name ^ " matches FIFO model") (model_ops ops)
+    (sequential_ops (module Q) ops)
+
+(* qcheck: random operation sequences against the model *)
+let ops_gen =
+  QCheck2.Gen.(
+    list_size (int_range 1 60)
+      (oneof [ map (fun v -> `Enq v) (int_range 0 1000); return `Deq ]))
+
+let qcheck_sequential name (module Q : Squeues.Intf.S) =
+  QCheck2.Test.make ~count:60
+    ~name:(name ^ " random sequential ops match FIFO model") ops_gen (fun ops ->
+      sequential_ops (module Q) ops = model_ops ops)
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent conservation + per-producer FIFO order (all queues but
+   stone, which is knowingly racy). *)
+
+let concurrent_run (module Q : Squeues.Intf.S) ~procs ~mpl ~per =
+  let cfg = { (Config.with_processors procs) with quantum = 20_000 } in
+  let eng = Engine.create cfg in
+  let q = Q.init eng in
+  let n = procs * mpl in
+  let received = Array.make n [] in
+  for i = 0 to n - 1 do
+    ignore
+      (Engine.spawn eng (fun () ->
+           for k = 1 to per do
+             Q.enqueue q ((i * 1_000_000) + k);
+             Sim.Api.work 100;
+             (let rec deq () =
+                match Q.dequeue q with
+                | Some v -> received.(i) <- v :: received.(i)
+                | None ->
+                    Sim.Api.work 50;
+                    deq ()
+              in
+              deq ());
+             Sim.Api.work 100
+           done))
+  done;
+  (match Engine.run ~max_steps:200_000_000 eng with
+  | Engine.Completed -> ()
+  | Engine.Step_limit -> Alcotest.fail "concurrent run hit step limit");
+  received
+
+let check_conservation name received ~expected =
+  let all = Array.to_list received |> List.concat in
+  Alcotest.(check int) (name ^ " total") expected (List.length all);
+  Alcotest.(check int) (name ^ " unique") expected
+    (List.length (List.sort_uniq compare all))
+
+let check_producer_fifo name received =
+  Array.iter
+    (fun l ->
+      let seen = Hashtbl.create 8 in
+      List.iter
+        (fun v ->
+          let p = v / 1_000_000 and s = v mod 1_000_000 in
+          let prev = Option.value ~default:max_int (Hashtbl.find_opt seen p) in
+          if s >= prev then
+            Alcotest.failf "%s: producer %d order violated (%d after %d)" name p s prev;
+          Hashtbl.replace seen p s)
+        l)
+    received
+
+let test_concurrent name (module Q : Squeues.Intf.S) () =
+  let procs = 4 and mpl = 2 and per = 120 in
+  let received = concurrent_run (module Q) ~procs ~mpl ~per in
+  check_conservation name received ~expected:(procs * mpl * per);
+  check_producer_fifo name received
+
+(* ------------------------------------------------------------------ *)
+(* Structural invariants after a concurrent run (MS queue). *)
+
+let test_ms_invariants () =
+  let eng = Engine.create (Config.with_processors 4) in
+  let q = Squeues.Ms_queue.init eng in
+  let removed = ref 0 in
+  for i = 0 to 3 do
+    ignore
+      (Engine.spawn eng (fun () ->
+           for k = 1 to 100 do
+             Squeues.Ms_queue.enqueue q ((i * 1000) + k);
+             if k mod 3 <> 0 then
+               match Squeues.Ms_queue.dequeue q with
+               | Some _ -> incr removed
+               | None -> () (* transiently empty is legal *)
+           done))
+  done;
+  ignore (Engine.run eng);
+  (match Squeues.Invariant.check eng (Squeues.Ms_queue.descriptor q) with
+  | Ok _ -> ()
+  | Error v ->
+      Alcotest.failf "invariant violated: %s"
+        (Format.asprintf "%a" Squeues.Invariant.pp_violation v));
+  Alcotest.(check int) "length = enqueued - dequeued" (400 - !removed)
+    (Squeues.Ms_queue.length q eng)
+
+let test_invariant_detects_cycle () =
+  let eng = Engine.create Config.default in
+  let q = Squeues.Ms_queue.init eng in
+  ignore
+    (Engine.spawn eng (fun () ->
+         Squeues.Ms_queue.enqueue q 1;
+         Squeues.Ms_queue.enqueue q 2));
+  ignore (Engine.run eng);
+  (* corrupt: point the last node's next back at the dummy *)
+  let head = Squeues.Ms_queue.head q in
+  let rec last addr =
+    let next = Word.to_ptr (Engine.peek eng (addr + Squeues.Node.next_offset)) in
+    if Word.is_null next then addr else last next.Word.addr
+  in
+  let tail_node = last head.Word.addr in
+  Engine.poke eng (tail_node + Squeues.Node.next_offset) (Word.ptr head.Word.addr);
+  match Squeues.Invariant.check eng (Squeues.Ms_queue.descriptor q) with
+  | Error (Squeues.Invariant.Cycle _) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "cycle not detected"
+
+let test_invariant_detects_tail_escape () =
+  let eng = Engine.create Config.default in
+  let q = Squeues.Ms_queue.init eng in
+  ignore (Engine.spawn eng (fun () -> Squeues.Ms_queue.enqueue q 1));
+  ignore (Engine.run eng);
+  let orphan = Engine.setup_alloc eng Squeues.Node.size in
+  Engine.poke eng (orphan + Squeues.Node.next_offset) (Word.null ~count:0);
+  let d = Squeues.Ms_queue.descriptor q in
+  Engine.poke eng d.Squeues.Invariant.tail_cell (Word.ptr orphan);
+  match Squeues.Invariant.check eng d with
+  | Error (Squeues.Invariant.Tail_not_in_list _) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "tail escape not detected"
+
+(* ------------------------------------------------------------------ *)
+(* Free list: LIFO reuse, counted-top ABA protection, prefill. *)
+
+let test_free_list_push_pop () =
+  solo (fun eng ->
+      let fl = Squeues.Free_list.init eng ~link_offset:1 in
+      Squeues.Free_list.prefill eng fl ~node_size:2 ~count:3;
+      let a = Option.get (Squeues.Free_list.pop fl) in
+      let b = Option.get (Squeues.Free_list.pop fl) in
+      let c = Option.get (Squeues.Free_list.pop fl) in
+      Alcotest.(check (option int)) "empty after three pops" None
+        (Squeues.Free_list.pop fl);
+      Alcotest.(check bool) "distinct nodes" true (a <> b && b <> c && a <> c);
+      Squeues.Free_list.push fl a;
+      Alcotest.(check (option int)) "LIFO reuse" (Some a) (Squeues.Free_list.pop fl))
+
+let test_free_list_top_count_monotone () =
+  solo (fun eng ->
+      let fl = Squeues.Free_list.init eng ~link_offset:1 in
+      Squeues.Free_list.prefill eng fl ~node_size:2 ~count:1;
+      let top_cell = 1 (* the top cell is the first allocation *) in
+      let count_of () = (Word.to_ptr (Api.read top_cell)).Word.count in
+      let c0 = count_of () in
+      let n = Option.get (Squeues.Free_list.pop fl) in
+      let c1 = count_of () in
+      Squeues.Free_list.push fl n;
+      let c2 = count_of () in
+      Alcotest.(check bool) "count grows across pop and push" true (c0 < c1 && c1 < c2))
+
+(* Node pool: bounded pools raise, unbounded fall back to the heap. *)
+let test_pool_bounded_raises () =
+  let eng = Engine.create Config.default in
+  let raised = ref false in
+  ignore
+    (Engine.spawn eng (fun () ->
+         let pool =
+           Squeues.Node.make_pool eng
+             { Squeues.Intf.default_options with pool = 2; bounded = true }
+         in
+         ignore (Squeues.Node.new_node pool);
+         ignore (Squeues.Node.new_node pool);
+         match Squeues.Node.new_node pool with
+         | exception Squeues.Intf.Out_of_nodes -> raised := true
+         | _ -> ()));
+  ignore (Engine.run eng);
+  Alcotest.(check bool) "bounded pool raises" true !raised
+
+let test_pool_unbounded_falls_back () =
+  let eng = Engine.create Config.default in
+  let got = ref 0 in
+  ignore
+    (Engine.spawn eng (fun () ->
+         let pool =
+           Squeues.Node.make_pool eng
+             { Squeues.Intf.default_options with pool = 1; bounded = false }
+         in
+         for _ = 1 to 5 do
+           ignore (Squeues.Node.new_node pool);
+           incr got
+         done));
+  ignore (Engine.run eng);
+  Alcotest.(check int) "heap fallback keeps allocating" 5 !got;
+  Alcotest.(check int) "fallbacks counted" 4
+    (Stats.counter (Engine.stats eng) "pool.heap_alloc")
+
+(* ------------------------------------------------------------------ *)
+(* Spin locks: mutual exclusion over a non-atomic critical section. *)
+
+let test_slock_mutual_exclusion () =
+  let eng = Engine.create (Config.with_processors 4) in
+  let lock = Squeues.Slock.init eng in
+  let cell = Engine.setup_alloc eng 1 in
+  for _ = 1 to 4 do
+    ignore
+      (Engine.spawn eng (fun () ->
+           for _ = 1 to 200 do
+             Squeues.Slock.with_lock lock (fun () ->
+                 (* non-atomic increment: read then write *)
+                 let v = Word.to_int (Api.read cell) in
+                 Api.work 5;
+                 Api.write cell (Word.Int (v + 1)))
+           done))
+  done;
+  ignore (Engine.run eng);
+  Alcotest.(check int) "no lost updates" 800 (Word.to_int (Engine.peek eng cell))
+
+let test_slock_exception_safety () =
+  let eng = Engine.create (Config.with_processors 2) in
+  let lock = Squeues.Slock.init eng in
+  let ok = ref false in
+  ignore
+    (Engine.spawn eng (fun () ->
+         (try Squeues.Slock.with_lock lock (fun () -> raise Squeues.Intf.Out_of_nodes)
+          with Squeues.Intf.Out_of_nodes -> ());
+         (* the lock must have been released *)
+         Squeues.Slock.with_lock lock (fun () -> ok := true)));
+  ignore (Engine.run ~max_steps:1_000_000 eng);
+  Alcotest.(check bool) "lock released after exception" true !ok
+
+(* ------------------------------------------------------------------ *)
+(* Valois: reference counts return to quiescent values; delayed readers
+   pin suffixes (the memory experiment proper lives in test_harness). *)
+
+let test_valois_refcount_quiescent () =
+  let eng = Engine.create (Config.with_processors 4) in
+  let q = Squeues.Valois_queue.init eng in
+  for i = 0 to 3 do
+    ignore
+      (Engine.spawn eng (fun () ->
+           for k = 1 to 50 do
+             Squeues.Valois_queue.enqueue q ((i * 1000) + k);
+             ignore (Squeues.Valois_queue.dequeue q)
+           done))
+  done;
+  ignore (Engine.run eng);
+  Alcotest.(check int) "drained" 0 (Squeues.Valois_queue.length q eng)
+
+let test_valois_no_leaks () =
+  (* after a concurrent run and a full drain, every node except the
+     current dummy must be back on the free list: the reference counts
+     balanced exactly *)
+  let pool = 64 in
+  let eng = Engine.create (Config.with_processors 4) in
+  let q =
+    Squeues.Valois_queue.init
+      ~options:{ Squeues.Intf.default_options with pool }
+      eng
+  in
+  let heap_allocs = ref 0 in
+  for i = 0 to 3 do
+    ignore
+      (Engine.spawn eng (fun () ->
+           for k = 1 to 100 do
+             Squeues.Valois_queue.enqueue q ((i * 1000) + k);
+             ignore (Squeues.Valois_queue.dequeue q)
+           done))
+  done;
+  ignore (Engine.run eng);
+  heap_allocs := Stats.counter (Engine.stats eng) "pool.heap_alloc";
+  Alcotest.(check int) "drained" 0 (Squeues.Valois_queue.length q eng);
+  (* total nodes = initial pool + dummy + heap fallbacks; free list must
+     hold all but the one live dummy *)
+  Alcotest.(check int) "no leaked nodes"
+    (pool + !heap_allocs)
+    (Squeues.Valois_queue.free_nodes q eng)
+
+let test_valois_sequential_interleaved () =
+  let out =
+    solo (fun eng ->
+        let q = Squeues.Valois_queue.init eng in
+        let out = ref [] in
+        for k = 1 to 20 do
+          Squeues.Valois_queue.enqueue q k;
+          Squeues.Valois_queue.enqueue q (k * 100);
+          out := Squeues.Valois_queue.dequeue q :: !out
+        done;
+        List.rev !out)
+  in
+  (* enqueue k, k*100; dequeue yields the oldest outstanding *)
+  let expected =
+    [ 1; 100; 2; 200; 3; 300; 4; 400; 5; 500; 6; 600; 7; 700; 8; 800; 9; 900; 10; 1000 ]
+    |> List.filteri (fun i _ -> i < 20)
+    |> List.map Option.some
+  in
+  Alcotest.(check (list (option int))) "valois FIFO under load" expected out
+
+(* A dequeuer that arrives while the queue is mid-enqueue: the MS queue
+   helps the lagging tail and proceeds; delay-propagation coverage for
+   the blocking algorithms lives in test_harness (Liveness). *)
+let test_ms_killed_process_immunity () =
+  let eng = Engine.create { (Config.with_processors 2) with seed = 99L } in
+  let q = Squeues.Ms_queue.init eng in
+  let victim =
+    Engine.spawn eng (fun () ->
+        for k = 1 to 1_000 do
+          Squeues.Ms_queue.enqueue q k;
+          ignore (Squeues.Ms_queue.dequeue q)
+        done)
+  in
+  ignore
+    (Engine.spawn eng (fun () ->
+         for k = 1 to 200 do
+           Squeues.Ms_queue.enqueue q (10_000 + k);
+           ignore (Squeues.Ms_queue.dequeue q)
+         done));
+  (* halt the victim partway through and never let it return *)
+  Engine.plan_stall eng victim ~at:20_000 ~duration:2_000_000_000;
+  Engine.kill eng victim;
+  Alcotest.(check bool) "the other process completes" true
+    (Engine.run ~max_steps:10_000_000 eng = Engine.Completed)
+
+let suites =
+  let sequential =
+    List.map
+      (fun (name, q) -> Alcotest.test_case name `Quick (test_sequential name q))
+      all_queues
+  in
+  let concurrent =
+    List.filter_map
+      (fun (name, q) ->
+        if name = "stone" then None
+        else Some (Alcotest.test_case name `Quick (test_concurrent name q)))
+      all_queues
+  in
+  let qcheck_seq =
+    List.map
+      (fun (name, q) -> QCheck_alcotest.to_alcotest (qcheck_sequential name q))
+      all_queues
+  in
+  [
+    ("squeues.sequential", sequential);
+    ("squeues.sequential.qcheck", qcheck_seq);
+    ("squeues.concurrent", concurrent);
+    ( "squeues.invariants",
+      [
+        Alcotest.test_case "ms invariants after run" `Quick test_ms_invariants;
+        Alcotest.test_case "detects cycles" `Quick test_invariant_detects_cycle;
+        Alcotest.test_case "detects tail escape" `Quick test_invariant_detects_tail_escape;
+      ] );
+    ( "squeues.free_list",
+      [
+        Alcotest.test_case "push pop" `Quick test_free_list_push_pop;
+        Alcotest.test_case "top count monotone" `Quick test_free_list_top_count_monotone;
+        Alcotest.test_case "bounded pool raises" `Quick test_pool_bounded_raises;
+        Alcotest.test_case "unbounded falls back" `Quick test_pool_unbounded_falls_back;
+      ] );
+    ( "squeues.slock",
+      [
+        Alcotest.test_case "mutual exclusion" `Quick test_slock_mutual_exclusion;
+        Alcotest.test_case "exception safety" `Quick test_slock_exception_safety;
+      ] );
+    ( "squeues.algorithms",
+      [
+        Alcotest.test_case "valois refcounts quiescent" `Quick
+          test_valois_refcount_quiescent;
+        Alcotest.test_case "valois sequential interleaved" `Quick
+          test_valois_sequential_interleaved;
+        Alcotest.test_case "valois no leaks" `Quick test_valois_no_leaks;
+        Alcotest.test_case "ms immune to killed process" `Quick
+          test_ms_killed_process_immunity;
+      ] );
+  ]
