@@ -1,0 +1,24 @@
+.PHONY: all build test bench bench-smoke clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# The full evaluation at the default reduced scale (see README).
+bench:
+	dune exec bench/main.exe
+
+# A minutes-scale subset for CI: figure 3 only, tiny pair counts, and
+# the instrumented native-queue metrics — still exercising every layer
+# that feeds BENCH_queues.json.
+bench-smoke:
+	dune build bench/main.exe
+	MSQ_SMOKE=1 MSQ_JSON=BENCH_queues.json dune exec bench/main.exe
+
+clean:
+	dune clean
+	rm -f BENCH_queues.json

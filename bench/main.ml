@@ -8,19 +8,27 @@
    - bechamel microbenchmarks of the native OCaml 5 queues.
 
    Scale via MSQ_PAIRS (default 20000; the paper used 1e6 — pass
-   MSQ_PAIRS=1000000 MSQ_QUANTUM=2000000 for paper scale). *)
+   MSQ_PAIRS=1000000 MSQ_QUANTUM=2000000 for paper scale).  MSQ_JSON=FILE
+   additionally writes the machine-readable BENCH_queues.json record
+   (figures + native instrumented metrics); MSQ_SMOKE=1 runs a tiny
+   subset — figure 3 at small scale plus the native metrics — meant for
+   CI schema checks, not for measurement. *)
+
+let smoke = Sys.getenv_opt "MSQ_SMOKE" <> None
+
+let json_path = Sys.getenv_opt "MSQ_JSON"
 
 let pairs =
   match Sys.getenv_opt "MSQ_PAIRS" with
   | Some s -> int_of_string s
-  | None -> 20_000
+  | None -> if smoke then 2_000 else 20_000
 
 let quantum =
   match Sys.getenv_opt "MSQ_QUANTUM" with
   | Some s -> int_of_string s
   | None -> Harness.Params.default.Harness.Params.quantum
 
-let procs = [ 1; 2; 3; 4; 6; 8; 10; 12 ]
+let procs = if smoke then [ 1; 2; 4 ] else [ 1; 2; 3; 4; 6; 8; 10; 12 ]
 
 let base = { Harness.Params.default with total_pairs = pairs; quantum }
 
@@ -28,19 +36,19 @@ let heading title =
   Format.printf "@.=== %s ===@." title
 
 let figures () =
-  List.iter
+  List.map
     (fun n ->
-      heading (Printf.sprintf "Figure %d" n)
-        ;
+      heading (Printf.sprintf "Figure %d" n);
       let t0 = Unix.gettimeofday () in
       let fig = Harness.Experiment.figure ~procs ~base n in
-      Harness.Report.table Format.std_formatter fig;
-      if n = 4 then Harness.Report.chart Format.std_formatter fig;
+      Harness.Report.render Table Format.std_formatter fig;
+      if n = 4 then Harness.Report.render Chart Format.std_formatter fig;
       Harness.Report.summary Format.std_formatter fig;
       Format.printf "(generated in %.1fs; %d pairs/point)@."
         (Unix.gettimeofday () -. t0)
-        pairs)
-    [ 3; 4; 5 ]
+        pairs;
+      fig)
+    (if smoke then [ 3 ] else [ 3; 4; 5 ])
 
 let memory () =
   heading "Section 1: Valois memory exhaustion (queue <= 12 items, bounded free list)";
@@ -173,14 +181,10 @@ let microbench () =
   in
   let tests =
     Test.make_grouped ~name:"pair"
-      [
-        pair (module Core.Ms_queue);
-        pair (module Core.Ms_queue_counted);
-        pair (module Core.Ms_queue_hp);
-        pair (module Core.Two_lock_queue);
-        pair (module Baselines.Single_lock_queue);
-        pair (module Baselines.Mc_queue);
-        pair (module Baselines.Plj_queue);
+      (List.map
+         (fun { Harness.Registry.queue; _ } -> pair queue)
+         Harness.Registry.native
+      @ [
         Test.make ~name:"spsc-lamport"
           (Staged.stage
              (let q = Core.Spsc_queue.create ~capacity:64 in
@@ -193,7 +197,7 @@ let microbench () =
               fun () ->
                 Core.Treiber_stack.push s 42;
                 ignore (Core.Treiber_stack.pop s)));
-      ]
+        ])
   in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
   let raw = Benchmark.all cfg [ Instance.monotonic_clock ] tests in
@@ -230,25 +234,87 @@ let native_domains () =
     let dt = Unix.gettimeofday () -. t0 in
     Format.printf "  %-22s %8.0f pairs/s@." Q.name (float_of_int (2 * per) /. dt)
   in
-  run (module Core.Ms_queue);
-  run (module Core.Ms_queue_counted);
-  run (module Core.Two_lock_queue);
-  run (module Baselines.Single_lock_queue);
-  run (module Baselines.Mc_queue);
-  run (module Baselines.Plj_queue)
+  List.iter (fun { Harness.Registry.queue; _ } -> run queue) Harness.Registry.native
+
+(* Native instrumented metrics: every registered queue through the
+   [Obs.Instrumented] wrapper with metrics enabled — per-operation
+   latency histograms plus the probe events (CAS retries, backoffs,
+   E12/D9 help-alongs) of a two-domain enqueue/dequeue workload.  This
+   is the "native" section of BENCH_queues.json. *)
+let instrumented_metrics () =
+  heading "Native instrumented metrics (2 domains, metrics enabled)";
+  let per = if smoke then 5_000 else 50_000 in
+  List.map
+    (fun { Harness.Registry.queue = (module Q : Core.Queue_intf.S); _ } ->
+      let module I = Obs.Instrumented.Make (Q) in
+      let q = I.create () in
+      Obs.Control.with_enabled (fun () ->
+          let worker () =
+            for i = 1 to per do
+              I.enqueue q i;
+              ignore (I.dequeue q)
+            done
+          in
+          let t0 = Unix.gettimeofday () in
+          let d = Domain.spawn worker in
+          worker ();
+          Domain.join d;
+          let dt = Unix.gettimeofday () -. t0 in
+          let m = I.metrics q in
+          Format.printf "  %a@." Obs.Metrics.pp m;
+          let total_pairs = 2 * per in
+          let ns_per_pair = dt *. 1e9 /. float_of_int total_pairs in
+          let metric_fields =
+            match Obs.Metrics.to_json m with Obs.Json.Assoc kvs -> kvs | _ -> []
+          in
+          Obs.Json.Assoc
+            (metric_fields
+            @ [
+                ("pairs", Obs.Json.Int total_pairs);
+                ("ns_per_pair", Obs.Json.Float ns_per_pair);
+                ( "pairs_per_second",
+                  Obs.Json.Float (float_of_int total_pairs /. dt) );
+              ])))
+    Harness.Registry.native
+
+let write_json figs native =
+  match json_path with
+  | None -> ()
+  | Some path ->
+      let doc =
+        Obs.Json.Assoc
+          [
+            ("schema_version", Obs.Json.Int 1);
+            ("suite", Obs.Json.String "msqueue-bench");
+            ("pairs", Obs.Json.Int pairs);
+            ("quantum", Obs.Json.Int quantum);
+            ("smoke", Obs.Json.Bool smoke);
+            ("figures", Obs.Json.List (List.map Harness.Report.figure_json figs));
+            ("native", Obs.Json.List native);
+          ]
+      in
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc (Obs.Json.to_string doc);
+          Out_channel.output_char oc '\n');
+      Format.printf "@.wrote %s@." path
 
 let () =
   Format.printf "msqueue benchmark suite — reproduction of Michael & Scott, PODC 1996@.";
-  Format.printf "(%d total pairs per point; quantum %d cycles)@." pairs quantum;
-  figures ();
-  memory ();
-  liveness ();
-  ablations ();
-  lock_ablation ();
-  two_lock_lock_ablation ();
-  spsc_ablation ();
-  workload_variants ();
-  work_sweep ();
-  microbench ();
-  native_domains ();
+  Format.printf "(%d total pairs per point; quantum %d cycles%s)@." pairs quantum
+    (if smoke then "; SMOKE subset" else "");
+  let figs = figures () in
+  if not smoke then begin
+    memory ();
+    liveness ();
+    ablations ();
+    lock_ablation ();
+    two_lock_lock_ablation ();
+    spsc_ablation ();
+    workload_variants ();
+    work_sweep ();
+    microbench ();
+    native_domains ()
+  end;
+  let native = instrumented_metrics () in
+  write_json figs native;
   Format.printf "@.done.@."

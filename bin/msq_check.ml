@@ -5,12 +5,6 @@
 
 open Cmdliner
 
-let find_algo key =
-  if key = "stone" then (module Squeues.Stone_queue : Squeues.Intf.S)
-  else if key = "stone-ring" then (module Squeues.Stone_ring_queue : Squeues.Intf.S)
-  else if key = "hb" then (module Squeues.Hb_queue : Squeues.Intf.S)
-  else Harness.Registry.find key
-
 let algo_arg =
   Arg.(value & opt string "ms"
        & info [ "a"; "algo" ]
@@ -46,7 +40,7 @@ let recorded_spec (module Q : Squeues.Intf.S) ~procs ~ops =
 
 let explore_cmd =
   let run algo procs ops preemptions =
-    let q = find_algo algo in
+    let q = Harness.Registry.find algo in
     let outcome =
       Mcheck.Explore.explore ~max_preemptions:preemptions
         (recorded_spec q ~procs ~ops)
@@ -77,7 +71,7 @@ let explore_cmd =
 
 let lin_cmd =
   let run algo procs ops rounds =
-    let (module Q : Squeues.Intf.S) = find_algo algo in
+    let (module Q : Squeues.Intf.S) = Harness.Registry.find algo in
     let failures = ref 0 in
     for round = 1 to rounds do
       let eng =

@@ -16,7 +16,7 @@ let parse_procs s =
 let procs_conv = Arg.conv (parse_procs, fun fmt l ->
     Format.fprintf fmt "%s" (String.concat "," (List.map string_of_int l)))
 
-let run figures pairs quantum procs algos csv summary_only chart =
+let run figures pairs quantum procs algos csv summary_only chart json_out trace_out =
   let base =
     { Harness.Params.default with total_pairs = pairs; quantum } in
   let algos =
@@ -34,19 +34,65 @@ let run figures pairs quantum procs algos csv summary_only chart =
         (oc, Format.formatter_of_out_channel oc))
       csv
   in
+  let trace_limit = Option.map (fun _ -> 65_536) trace_out in
+  let figs =
+    List.map
+      (fun n -> Harness.Experiment.figure ~algos ~procs ?trace_limit ~base n)
+      figures
+  in
   List.iter
-    (fun n ->
-      let fig = Harness.Experiment.figure ~algos ~procs ~base n in
-      if not summary_only then Harness.Report.table Format.std_formatter fig;
-      if chart then Harness.Report.chart Format.std_formatter fig;
+    (fun fig ->
+      if not summary_only then Harness.Report.render Table Format.std_formatter fig;
+      if chart then Harness.Report.render Chart Format.std_formatter fig;
       Harness.Report.summary Format.std_formatter fig;
-      Option.iter (fun (_, fmt) -> Harness.Report.csv fmt fig) csv_out)
-    figures;
+      Option.iter (fun (_, fmt) -> Harness.Report.render Csv fmt fig) csv_out)
+    figs;
   Option.iter
     (fun (oc, fmt) ->
       Format.pp_print_flush fmt ();
       close_out oc)
     csv_out;
+  Option.iter
+    (fun path ->
+      let doc =
+        Obs.Json.Assoc
+          [
+            ("schema_version", Obs.Json.Int 1);
+            ("pairs", Obs.Json.Int pairs);
+            ("figures", Obs.Json.List (List.map Harness.Report.figure_json figs));
+          ]
+      in
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc (Obs.Json.to_string doc));
+      Format.printf "wrote JSON report to %s@." path)
+    json_out;
+  Option.iter
+    (fun path ->
+      let buf = Buffer.create 262_144 in
+      let w = Sim.Trace.Chrome.create buf in
+      List.iter
+        (fun fig ->
+          List.iter
+            (fun s ->
+              List.iter
+                (fun (m : Harness.Workload.measurement) ->
+                  Option.iter
+                    (fun tr ->
+                      Sim.Trace.Chrome.add w
+                        ~label:
+                          (Printf.sprintf "fig%d %s p=%d"
+                             fig.Harness.Experiment.number s.Harness.Experiment.algorithm
+                             m.Harness.Workload.params.Harness.Params.processors)
+                        tr)
+                    m.Harness.Workload.trace)
+                s.Harness.Experiment.points)
+            fig.Harness.Experiment.series)
+        figs;
+      Sim.Trace.Chrome.close w;
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc (Buffer.contents buf));
+      Format.printf "wrote Chrome trace to %s@." path)
+    trace_out;
   0
 
 let figures_arg =
@@ -90,12 +136,26 @@ let summary_arg =
 let chart_arg =
   Arg.(value & flag & info [ "chart" ] ~doc:"Also render terminal bar charts.")
 
+let json_arg =
+  Arg.(value & opt (some string) None
+       & info [ "json" ]
+           ~doc:"Also write the figures as a machine-readable JSON report to $(docv)."
+           ~docv:"FILE")
+
+let trace_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ]
+           ~doc:"Write every run's structured trace (most recent 65536 events each) \
+                 as one Chrome-trace JSON file to $(docv) — one chrome process per \
+                 (figure, algorithm, processor count)."
+           ~docv:"FILE")
+
 let cmd =
   let doc = "Regenerate the figures of Michael & Scott (PODC 1996) on the simulator" in
   Cmd.v
     (Cmd.info "msq_figures" ~doc)
     Term.(
       const run $ figures_arg $ pairs_arg $ quantum_arg $ procs_arg $ algos_arg
-      $ csv_arg $ summary_arg $ chart_arg)
+      $ csv_arg $ summary_arg $ chart_arg $ json_arg $ trace_out_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -6,7 +6,9 @@ open Cmdliner
 
 let algo_arg =
   Arg.(value & opt string "ms"
-       & info [ "a"; "algo" ] ~doc:"Algorithm key: single-lock, mc, valois, two-lock, plj, ms.")
+       & info [ "a"; "algo" ]
+           ~doc:"Algorithm key (see the registry): single-lock, mc, valois, two-lock, \
+                 plj, ms, and the extras stone, stone-ring, hb.")
 
 let procs_arg =
   Arg.(value & opt int 8 & info [ "p"; "procs" ] ~doc:"Simulated processors.")
@@ -19,8 +21,20 @@ let mpl_arg =
 
 let pool_arg = Arg.(value & opt int 2_000 & info [ "pool" ] ~doc:"Free-list size.")
 
+let write_chrome ~path ~label tr =
+  let buf = Buffer.create 65_536 in
+  let w = Sim.Trace.Chrome.create buf in
+  Sim.Trace.Chrome.add w ~label tr;
+  Sim.Trace.Chrome.close w;
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (Buffer.contents buf));
+  Format.printf "wrote Chrome trace to %s (%d events%s)@." path (Sim.Trace.length tr)
+    (if Sim.Trace.dropped tr > 0 then
+       Printf.sprintf ", %d dropped" (Sim.Trace.dropped tr)
+     else "")
+
 let run_cmd =
-  let run algo procs pairs mpl trace =
+  let run algo procs pairs mpl trace trace_out =
     let (module Q) = Harness.Registry.find algo in
     if trace then begin
       (* a small traced run printed in full: a readable interleaving *)
@@ -37,11 +51,15 @@ let run_cmd =
       done;
       ignore (Sim.Engine.run eng);
       Format.printf "%a" Sim.Trace.pp tr;
+      Option.iter
+        (fun path -> write_chrome ~path ~label:(algo ^ " (tiny)") tr)
+        trace_out;
       0
     end
     else begin
       let m =
         Harness.Workload.run
+          ?trace_limit:(Option.map (fun _ -> 1_048_576) trace_out)
           (module Q)
           {
             Harness.Params.default with
@@ -52,6 +70,12 @@ let run_cmd =
       in
       Format.printf "%a@." Harness.Workload.pp_measurement m;
       Format.printf "%a@." Sim.Stats.pp m.Harness.Workload.stats;
+      (match (trace_out, m.Harness.Workload.trace) with
+      | Some path, Some tr ->
+          write_chrome ~path
+            ~label:(Printf.sprintf "%s p=%d mpl=%d" algo procs mpl)
+            tr
+      | _ -> ());
       0
     end
   in
@@ -60,9 +84,17 @@ let run_cmd =
          & info [ "trace" ]
              ~doc:"Print the full operation trace of a tiny run instead of statistics.")
   in
+  let trace_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ]
+             ~doc:"Write the run's structured trace as Chrome-trace (catapult) JSON \
+                   to $(docv), loadable in about://tracing or Perfetto."
+             ~docv:"FILE")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"One workload run with full statistics (or --trace)")
-    Term.(const run $ algo_arg $ procs_arg $ pairs_arg $ mpl_arg $ trace_arg)
+    Term.(const run $ algo_arg $ procs_arg $ pairs_arg $ mpl_arg $ trace_arg
+          $ trace_out_arg)
 
 let memory_cmd =
   let run algo procs pairs pool =

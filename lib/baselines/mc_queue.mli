@@ -10,5 +10,3 @@
     is not non-blocking (§1). *)
 
 include Core.Queue_intf.S
-
-val length : 'a t -> int

@@ -29,12 +29,14 @@ let enqueue t v =
     match tail_next with
     | Some n ->
         (* finish the slower enqueuer's operation, then retry *)
+        Locks.Probe.help ();
         help_tail t tail n;
         loop ()
     | None ->
         if Atomic.compare_and_set tail.next tail_next (Some node) then
           help_tail t tail node
         else begin
+          Locks.Probe.cas_retry ();
           Locks.Backoff.once b;
           loop ()
         end
@@ -49,6 +51,7 @@ let dequeue t =
       match tail_next with
       | None -> None
       | Some n ->
+          Locks.Probe.help ();
           help_tail t tail n;
           loop ()
     else
@@ -61,6 +64,7 @@ let dequeue t =
             value
           end
           else begin
+            Locks.Probe.cas_retry ();
             Locks.Backoff.once b;
             loop ()
           end

@@ -11,5 +11,3 @@
     {!Squeues.Plj_queue} for the reconstruction notes. *)
 
 include Core.Queue_intf.S
-
-val length : 'a t -> int

@@ -6,12 +6,6 @@
     the worst under contention or multiprogramming.  {!Make} builds it
     over any lock; the default uses the paper's TTAS-with-backoff. *)
 
-module Make (_ : Locks.Lock_intf.LOCK) : sig
-  include Core.Queue_intf.S
-
-  val length : 'a t -> int
-end
+module Make (_ : Locks.Lock_intf.LOCK) : Core.Queue_intf.S
 
 include Core.Queue_intf.S
-
-val length : 'a t -> int

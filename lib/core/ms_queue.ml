@@ -22,11 +22,13 @@ let enqueue t v =
       | None ->
           if Atomic.compare_and_set tail.next next (Some node) then tail (* E9 *)
           else begin
+            Locks.Probe.cas_retry ();
             Locks.Backoff.once b;
             loop ()
           end
       | Some n ->
           (* E12: Tail is lagging; help it forward and retry *)
+          Locks.Probe.help ();
           ignore (Atomic.compare_and_set t.tail tail n);
           loop ()
     else loop ()
@@ -46,6 +48,7 @@ let dequeue t =
         | None -> None (* D7-D8: empty *)
         | Some n ->
             (* D9: Tail is falling behind; advance it *)
+            Locks.Probe.help ();
             ignore (Atomic.compare_and_set t.tail tail n);
             loop ()
       else
@@ -61,6 +64,7 @@ let dequeue t =
               value
             end
             else begin
+              Locks.Probe.cas_retry ();
               Locks.Backoff.once b;
               loop ()
             end

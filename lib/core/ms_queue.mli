@@ -15,7 +15,3 @@
     variant, and DESIGN.md for the trade-off discussion. *)
 
 include Queue_intf.S
-
-val length : 'a t -> int
-(** Number of items, by walking the list.  O(n), and only a snapshot
-    under concurrent updates — intended for tests and monitoring. *)

@@ -60,10 +60,12 @@ let enqueue t v =
               { ptr = Some node; count = next.count + 1 }
           then tail
           else begin
+            Locks.Probe.cas_retry ();
             Locks.Backoff.once b;
             loop ()
           end
       | Some n ->
+          Locks.Probe.help ();
           ignore
             (Atomic.compare_and_set t.tail tail (* E12 *)
                { ptr = Some n; count = tail.count + 1 });
@@ -89,6 +91,7 @@ let dequeue t =
         match next.ptr with
         | None -> None (* D7-D8 *)
         | Some n ->
+            Locks.Probe.help ();
             ignore
               (Atomic.compare_and_set t.tail tail (* D9 *)
                  { ptr = Some n; count = tail.count + 1 });
@@ -107,6 +110,7 @@ let dequeue t =
               value
             end
             else begin
+              Locks.Probe.cas_retry ();
               Locks.Backoff.once b;
               loop ()
             end

@@ -28,5 +28,3 @@ val tail_count : 'a t -> int
 
 val pool_size : 'a t -> int
 (** Nodes currently on the free list. *)
-
-val length : 'a t -> int

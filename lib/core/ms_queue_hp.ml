@@ -57,10 +57,12 @@ let enqueue t v =
       | None ->
           if Atomic.compare_and_set tail.next next (Some node) then tailo
           else begin
+            Locks.Probe.cas_retry ();
             Locks.Backoff.once b;
             loop ()
           end
       | Some n ->
+          Locks.Probe.help ();
           ignore (Atomic.compare_and_set t.tail tailo (Some n));
           loop ()
     else loop ()
@@ -83,6 +85,7 @@ let dequeue t =
         match nexto with
         | None -> None
         | Some n ->
+            Locks.Probe.help ();
             ignore (Atomic.compare_and_set t.tail tailo (Some n));
             loop ()
       else
@@ -98,6 +101,7 @@ let dequeue t =
               value
             end
             else begin
+              Locks.Probe.cas_retry ();
               Locks.Backoff.once b;
               loop ()
             end

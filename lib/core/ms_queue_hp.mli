@@ -24,5 +24,3 @@ val pool_size : 'a t -> int
 
 val pending_reclamation : 'a t -> int
 (** Retired nodes of the calling domain not yet proven unhazarded. *)
-
-val length : 'a t -> int

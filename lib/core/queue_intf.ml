@@ -30,4 +30,9 @@ module type S = sig
 
   val is_empty : 'a t -> bool
   (** [is_empty q] is [peek q = None] but cheaper where possible. *)
+
+  val length : 'a t -> int
+  (** Number of items.  O(n) for the linked-list queues (a walk from the
+      dummy), and only a snapshot under concurrent updates — intended
+      for tests, monitoring and reporting, not for synchronization. *)
 end

@@ -11,12 +11,6 @@
     critical sections: the tail-side write must be visible to head-side
     readers without a common lock. *)
 
-module Make (_ : Locks.Lock_intf.LOCK) : sig
-  include Queue_intf.S
-
-  val length : 'a t -> int
-end
+module Make (_ : Locks.Lock_intf.LOCK) : Queue_intf.S
 
 include Queue_intf.S
-
-val length : 'a t -> int

@@ -4,11 +4,13 @@ type series = {
   points : Workload.measurement list;
 }
 
-let sweep (module Q : Squeues.Intf.S) ~(base : Params.t) ~procs ~mpl =
+let sweep ?trace_limit (module Q : Squeues.Intf.S) ~(base : Params.t) ~procs ~mpl =
   let points =
     List.map
       (fun p ->
-        Workload.run (module Q) { base with processors = p; multiprogramming = mpl })
+        Workload.run ?trace_limit
+          (module Q)
+          { base with processors = p; multiprogramming = mpl })
       procs
   in
   { algorithm = Q.name; mpl; points }
@@ -19,7 +21,8 @@ type figure = {
   series : series list;
 }
 
-let figure ?(algos = Registry.all) ?(procs = List.init 12 (fun i -> i + 1)) ~base n =
+let figure ?(algos = Registry.all) ?(procs = List.init 12 (fun i -> i + 1))
+    ?trace_limit ~base n =
   let mpl, title =
     match n with
     | 3 -> (1, "Net execution time, dedicated multiprocessor")
@@ -28,7 +31,7 @@ let figure ?(algos = Registry.all) ?(procs = List.init 12 (fun i -> i + 1)) ~bas
     | _ -> invalid_arg "Experiment.figure: the paper has figures 3, 4 and 5"
   in
   let series =
-    List.map (fun { Registry.algo; _ } -> sweep algo ~base ~procs ~mpl) algos
+    List.map (fun { Registry.algo; _ } -> sweep ?trace_limit algo ~base ~procs ~mpl) algos
   in
   { number = n; title; series }
 

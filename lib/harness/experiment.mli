@@ -14,7 +14,12 @@ type series = {
 }
 
 val sweep :
-  (module Squeues.Intf.S) -> base:Params.t -> procs:int list -> mpl:int -> series
+  ?trace_limit:int ->
+  (module Squeues.Intf.S) ->
+  base:Params.t ->
+  procs:int list ->
+  mpl:int ->
+  series
 
 type figure = {
   number : int;  (** 3, 4 or 5 *)
@@ -23,9 +28,15 @@ type figure = {
 }
 
 val figure :
-  ?algos:Registry.entry list -> ?procs:int list -> base:Params.t -> int -> figure
+  ?algos:Registry.entry list ->
+  ?procs:int list ->
+  ?trace_limit:int ->
+  base:Params.t ->
+  int ->
+  figure
 (** [figure ~base n] regenerates paper figure [n] (3, 4 or 5).  [procs]
-    defaults to 1..12; [algos] to the full registry.  Raises
+    defaults to 1..12; [algos] to the full registry; [trace_limit]
+    enables per-run structured tracing (see {!Workload.run}).  Raises
     [Invalid_argument] for other figure numbers. *)
 
 val crossover : figure -> a:string -> b:string -> int option

@@ -10,13 +10,47 @@ let all =
     { key = "ms"; algo = (module Squeues.Ms_queue) };
   ]
 
+let extras =
+  [
+    { key = "stone"; algo = (module Squeues.Stone_queue) };
+    { key = "stone-ring"; algo = (module Squeues.Stone_ring_queue) };
+    { key = "hb"; algo = (module Squeues.Hb_queue) };
+  ]
+
 let keys = List.map (fun e -> e.key) all
 
 let find key =
-  match List.find_opt (fun e -> e.key = key) all with
+  match List.find_opt (fun e -> e.key = key) (all @ extras) with
   | Some e -> e.algo
   | None ->
       raise
         (Invalid_argument
            (Printf.sprintf "unknown algorithm %S (available: %s)" key
-              (String.concat ", " keys)))
+              (String.concat ", " (List.map (fun e -> e.key) (all @ extras)))))
+
+(* ------------------------------------------------------------------ *)
+(* Native queues *)
+
+type native_entry = { key : string; queue : (module Core.Queue_intf.S) }
+
+let native =
+  [
+    { key = "ms"; queue = (module Core.Ms_queue) };
+    { key = "ms-counted"; queue = (module Core.Ms_queue_counted) };
+    { key = "ms-hp"; queue = (module Core.Ms_queue_hp) };
+    { key = "two-lock"; queue = (module Core.Two_lock_queue) };
+    { key = "single-lock"; queue = (module Baselines.Single_lock_queue) };
+    { key = "mc"; queue = (module Baselines.Mc_queue) };
+    { key = "plj"; queue = (module Baselines.Plj_queue) };
+  ]
+
+let native_keys = List.map (fun e -> e.key) native
+
+let find_native key =
+  match List.find_opt (fun e -> e.key = key) native with
+  | Some e -> e.queue
+  | None ->
+      raise
+        (Invalid_argument
+           (Printf.sprintf "unknown native queue %S (available: %s)" key
+              (String.concat ", " native_keys)))

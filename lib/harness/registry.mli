@@ -1,14 +1,40 @@
-(** The algorithms of the paper's evaluation, in its legend order
-    (Figure 3): single lock, MC lock-free, Valois non-blocking, new
-    two-lock, PLJ non-blocking, new non-blocking. *)
+(** The single registry of queue algorithms: simulated (the paper's
+    evaluation) and native (the OCaml 5 implementations).
+
+    Everything that iterates "all algorithms" — the benchmark suite, the
+    figure CLIs, the verification CLI, the JSON reports — goes through
+    this module, so adding a queue is one registration here rather than
+    an edit per tool. *)
 
 type entry = { key : string; algo : (module Squeues.Intf.S) }
 
 val all : entry list
-(** The six algorithms of Figures 3–5. *)
+(** The six algorithms of the paper's Figures 3–5, in the legend order:
+    single lock, MC lock-free, Valois non-blocking, new two-lock, PLJ
+    non-blocking, new non-blocking. *)
+
+val extras : entry list
+(** Simulated algorithms outside the figures — Stone's flawed queues
+    and Herlihy–Wing ("stone", "stone-ring", "hb") — used by the
+    verification tools. *)
 
 val find : string -> (module Squeues.Intf.S)
-(** Look up by key ("single-lock", "mc", "valois", "two-lock", "plj",
-    "ms"); raises [Not_found] with the available keys listed. *)
+(** Look up over {!all} and {!extras}; raises [Invalid_argument] with
+    the available keys listed. *)
 
 val keys : string list
+(** Keys of {!all}, in figure order. *)
+
+(** {1 Native queues}
+
+    The OCaml 5 implementations in {!Core} and {!Baselines}, all
+    satisfying the unified {!Core.Queue_intf.S}. *)
+
+type native_entry = { key : string; queue : (module Core.Queue_intf.S) }
+
+val native : native_entry list
+
+val find_native : string -> (module Core.Queue_intf.S)
+(** Raises [Invalid_argument] with the available keys listed. *)
+
+val native_keys : string list

@@ -1,3 +1,19 @@
+type format = Table | Csv | Chart | Json
+
+let format_of_string s =
+  match String.lowercase_ascii s with
+  | "table" -> Ok Table
+  | "csv" -> Ok Csv
+  | "chart" -> Ok Chart
+  | "json" -> Ok Json
+  | s -> Error (Printf.sprintf "unknown report format %S (table, csv, chart, json)" s)
+
+let format_name = function
+  | Table -> "table"
+  | Csv -> "csv"
+  | Chart -> "chart"
+  | Json -> "json"
+
 let table fmt (fig : Experiment.figure) =
   Format.fprintf fmt "Figure %d: %s@." fig.number fig.title;
   Format.fprintf fmt "(net cycles per enqueue/dequeue pair)@.";
@@ -60,6 +76,67 @@ let chart fmt (fig : Experiment.figure) =
             m.Workload.net_per_pair)
         s.points)
     fig.series
+
+(* ------------------------------------------------------------------ *)
+(* JSON — the machine-readable backend behind BENCH_queues.json *)
+
+let measurement_json (m : Workload.measurement) =
+  let stats = m.Workload.stats in
+  let pairs = m.Workload.params.Params.total_pairs in
+  let throughput =
+    if m.Workload.elapsed <= 0 then 0.
+    else float_of_int pairs *. 1_000_000. /. float_of_int m.Workload.elapsed
+  in
+  Obs.Json.Assoc
+    [
+      ("processors", Obs.Json.Int m.Workload.params.Params.processors);
+      ("mpl", Obs.Json.Int m.Workload.params.Params.multiprogramming);
+      ("elapsed_cycles", Obs.Json.Int m.Workload.elapsed);
+      ("net_time", Obs.Json.Int m.Workload.net_time);
+      ("net_per_pair", Obs.Json.Float m.Workload.net_per_pair);
+      ("pairs_per_mcycle", Obs.Json.Float throughput);
+      ("pairs_done", Obs.Json.Int m.Workload.pairs_done);
+      ("completed", Obs.Json.Bool m.Workload.completed);
+      ("exhausted_pool", Obs.Json.Bool m.Workload.exhausted_pool);
+      ("miss_rate", Obs.Json.Float (Sim.Stats.miss_rate stats));
+      ("utilization", Obs.Json.Float (Sim.Stats.utilization stats));
+      ("cache_hits", Obs.Json.Int stats.Sim.Stats.cache_hits);
+      ("cache_misses", Obs.Json.Int stats.Sim.Stats.cache_misses);
+      ("invalidations", Obs.Json.Int stats.Sim.Stats.invalidations);
+      ("context_switches", Obs.Json.Int stats.Sim.Stats.context_switches);
+      ( "counters",
+        Obs.Json.Assoc
+          (List.map (fun (k, v) -> (k, Obs.Json.Int v)) stats.Sim.Stats.counters) );
+    ]
+
+let figure_json (fig : Experiment.figure) =
+  Obs.Json.Assoc
+    [
+      ("figure", Obs.Json.Int fig.number);
+      ("title", Obs.Json.String fig.title);
+      ( "series",
+        Obs.Json.List
+          (List.map
+             (fun s ->
+               Obs.Json.Assoc
+                 [
+                   ("algorithm", Obs.Json.String s.Experiment.algorithm);
+                   ("mpl", Obs.Json.Int s.Experiment.mpl);
+                   ("points", Obs.Json.List (List.map measurement_json s.points));
+                 ])
+             fig.series) );
+    ]
+
+let json fmt fig = Format.fprintf fmt "%a@." Obs.Json.pp (figure_json fig)
+
+let render format fmt fig =
+  match format with
+  | Table -> table fmt fig
+  | Csv -> csv fmt fig
+  | Chart -> chart fmt fig
+  | Json -> json fmt fig
+
+(* ------------------------------------------------------------------ *)
 
 let find fig name =
   List.find_opt (fun s -> s.Experiment.algorithm = name) fig.Experiment.series

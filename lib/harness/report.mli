@@ -1,20 +1,33 @@
-(** Rendering of experiment results: aligned tables for the terminal and
-    CSV for plotting.  The tables are the textual equivalent of the
-    paper's figures — processor count across, one row per algorithm, net
-    execution time per enqueue/dequeue pair in each cell. *)
+(** Rendering of experiment results behind one entry point.
 
-val table : Format.formatter -> Experiment.figure -> unit
-(** Net cycles per pair; [!] marks incomplete (blocked or exhausted)
-    runs. *)
+    A figure (processor sweep, one series per algorithm) renders to any
+    of four formats:
 
-val csv : Format.formatter -> Experiment.figure -> unit
-(** Columns: figure, algorithm, processors, mpl, net_time, net_per_pair,
-    elapsed, completed, cache_miss_rate. *)
+    - [Table]: aligned terminal table, the textual equivalent of the
+      paper's figures — processor count across, one row per algorithm,
+      net execution time per enqueue/dequeue pair in each cell; [!]
+      marks incomplete (blocked or exhausted) runs.
+    - [Csv]: columns figure, algorithm, processors, mpl, net_time,
+      net_per_pair, elapsed, completed, miss_rate.
+    - [Chart]: terminal bar chart scaled to the figure's maximum — the
+      closest a terminal gets to the paper's plots.
+    - [Json]: the machine-readable record behind [BENCH_queues.json] —
+      per point: processors, mpl, elapsed_cycles, net_time,
+      net_per_pair, pairs_per_mcycle (throughput), pairs_done,
+      completed, exhausted_pool, miss_rate, utilization, cache and
+      context-switch statistics, and the run's algorithm-defined
+      counters (CAS-failure counts and the like). *)
 
-val chart : Format.formatter -> Experiment.figure -> unit
-(** Terminal rendering of the figure: per algorithm, one bar per
-    processor count, scaled to the figure's maximum net time — the
-    closest a terminal gets to the paper's plots. *)
+type format = Table | Csv | Chart | Json
+
+val format_of_string : string -> (format, string) result
+val format_name : format -> string
+
+val render : format -> Format.formatter -> Experiment.figure -> unit
+
+val figure_json : Experiment.figure -> Obs.Json.t
+(** The [Json] rendering as a tree, for embedding in larger documents
+    (the benchmark suite's [BENCH_queues.json]). *)
 
 val summary : Format.formatter -> Experiment.figure -> unit
 (** The paper's qualitative claims evaluated on this figure: which

@@ -8,9 +8,11 @@ type measurement = {
   completed : bool;
   exhausted_pool : bool;
   stats : Sim.Stats.t;
+  trace : Sim.Trace.t option;
 }
 
-let run ?(stall = fun _ -> None) (module Q : Squeues.Intf.S) (params : Params.t) =
+let run ?(stall = fun _ -> None) ?trace_limit (module Q : Squeues.Intf.S)
+    (params : Params.t) =
   let cfg =
     {
       (Sim.Config.with_processors params.processors) with
@@ -19,6 +21,9 @@ let run ?(stall = fun _ -> None) (module Q : Squeues.Intf.S) (params : Params.t)
     }
   in
   let eng = Sim.Engine.create cfg in
+  let trace =
+    Option.map (fun limit -> Sim.Engine.enable_trace ~limit eng) trace_limit
+  in
   let options =
     {
       Squeues.Intf.pool = params.pool;
@@ -79,6 +84,7 @@ let run ?(stall = fun _ -> None) (module Q : Squeues.Intf.S) (params : Params.t)
     completed = (outcome = Sim.Engine.Completed) && not !exhausted;
     exhausted_pool = !exhausted;
     stats = Sim.Engine.stats eng;
+    trace;
   }
 
 let pp_measurement fmt m =

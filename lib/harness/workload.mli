@@ -20,15 +20,20 @@ type measurement = {
   completed : bool;  (** false on step-limit (blocked) or pool exhaustion *)
   exhausted_pool : bool;  (** a bounded pool ran dry ({!Squeues.Intf.Out_of_nodes}) *)
   stats : Sim.Stats.t;
+  trace : Sim.Trace.t option;  (** populated when [run ~trace_limit] *)
 }
 
 val run :
   ?stall:(Sim.Engine.pid -> (int * int) option) ->
+  ?trace_limit:int ->
   (module Squeues.Intf.S) ->
   Params.t ->
   measurement
 (** Execute one configuration.  [stall], given a process id, may return
     [(at, duration)] to plan a delay for that process (delay-injection
-    experiments); default none. *)
+    experiments); default none.  [trace_limit] enables structured
+    operation tracing on the run's engine, keeping the most recent
+    [trace_limit] events in the measurement's [trace] — export with
+    {!Sim.Trace.Chrome}. *)
 
 val pp_measurement : Format.formatter -> measurement -> unit

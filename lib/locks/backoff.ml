@@ -18,6 +18,7 @@ let next_random t =
   t.seed
 
 let once t =
+  Probe.backoff ();
   let iterations = 1 + (next_random t mod t.bound) in
   for _ = 1 to iterations do
     Domain.cpu_relax ()

@@ -1,0 +1,70 @@
+(* Slots are rows of a flat int array, one row per domain, padded to two
+   cache lines so concurrent bumps never share a line.  Increments are
+   plain (non-atomic) stores: each row is written by one domain only, and
+   readers summing across rows tolerate a momentarily stale cell. *)
+
+let n_rows = 128
+let row_words = 16 (* 128 bytes: two lines on common hardware *)
+
+(* cells within a row *)
+let cas_retry_cell = 0
+let backoff_cell = 1
+let help_cell = 2
+let n_cells = 3
+
+let slots = Array.make (n_rows * row_words) 0
+
+let enabled = ref false
+
+let enable () = enabled := true
+let disable () = enabled := false
+
+let row () = ((Domain.self () :> int) land (n_rows - 1)) * row_words
+
+let bump cell =
+  if !enabled then begin
+    let i = row () + cell in
+    slots.(i) <- slots.(i) + 1
+  end
+
+let cas_retry () = bump cas_retry_cell
+let backoff () = bump backoff_cell
+let help () = bump help_cell
+
+type counts = { cas_retries : int; backoffs : int; helps : int }
+
+let read_row base =
+  {
+    cas_retries = slots.(base + cas_retry_cell);
+    backoffs = slots.(base + backoff_cell);
+    helps = slots.(base + help_cell);
+  }
+
+let local () = read_row (row ())
+
+let totals () =
+  let acc = ref { cas_retries = 0; backoffs = 0; helps = 0 } in
+  for r = 0 to n_rows - 1 do
+    let c = read_row (r * row_words) in
+    acc :=
+      {
+        cas_retries = !acc.cas_retries + c.cas_retries;
+        backoffs = !acc.backoffs + c.backoffs;
+        helps = !acc.helps + c.helps;
+      }
+  done;
+  !acc
+
+let diff a b =
+  {
+    cas_retries = a.cas_retries - b.cas_retries;
+    backoffs = a.backoffs - b.backoffs;
+    helps = a.helps - b.helps;
+  }
+
+let reset () =
+  for r = 0 to n_rows - 1 do
+    for c = 0 to n_cells - 1 do
+      slots.((r * row_words) + c) <- 0
+    done
+  done

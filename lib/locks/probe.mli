@@ -1,0 +1,48 @@
+(** Per-domain event probes for the native queues and locks.
+
+    The hot paths of the native algorithms report contention events here
+    — a failed CAS retried, a backoff spin, a help-along (the paper's
+    E12/D9 lagging-tail fix-ups) — through calls that are a single
+    [bool ref] test when probing is disabled, so the instrumented paths
+    cost nothing measurable by default.  {!Obs} enables probing and
+    attributes the per-domain deltas to individual operations; see
+    [Obs.Instrumented].
+
+    Counters live in cache-line-padded per-domain slots (plain stores,
+    single writer per slot), so enabling them adds no coherence traffic
+    between domains.  Domains whose id collide modulo the slot count
+    share a row; totals remain monotonic, merely coarser. *)
+
+val enabled : bool ref
+(** Probing switch; exposed for tests. Prefer {!enable}/{!disable}. *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+
+(** {1 Emission (hot paths)} *)
+
+val cas_retry : unit -> unit
+(** A CAS failed and the operation is about to retry its loop. *)
+
+val backoff : unit -> unit
+(** One bounded-exponential-backoff spin ({!Backoff.once}). *)
+
+val help : unit -> unit
+(** A lagging-tail help-along: the paper's E12 or D9 line. *)
+
+(** {1 Reading} *)
+
+type counts = { cas_retries : int; backoffs : int; helps : int }
+
+val local : unit -> counts
+(** The calling domain's counts — cheap; used to attribute a single
+    operation's events by differencing around the call. *)
+
+val totals : unit -> counts
+(** Sum over every domain's slot. *)
+
+val diff : counts -> counts -> counts
+(** [diff after before] — pointwise subtraction. *)
+
+val reset : unit -> unit
+(** Zero every slot.  Callers must ensure no concurrent emission. *)

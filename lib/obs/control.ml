@@ -1,0 +1,16 @@
+let switch = ref false
+
+let enable () =
+  switch := true;
+  Locks.Probe.enable ()
+
+let disable () =
+  switch := false;
+  Locks.Probe.disable ()
+
+let enabled () = !switch
+
+let with_enabled f =
+  let was = !switch in
+  enable ();
+  Fun.protect ~finally:(fun () -> if not was then disable ()) f

@@ -1,0 +1,14 @@
+(** The global metrics switch.
+
+    Disabled by default: instrumented queues forward straight to the
+    wrapped implementation and the {!Locks.Probe} hot-path hooks reduce
+    to one [bool ref] test, so shipping instrumented queues costs
+    nothing measurable.  Enabling turns on both the probes and the
+    latency/counter recording of {!Instrumented} wrappers. *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+val enabled : unit -> bool
+
+val with_enabled : (unit -> 'a) -> 'a
+(** Run with metrics on, restoring the previous state afterwards. *)

@@ -1,0 +1,51 @@
+(** Power-of-two (log2-bucketed) histograms for latencies and counts.
+
+    Bucket [i] collects samples whose value has [i] significant bits:
+    bucket 0 holds [v <= 0], bucket 1 holds [v = 1], and bucket [i >= 1]
+    holds [2^(i-1) <= v < 2^i] — constant-time recording with ~2x
+    resolution, the standard shape for latency distributions whose tails
+    span orders of magnitude.
+
+    Recording goes to a per-domain row (disjoint memory per domain, no
+    atomics on the hot path); reads aggregate the rows and are accurate
+    once writers are quiescent. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> int -> unit
+(** Constant time; safe from any domain. *)
+
+val bucket_of : int -> int
+(** The bucket index a value lands in (exposed for tests). *)
+
+val lower_bound : int -> int
+(** Smallest value of a bucket: [0] for bucket 0, else [2^(i-1)]. *)
+
+val upper_bound : int -> int
+(** Largest value of a bucket: [0] for bucket 0, else [2^i - 1]. *)
+
+val count : t -> int
+(** Total samples recorded. *)
+
+val bucket_count : t -> int -> int
+
+val buckets : t -> (int * int) list
+(** Non-empty buckets, ascending: (lower bound, sample count). *)
+
+val merge : t -> t -> t
+(** A fresh histogram holding both inputs' samples. *)
+
+val merge_into : into:t -> t -> unit
+
+val percentile : t -> float -> int option
+(** Upper bound of the bucket containing the p-th percentile sample;
+    [None] when empty.  Bucket granularity makes this exact to within a
+    factor of two — enough to compare algorithms. *)
+
+val reset : t -> unit
+val pp : Format.formatter -> t -> unit
+
+val to_json : t -> Json.t
+(** [{"count": n, "buckets": [{"ge": lower_bound, "count": c}, ...]}] *)

@@ -1,0 +1,56 @@
+module type S = sig
+  include Core.Queue_intf.S
+
+  val metrics : 'a t -> Metrics.t
+end
+
+let now_ns () = Int64.to_int (Monotonic_clock.now ())
+
+module Make (Q : Core.Queue_intf.S) : S = struct
+  type 'a t = { q : 'a Q.t; m : Metrics.t }
+
+  let name = Q.name
+
+  let create () = { q = Q.create (); m = Metrics.create Q.name }
+
+  let metrics t = t.m
+
+  (* Run [f], attributing its latency and its per-domain probe deltas
+     (CAS retries, backoffs, helps) to this queue's metrics. *)
+  let measured m latency count_events f =
+    let before = Locks.Probe.local () in
+    let t0 = now_ns () in
+    let result = f () in
+    let dt = now_ns () - t0 in
+    let d = Locks.Probe.diff (Locks.Probe.local ()) before in
+    Histogram.record latency dt;
+    if count_events then begin
+      if d.Locks.Probe.cas_retries > 0 then
+        Counter.add m.Metrics.cas_retries d.Locks.Probe.cas_retries;
+      Histogram.record m.Metrics.retries_per_op d.Locks.Probe.cas_retries;
+      if d.Locks.Probe.backoffs > 0 then
+        Counter.add m.Metrics.backoffs d.Locks.Probe.backoffs;
+      if d.Locks.Probe.helps > 0 then Counter.add m.Metrics.helps d.Locks.Probe.helps
+    end;
+    result
+
+  let enqueue t v =
+    if not (Control.enabled ()) then Q.enqueue t.q v
+    else begin
+      Counter.incr t.m.Metrics.enqueues;
+      measured t.m t.m.Metrics.enq_latency true (fun () -> Q.enqueue t.q v)
+    end
+
+  let dequeue t =
+    if not (Control.enabled ()) then Q.dequeue t.q
+    else begin
+      Counter.incr t.m.Metrics.dequeues;
+      let r = measured t.m t.m.Metrics.deq_latency true (fun () -> Q.dequeue t.q) in
+      if r = None then Counter.incr t.m.Metrics.empty_dequeues;
+      r
+    end
+
+  let peek t = Q.peek t.q
+  let is_empty t = Q.is_empty t.q
+  let length t = Q.length t.q
+end

@@ -1,0 +1,21 @@
+(** [Make (Q)] wraps any native queue with operation metrics.
+
+    The wrapper satisfies the same {!Core.Queue_intf.S} signature (plus
+    a {!S.metrics} accessor), so it drops into every harness, benchmark
+    and test unchanged — the randomized FIFO tests run through it to
+    prove semantics are preserved.
+
+    With metrics disabled ({!Control}) each operation is one branch plus
+    a delegating call; enabled, the wrapper records per-operation
+    latency (ns, monotonic clock) and attributes the {!Locks.Probe}
+    events the wrapped operation emitted — failed-CAS retries, backoff
+    spins, E12/D9 help-alongs — by differencing the calling domain's
+    probe counters around the call. *)
+
+module type S = sig
+  include Core.Queue_intf.S
+
+  val metrics : 'a t -> Metrics.t
+end
+
+module Make (Q : Core.Queue_intf.S) : S

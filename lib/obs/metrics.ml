@@ -1,0 +1,68 @@
+type t = {
+  name : string;
+  enqueues : Counter.t;
+  dequeues : Counter.t;
+  empty_dequeues : Counter.t;
+  enq_latency : Histogram.t;
+  deq_latency : Histogram.t;
+  cas_retries : Counter.t;
+  retries_per_op : Histogram.t;
+  backoffs : Counter.t;
+  helps : Counter.t;
+}
+
+let create name =
+  {
+    name;
+    enqueues = Counter.create ();
+    dequeues = Counter.create ();
+    empty_dequeues = Counter.create ();
+    enq_latency = Histogram.create ();
+    deq_latency = Histogram.create ();
+    cas_retries = Counter.create ();
+    retries_per_op = Histogram.create ();
+    backoffs = Counter.create ();
+    helps = Counter.create ();
+  }
+
+let reset t =
+  Counter.reset t.enqueues;
+  Counter.reset t.dequeues;
+  Counter.reset t.empty_dequeues;
+  Histogram.reset t.enq_latency;
+  Histogram.reset t.deq_latency;
+  Counter.reset t.cas_retries;
+  Histogram.reset t.retries_per_op;
+  Counter.reset t.backoffs;
+  Counter.reset t.helps
+
+let to_json t =
+  Json.Assoc
+    [
+      ("name", Json.String t.name);
+      ("enqueues", Json.Int (Counter.value t.enqueues));
+      ("dequeues", Json.Int (Counter.value t.dequeues));
+      ("empty_dequeues", Json.Int (Counter.value t.empty_dequeues));
+      ("cas_retries", Json.Int (Counter.value t.cas_retries));
+      ("backoffs", Json.Int (Counter.value t.backoffs));
+      ("helps", Json.Int (Counter.value t.helps));
+      ("enq_latency_ns", Histogram.to_json t.enq_latency);
+      ("deq_latency_ns", Histogram.to_json t.deq_latency);
+      ("retries_per_op", Histogram.to_json t.retries_per_op);
+    ]
+
+let pp fmt t =
+  let p50 h = match Histogram.percentile h 50. with Some v -> v | None -> 0 in
+  let p99 h = match Histogram.percentile h 99. with Some v -> v | None -> 0 in
+  Format.fprintf fmt
+    "@[<v>%s: enq=%d deq=%d (empty %d)@ \
+     latency ns (p50/p99): enq %d/%d deq %d/%d@ \
+     cas retries=%d backoffs=%d helps=%d@]"
+    t.name
+    (Counter.value t.enqueues)
+    (Counter.value t.dequeues)
+    (Counter.value t.empty_dequeues)
+    (p50 t.enq_latency) (p99 t.enq_latency) (p50 t.deq_latency) (p99 t.deq_latency)
+    (Counter.value t.cas_retries)
+    (Counter.value t.backoffs)
+    (Counter.value t.helps)

@@ -1,0 +1,31 @@
+(** Per-queue operation metrics: what {!Instrumented} wrappers record.
+
+    All fields use the padded per-domain primitives of this library, so
+    a metrics object is safe to feed from every domain at once.
+    Latencies are in nanoseconds (monotonic clock); [retries_per_op] is
+    the distribution of failed-CAS retries attributed to a single
+    enqueue or dequeue — the paper's contention measure, and the
+    evaluation axis of the follow-on SCQ work. *)
+
+type t = {
+  name : string;
+  enqueues : Counter.t;
+  dequeues : Counter.t;
+  empty_dequeues : Counter.t;  (** dequeues that returned [None] *)
+  enq_latency : Histogram.t;  (** ns per enqueue *)
+  deq_latency : Histogram.t;  (** ns per dequeue *)
+  cas_retries : Counter.t;
+  retries_per_op : Histogram.t;  (** CAS retries of one operation *)
+  backoffs : Counter.t;  (** {!Locks.Backoff.once} invocations *)
+  helps : Counter.t;  (** E12/D9 lagging-tail help-alongs *)
+}
+
+val create : string -> t
+val reset : t -> unit
+
+val to_json : t -> Json.t
+(** Counters flat, histograms via {!Histogram.to_json}; keys:
+    name, enqueues, dequeues, empty_dequeues, cas_retries, backoffs,
+    helps, enq_latency_ns, deq_latency_ns, retries_per_op. *)
+
+val pp : Format.formatter -> t -> unit

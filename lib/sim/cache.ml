@@ -7,11 +7,19 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable invalidations : int;
+  mutable last_hit : bool;
 }
 
 let create cfg =
   if cfg.Config.n_processors > 62 then invalid_arg "Cache.create: too many processors";
-  { cfg; lines = Hashtbl.create 4096; hits = 0; misses = 0; invalidations = 0 }
+  {
+    cfg;
+    lines = Hashtbl.create 4096;
+    hits = 0;
+    misses = 0;
+    invalidations = 0;
+    last_hit = true;
+  }
 
 let line t addr = (addr - 1) / t.cfg.Config.line_words
 
@@ -27,10 +35,12 @@ let read_cost t ~proc ~addr =
   let bit = 1 lsl proc in
   if mask land bit <> 0 then begin
     t.hits <- t.hits + 1;
+    t.last_hit <- true;
     t.cfg.Config.cache_hit_cost
   end
   else begin
     t.misses <- t.misses + 1;
+    t.last_hit <- false;
     Hashtbl.replace t.lines addr (mask lor bit);
     t.cfg.Config.cache_miss_cost
   end
@@ -42,11 +52,13 @@ let write_cost t ~proc ~addr =
   if mask = bit then begin
     (* Sole owner: silent upgrade / hit. *)
     t.hits <- t.hits + 1;
+    t.last_hit <- true;
     t.cfg.Config.cache_hit_cost
   end
   else begin
     let remote = popcount (mask land lnot bit) in
     t.misses <- t.misses + 1;
+    t.last_hit <- false;
     t.invalidations <- t.invalidations + remote;
     Hashtbl.replace t.lines addr bit;
     t.cfg.Config.cache_miss_cost + (remote * t.cfg.Config.invalidate_cost)
@@ -55,6 +67,7 @@ let write_cost t ~proc ~addr =
 let rmw_cost t ~proc ~addr =
   write_cost t ~proc ~addr + t.cfg.Config.atomic_extra_cost
 
+let last_hit t = t.last_hit
 let hits t = t.hits
 let misses t = t.misses
 let invalidations t = t.invalidations

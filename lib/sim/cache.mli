@@ -35,6 +35,10 @@ val rmw_cost : t -> proc:int -> addr:int -> int
 
 (** {1 Statistics} *)
 
+val last_hit : t -> bool
+(** Whether the most recent cost query was a hit — read by the engine
+    immediately after the access to stamp trace events. *)
+
 val hits : t -> int
 val misses : t -> int
 val invalidations : t -> int

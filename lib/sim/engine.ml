@@ -273,13 +273,26 @@ let step_processor t (cpu : processor) =
             ignore (Queue.pop cpu.runq);
             if t.failure = None then t.failure <- Some e
         | Api.Pending (op, k) ->
+            let start = cpu.clock in
             let cost, reply = exec_op t cpu p op in
             cpu.clock <- cpu.clock + cost;
             cpu.busy <- cpu.busy + cost;
             (match t.trace with
             | Some tr ->
+                let hit =
+                  if Trace.is_memory_op op then Some (Cache.last_hit t.cache)
+                  else None
+                in
                 Trace.record tr
-                  { Trace.time = cpu.clock; cpu = cpu.id; pid = p.pid; op; reply }
+                  {
+                    Trace.time = cpu.clock;
+                    start;
+                    cpu = cpu.id;
+                    pid = p.pid;
+                    op;
+                    reply;
+                    hit;
+                  }
             | None -> ());
             cpu.quantum_left <- cpu.quantum_left - cost;
             t.steps <- t.steps + 1;

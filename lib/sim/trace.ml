@@ -1,9 +1,11 @@
 type event = {
   time : int;
+  start : int;
   cpu : int;
   pid : int;
   op : Op.t;
   reply : Op.reply;
+  hit : bool option;
 }
 
 type t = {
@@ -48,13 +50,130 @@ let op_addr (op : Op.t) =
   | Op.Free { addr = a; _ } -> Some a
   | Op.Alloc _ | Op.Work _ | Op.Yield | Op.Count _ | Op.Now | Op.Self -> None
 
+let is_memory_op (op : Op.t) =
+  match op with
+  | Op.Read _ | Op.Write _ | Op.Cas _ | Op.Fetch_and_add _ | Op.Swap _
+  | Op.Test_and_set _ | Op.Load_linked _ | Op.Store_conditional _ -> true
+  | Op.Alloc _ | Op.Free _ | Op.Work _ | Op.Yield | Op.Count _ | Op.Now | Op.Self ->
+      false
+
+let op_kind (op : Op.t) =
+  match op with
+  | Op.Read _ -> "read"
+  | Op.Write _ -> "write"
+  | Op.Cas _ -> "cas"
+  | Op.Fetch_and_add _ -> "fetch_and_add"
+  | Op.Swap _ -> "swap"
+  | Op.Test_and_set _ -> "test_and_set"
+  | Op.Load_linked _ -> "load_linked"
+  | Op.Store_conditional _ -> "store_conditional"
+  | Op.Alloc _ -> "alloc"
+  | Op.Free _ -> "free"
+  | Op.Work _ -> "work"
+  | Op.Yield -> "yield"
+  | Op.Count _ -> "count"
+  | Op.Now -> "now"
+  | Op.Self -> "self"
+
 let touching t ~addr =
   List.filter (fun e -> op_addr e.op = Some addr) (events t)
 
 let pp_event fmt e =
-  Format.fprintf fmt "[%8d] cpu%d p%d %a -> %a" e.time e.cpu e.pid Op.pp e.op
+  Format.fprintf fmt "[%8d] cpu%d p%d %a -> %a%s" e.time e.cpu e.pid Op.pp e.op
     Op.pp_reply e.reply
+    (match e.hit with Some true -> " (hit)" | Some false -> " (miss)" | None -> "")
 
 let pp fmt t =
   List.iter (fun e -> Format.fprintf fmt "%a@." pp_event e) (events t);
   if dropped t > 0 then Format.fprintf fmt "... (%d earlier events dropped)@." (dropped t)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome-trace (catapult) export.
+
+   One JSON object per operation, "ph":"X" complete events: ts = start
+   cycle, dur = cycle cost, rendered as if one cycle were one
+   microsecond.  Each simulated run becomes one chrome "process"
+   (selected by [proc]); simulated processes map to chrome threads, so
+   about://tracing and Perfetto show one swim lane per process with the
+   per-operation cache behaviour in the args pane. *)
+
+module Chrome = struct
+  type writer = { buf : Buffer.t; mutable first : bool; mutable next_proc : int }
+
+  let create buf =
+    Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    { buf; first = true; next_proc = 0 }
+
+  let escape s =
+    let b = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let emit w json =
+    if w.first then w.first <- false else Buffer.add_char w.buf ',';
+    Buffer.add_string w.buf json
+
+  let add w ?proc ?label t =
+    let proc =
+      match proc with
+      | Some p -> p
+      | None ->
+          let p = w.next_proc in
+          w.next_proc <- p + 1;
+          p
+    in
+    (match label with
+    | Some l ->
+        emit w
+          (Printf.sprintf
+             "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"args\":{\"name\":\"%s\"}}"
+             proc (escape l))
+    | None -> ());
+    List.iter
+      (fun e ->
+        let args = Buffer.create 64 in
+        Buffer.add_string args (Printf.sprintf "\"cpu\":%d" e.cpu);
+        (match op_addr e.op with
+        | Some a -> Buffer.add_string args (Printf.sprintf ",\"addr\":%d" a)
+        | None -> ());
+        (match e.hit with
+        | Some h -> Buffer.add_string args (Printf.sprintf ",\"hit\":%b" h)
+        | None -> ());
+        Buffer.add_string args
+          (Printf.sprintf ",\"op\":\"%s\",\"reply\":\"%s\""
+             (escape (Format.asprintf "%a" Op.pp e.op))
+             (escape (Format.asprintf "%a" Op.pp_reply e.reply)));
+        emit w
+          (Printf.sprintf
+             "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%d,\"dur\":%d,\
+              \"pid\":%d,\"tid\":%d,\"args\":{%s}}"
+             (op_kind e.op)
+             (if is_memory_op e.op then "mem" else "sim")
+             e.start
+             (max 0 (e.time - e.start))
+             proc e.pid (Buffer.contents args)))
+      (events t);
+    if dropped t > 0 then
+      emit w
+        (Printf.sprintf
+           "{\"name\":\"dropped %d earlier events\",\"ph\":\"I\",\"ts\":0,\"pid\":%d,\
+            \"tid\":0,\"s\":\"p\"}"
+           (dropped t) proc)
+
+  let close w = Buffer.add_string w.buf "]}"
+end
+
+let to_chrome_string ?label t =
+  let buf = Buffer.create 4096 in
+  let w = Chrome.create buf in
+  Chrome.add w ?label t;
+  Chrome.close w;
+  Buffer.contents buf

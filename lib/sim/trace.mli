@@ -1,18 +1,24 @@
 (** Execution traces of simulated runs.
 
-    When enabled on an {!Engine}, every operation is recorded with its
-    processor, process, clock and reply — the raw material for debugging
-    an interleaving, asserting fine-grained scheduling properties in
-    tests, or replaying the history of a failure found by the model
-    checker.  Recording is host-side only and does not perturb simulated
-    timing. *)
+    When enabled on an {!Engine}, every operation is recorded as a
+    structured event — operation (with its address, via {!op_addr}),
+    processor, process, start and completion cycle, and whether a memory
+    operation hit or missed in the simulated cache — the raw material
+    for debugging an interleaving, asserting fine-grained scheduling
+    properties in tests, replaying a failure found by the model checker,
+    or visual inspection through the {!Chrome} exporter.  Recording is
+    host-side only and does not perturb simulated timing. *)
 
 type event = {
   time : int;  (** processor clock when the operation completed *)
+  start : int;  (** processor clock when it began; cost = time - start *)
   cpu : int;
   pid : int;
   op : Op.t;
   reply : Op.reply;
+  hit : bool option;
+      (** memory operations: [Some true] on a cache hit; [None] for
+          non-memory operations (work, yield, alloc, ...) *)
 }
 
 type t
@@ -40,5 +46,43 @@ val by_pid : t -> int -> event list
 val touching : t -> addr:int -> event list
 (** Events whose operation reads or writes the given address. *)
 
+val op_addr : Op.t -> int option
+(** The memory address an operation touches, if any. *)
+
+val is_memory_op : Op.t -> bool
+(** True for the operations that go through the cache model. *)
+
+val op_kind : Op.t -> string
+(** Stable lower-case kind name ("read", "cas", "work", ...), used as
+    the event name in Chrome traces and in reports. *)
+
 val pp_event : Format.formatter -> event -> unit
 val pp : Format.formatter -> t -> unit
+
+(** {1 Chrome-trace export}
+
+    The catapult JSON format loadable in [about://tracing] or
+    {{:https://ui.perfetto.dev}Perfetto}.  Operations become complete
+    ("ph":"X") events with [ts] = start cycle and [dur] = cycle cost
+    (one simulated cycle is rendered as one microsecond); each trace
+    added to a writer becomes one chrome {e process} (labelled via
+    [?label]), and simulated processes map to chrome {e threads}.  The
+    [args] pane carries the address, the cache hit/miss and the reply of
+    every operation. *)
+
+module Chrome : sig
+  type writer
+
+  val create : Buffer.t -> writer
+  (** Opens the top-level JSON object and its "traceEvents" array. *)
+
+  val add : writer -> ?proc:int -> ?label:string -> t -> unit
+  (** Append one trace as chrome process [proc] (default: the next
+      unused id), optionally named [label]. *)
+
+  val close : writer -> unit
+  (** Closes the JSON; the buffer then holds a complete valid document. *)
+end
+
+val to_chrome_string : ?label:string -> t -> string
+(** One-trace convenience wrapper around {!Chrome}. *)

@@ -370,7 +370,15 @@ let test_trace_bounded () =
   let tr = Trace.create ~limit:4 () in
   for i = 1 to 10 do
     Trace.record tr
-      { Trace.time = i; cpu = 0; pid = 0; op = Op.Work i; reply = Op.Unit }
+      {
+        Trace.time = i;
+        start = i;
+        cpu = 0;
+        pid = 0;
+        op = Op.Work i;
+        reply = Op.Unit;
+        hit = None;
+      }
   done;
   Alcotest.(check int) "keeps the limit" 4 (Trace.length tr);
   Alcotest.(check int) "counts drops" 6 (Trace.dropped tr);

@@ -87,7 +87,8 @@ let test_registry () =
   Alcotest.check_raises "unknown key"
     (Invalid_argument
        "unknown algorithm \"nope\" (available: single-lock, mc, valois, two-lock, \
-        plj, ms)") (fun () -> ignore (Harness.Registry.find "nope"))
+        plj, ms, stone, stone-ring, hb)")
+    (fun () -> ignore (Harness.Registry.find "nope"))
 
 (* ------------------------------------------------------------------ *)
 (* Figures *)
@@ -129,14 +130,14 @@ let test_crossover_detection () =
 
 let test_report_renders () =
   let fig = tiny_figure 3 in
-  let table = Format.asprintf "%a" Harness.Report.table fig in
+  let table = Format.asprintf "%a" (Harness.Report.render Table) fig in
   Alcotest.(check bool) "table mentions every algorithm" true
     (List.for_all
        (fun { Harness.Registry.algo = (module Q); _ } ->
          let re = Str.regexp_string Q.name in
          (try ignore (Str.search_forward re table 0); true with Not_found -> false))
        Harness.Registry.all);
-  let csv = Format.asprintf "%a" Harness.Report.csv fig in
+  let csv = Format.asprintf "%a" (Harness.Report.render Csv) fig in
   Alcotest.(check int) "csv rows = points + header" (1 + (6 * 3))
     (List.length (String.split_on_char '\n' (String.trim csv)))
 

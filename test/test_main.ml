@@ -12,4 +12,5 @@ let () =
          Test_harness.suites;
          Test_extensions.suites;
          Test_more.suites;
+         Test_obs.suites;
        ])

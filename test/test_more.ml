@@ -259,7 +259,7 @@ let test_chart_renders () =
         [ { Harness.Registry.key = "ms"; algo = (module Squeues.Ms_queue) } ]
       3
   in
-  let rendered = Format.asprintf "%a" Harness.Report.chart fig in
+  let rendered = Format.asprintf "%a" (Harness.Report.render Chart) fig in
   Alcotest.(check bool) "bars present" true (contains rendered "#");
   Alcotest.(check bool) "algorithm named" true (contains rendered "ms-nonblocking")
 
