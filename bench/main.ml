@@ -236,14 +236,99 @@ let native_domains () =
   in
   List.iter (fun { Harness.Registry.queue; _ } -> run queue) Harness.Registry.native
 
+(* Native batched workload: throughput vs batch size, every domain
+   hammering one queue with no think time (the highest-contention
+   shape).  Runs over every batch-capable queue in the registry;
+   batch=1 is the single-element baseline, so the sweep shows directly
+   what amortizing the index claim over a batch buys.  This is the
+   "batched" section of BENCH_queues.json. *)
+let batched_sweep () =
+  heading "Native batched workload (2 domains, shared queue, items/s by batch size)";
+  (* a trial must span many scheduler timeslices or its wall time is
+     mostly noise: at ~4M items/s, 200k items is ~50ms per trial *)
+  let items = if smoke then 200_000 else 400_000 in
+  (* best-of-5: on a timeshared core a single run's wall time is
+     dominated by scheduler noise; the best of several runs
+     approximates the machine's capability at each batch size *)
+  let repeats = 5 in
+  List.concat_map
+    (fun (e : Harness.Registry.batch_entry) ->
+      let (module Q : Core.Queue_intf.BATCH) = e.queue in
+      List.map
+        (fun batch ->
+          let best = ref None in
+          for _ = 1 to repeats do
+            let m =
+              Harness.Workload_variants.batched (module Q) ~domains:2 ~items ~batch
+                ()
+            in
+            match !best with
+            | Some b
+              when b.Harness.Workload_variants.items_per_second
+                   >= m.Harness.Workload_variants.items_per_second ->
+                ()
+            | _ -> best := Some m
+          done;
+          let m = Option.get !best in
+          Format.printf "  %a@." Harness.Workload_variants.pp_batch_measurement m;
+          Obs.Json.Assoc
+            [
+              ("queue", Obs.Json.String m.Harness.Workload_variants.queue);
+              ("batch", Obs.Json.Int m.Harness.Workload_variants.batch);
+              ("domains", Obs.Json.Int m.Harness.Workload_variants.domains);
+              ("total_items", Obs.Json.Int m.Harness.Workload_variants.total_items);
+              ("seconds", Obs.Json.Float m.Harness.Workload_variants.seconds);
+              ( "items_per_second",
+                Obs.Json.Float m.Harness.Workload_variants.items_per_second );
+            ])
+        [ 1; 2; 4; 8; 16; 32 ])
+    Harness.Registry.native_batch
+
 (* Native instrumented metrics: every registered queue through the
    [Obs.Instrumented] wrapper with metrics enabled — per-operation
    latency histograms plus the probe events (CAS retries, backoffs,
-   E12/D9 help-alongs) of a two-domain enqueue/dequeue workload.  This
-   is the "native" section of BENCH_queues.json. *)
+   E12/D9 help-alongs and segment-transition races) of a two-domain
+   enqueue/dequeue workload.  Batch-capable queues additionally run a
+   batch=8 workload through [Obs.Instrumented.Make_batch] (reported as
+   "<key>/batch8"), so the JSON also attributes segment-transition CAS
+   retries to batch operations.  This is the "native" section of
+   BENCH_queues.json.
+
+   The throughput fields (pairs_per_second, ns_per_pair) come from a
+   separate UNinstrumented best-of-3 run of the same two-domain loop:
+   the wrapper's two clock reads per operation cost about as much as a
+   fast queue operation itself, which would compress real throughput
+   differences between algorithms; and on a timeshared core a single
+   run's wall time is mostly scheduler noise.  The latency histograms
+   and event counters are from the instrumented run. *)
+
+(* Uninstrumented 2-domain throughput, best of [repeats] runs. *)
+let raw_throughput (module Q : Core.Queue_intf.S) ~per ~repeats =
+  let run () =
+    let q = Q.create () in
+    let worker () =
+      for i = 1 to per do
+        Q.enqueue q i;
+        ignore (Q.dequeue q)
+      done
+    in
+    let t0 = Unix.gettimeofday () in
+    let d = Domain.spawn worker in
+    worker ();
+    Domain.join d;
+    Unix.gettimeofday () -. t0
+  in
+  let best = ref (run ()) in
+  for _ = 2 to repeats do
+    let dt = run () in
+    if dt < !best then best := dt
+  done;
+  !best
+
 let instrumented_metrics () =
   heading "Native instrumented metrics (2 domains, metrics enabled)";
   let per = if smoke then 5_000 else 50_000 in
+  let throughput_per = if smoke then 50_000 else 100_000 in
   List.map
     (fun { Harness.Registry.queue = (module Q : Core.Queue_intf.S); _ } ->
       let module I = Obs.Instrumented.Make (Q) in
@@ -255,14 +340,16 @@ let instrumented_metrics () =
               ignore (I.dequeue q)
             done
           in
-          let t0 = Unix.gettimeofday () in
           let d = Domain.spawn worker in
           worker ();
           Domain.join d;
-          let dt = Unix.gettimeofday () -. t0 in
           let m = I.metrics q in
           Format.printf "  %a@." Obs.Metrics.pp m;
-          let total_pairs = 2 * per in
+          let dt = raw_throughput (module Q) ~per:throughput_per ~repeats:3 in
+          let total_pairs = 2 * throughput_per in
+          let pairs_per_second = float_of_int total_pairs /. dt in
+          Format.printf "  %-24s %10.0f pairs/s (uninstrumented best-of-3)@."
+            "" pairs_per_second;
           let ns_per_pair = dt *. 1e9 /. float_of_int total_pairs in
           let metric_fields =
             match Obs.Metrics.to_json m with Obs.Json.Assoc kvs -> kvs | _ -> []
@@ -272,25 +359,77 @@ let instrumented_metrics () =
             @ [
                 ("pairs", Obs.Json.Int total_pairs);
                 ("ns_per_pair", Obs.Json.Float ns_per_pair);
-                ( "pairs_per_second",
-                  Obs.Json.Float (float_of_int total_pairs /. dt) );
+                ("pairs_per_second", Obs.Json.Float pairs_per_second);
               ])))
     Harness.Registry.native
 
-let write_json figs native =
+let instrumented_batch_metrics () =
+  let per = if smoke then 5_000 else 50_000 in
+  let batch = 8 in
+  List.map
+    (fun (e : Harness.Registry.batch_entry) ->
+      let (module Q : Core.Queue_intf.BATCH) = e.queue in
+      let module I = Obs.Instrumented.Make_batch (Q) in
+      let q = I.create () in
+      Obs.Control.with_enabled (fun () ->
+          let rounds = per / batch in
+          let worker () =
+            for r = 1 to rounds do
+              I.enqueue_batch q (List.init batch (fun k -> (r * batch) + k));
+              let got = ref 0 in
+              while !got < batch do
+                match I.dequeue_batch q ~max:(batch - !got) with
+                | [] -> Domain.cpu_relax ()
+                | l -> got := !got + List.length l
+              done
+            done
+          in
+          let t0 = Unix.gettimeofday () in
+          let d = Domain.spawn worker in
+          worker ();
+          Domain.join d;
+          let dt = Unix.gettimeofday () -. t0 in
+          let m = I.metrics q in
+          Format.printf "  [batch=%d] %a@." batch Obs.Metrics.pp m;
+          let total_items = 2 * rounds * batch in
+          let metric_fields =
+            match Obs.Metrics.to_json m with
+            | Obs.Json.Assoc kvs ->
+                (* rename so the entry is distinguishable from the same
+                   queue's single-op record in the "native" list *)
+                List.map
+                  (function
+                    | "name", Obs.Json.String n ->
+                        ("name", Obs.Json.String (Printf.sprintf "%s/batch%d" n batch))
+                    | kv -> kv)
+                  kvs
+            | _ -> []
+          in
+          Obs.Json.Assoc
+            (metric_fields
+            @ [
+                ("batch", Obs.Json.Int batch);
+                ("items", Obs.Json.Int total_items);
+                ( "items_per_second",
+                  Obs.Json.Float (float_of_int total_items /. dt) );
+              ])))
+    Harness.Registry.native_batch
+
+let write_json figs native batched =
   match json_path with
   | None -> ()
   | Some path ->
       let doc =
         Obs.Json.Assoc
           [
-            ("schema_version", Obs.Json.Int 1);
+            ("schema_version", Obs.Json.Int 2);
             ("suite", Obs.Json.String "msqueue-bench");
             ("pairs", Obs.Json.Int pairs);
             ("quantum", Obs.Json.Int quantum);
             ("smoke", Obs.Json.Bool smoke);
             ("figures", Obs.Json.List (List.map Harness.Report.figure_json figs));
             ("native", Obs.Json.List native);
+            ("batched", Obs.Json.List batched);
           ]
       in
       Out_channel.with_open_text path (fun oc ->
@@ -315,6 +454,7 @@ let () =
     microbench ();
     native_domains ()
   end;
-  let native = instrumented_metrics () in
-  write_json figs native;
+  let batched = batched_sweep () in
+  let native = instrumented_metrics () @ instrumented_batch_metrics () in
+  write_json figs native batched;
   Format.printf "@.done.@."

@@ -122,8 +122,94 @@ let lin_cmd =
           each against the sequential FIFO specification.")
     Term.(const run $ algo_arg $ procs $ ops $ rounds)
 
+(* Linearizability of the NATIVE queues (real domains, not the
+   simulator): record every operation of a small multi-domain workload
+   through the stamp recorder and check the history against the
+   sequential FIFO spec.  Batch-capable queues (Registry.native_batch)
+   are additionally driven through enqueue_batch/dequeue_batch, each
+   batch recorded as a multi-element event over one interval. *)
+let native_lin_cmd =
+  let run key domains ops rounds =
+    let (module Q : Core.Queue_intf.S) = Harness.Registry.find_native key in
+    let batch_q =
+      if List.mem key Harness.Registry.native_batch_keys then
+        Some (Harness.Registry.find_native_batch key)
+      else None
+    in
+    let failures = ref 0 in
+    let check round recorder =
+      match Lincheck.Checker.check (Lincheck.History.history recorder) with
+      | Lincheck.Checker.Linearizable -> ()
+      | Lincheck.Checker.Not_linearizable ->
+          incr failures;
+          Format.printf "round %d: NON-LINEARIZABLE@." round
+      | Lincheck.Checker.Inconclusive ->
+          Format.printf "round %d: inconclusive@." round
+    in
+    for round = 1 to rounds do
+      let q = Q.create () in
+      let recorder = Lincheck.History.create_recorder () in
+      let body i () =
+        for k = 1 to ops do
+          let v = (i * 1000) + k in
+          Lincheck.History.record recorder ~proc:i (fun () ->
+              Q.enqueue q v;
+              Lincheck.History.Enq v);
+          Lincheck.History.record recorder ~proc:i (fun () ->
+              Lincheck.History.Deq (Q.dequeue q))
+        done
+      in
+      let ds = List.init domains (fun i -> Domain.spawn (body i)) in
+      List.iter Domain.join ds;
+      check round recorder
+    done;
+    (match batch_q with
+    | None -> ()
+    | Some (module B : Core.Queue_intf.BATCH) ->
+        for round = 1 to rounds do
+          let q = B.create () in
+          let recorder = Lincheck.History.create_recorder () in
+          let body i () =
+            for k = 1 to ops do
+              let base = (i * 1000) + (k * 10) in
+              let vs = List.init 3 (fun j -> base + j) in
+              Lincheck.History.record_many recorder ~proc:i (fun () ->
+                  B.enqueue_batch q vs;
+                  List.map (fun v -> Lincheck.History.Enq v) vs);
+              Lincheck.History.record_many recorder ~proc:i (fun () ->
+                  List.map
+                    (fun v -> Lincheck.History.Deq (Some v))
+                    (B.dequeue_batch q ~max:3))
+            done
+          in
+          let ds = List.init domains (fun i -> Domain.spawn (body i)) in
+          List.iter Domain.join ds;
+          check round recorder
+        done;
+        Format.printf "%s: batch rounds included (batch=3)@." key);
+    Format.printf "%s: %d rounds x %d domains, %d linearizability failures@." key
+      rounds domains !failures;
+    if !failures = 0 then 0 else 1
+  in
+  let key =
+    Arg.(
+      value & opt string "segmented"
+      & info [ "q"; "queue" ]
+          ~doc:"Native queue key (see Harness.Registry.native_keys).")
+  in
+  let domains = Arg.(value & opt int 2 & info [ "d"; "domains" ] ~doc:"Domains.") in
+  let ops = Arg.(value & opt int 4 & info [ "ops" ] ~doc:"Pairs per domain.") in
+  let rounds = Arg.(value & opt int 25 & info [ "rounds" ] ~doc:"Repetitions.") in
+  Cmd.v
+    (Cmd.info "native-lin"
+       ~doc:
+         "Record concurrent histories of a NATIVE OCaml 5 queue across real \
+          domains and check each against the sequential FIFO specification; \
+          batch-capable queues also exercise their batch operations.")
+    Term.(const run $ key $ domains $ ops $ rounds)
+
 let cmd =
   let doc = "Verification tools for the PODC 1996 queue reproduction" in
-  Cmd.group (Cmd.info "msq_check" ~doc) [ explore_cmd; lin_cmd ]
+  Cmd.group (Cmd.info "msq_check" ~doc) [ explore_cmd; lin_cmd; native_lin_cmd ]
 
 let () = exit (Cmd.eval' cmd)

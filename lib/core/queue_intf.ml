@@ -33,6 +33,42 @@ module type S = sig
 
   val length : 'a t -> int
   (** Number of items.  O(n) for the linked-list queues (a walk from the
-      dummy), and only a snapshot under concurrent updates — intended
-      for tests, monitoring and reporting, not for synchronization. *)
+      dummy), and only a {e racy snapshot} under concurrent updates:
+      while other domains enqueue and dequeue, the walk can observe a
+      mix of states, so the only guarantees are [0 <= length q] and
+      [length q <=] the total number of enqueues ever started.  The
+      result is NOT the size at any single linearization point — two
+      back-to-back calls may disagree in either direction.  Intended for
+      tests, monitoring and reporting, never for synchronization
+      (e.g. do not use [length q = 0] to decide that a concurrent
+      consumer may stop; use {!dequeue} returning [None]).  The
+      concurrent bounds are exercised by the [length bounds under
+      concurrency] stress test in [test/test_qcheck_queues.ml]. *)
+end
+
+(** Optional extension: queues that can claim a whole index range with
+    one atomic operation amortize per-element synchronization across a
+    batch.  [enqueue_batch]/[dequeue_batch] are NOT atomic as a group —
+    elements from concurrent batches may interleave — but each batch
+    claims contiguous slots with a single fetch-and-add, so on the
+    (common) uncontended path the elements are adjacent in FIFO order
+    and the per-element cost drops to one array store or load. *)
+module type BATCH = sig
+  include S
+
+  val enqueue_batch : 'a t -> 'a list -> unit
+  (** Add every element, first element first.  One index-range claim
+      covers the whole list when it fits in the current segment;
+      elements that lose a slot race (or overflow the segment) are
+      re-claimed in list order, so the batch's elements always dequeue
+      in list order relative to each other. *)
+
+  val dequeue_batch : 'a t -> max:int -> 'a list
+  (** Remove and return at most [max] items, in FIFO order.  Claims up
+      to [max] slots with one fetch-and-add; returns fewer than [max]
+      (possibly [[]]) when the queue holds fewer items, when the claim
+      reaches the end of the current segment (a claim never spans a
+      segment boundary — call again for the rest), or when claimed
+      slots were still being filled by in-flight enqueuers.  [[]] does
+      not linearizably prove emptiness — use {!S.dequeue} for that. *)
 end

@@ -31,6 +31,27 @@ let find key =
 (* ------------------------------------------------------------------ *)
 (* Native queues *)
 
+(* Queues that additionally satisfy [Queue_intf.BATCH].  Kept as a
+   separate table (rather than a flag on [native]) so callers get the
+   batch operations without a downcast.  Declared before [native_entry]
+   so that unannotated [{ key; queue }] patterns elsewhere keep
+   resolving to the (far more common) native entry type. *)
+
+type batch_entry = { key : string; queue : (module Core.Queue_intf.BATCH) }
+
+let native_batch = [ { key = "segmented"; queue = (module Core.Segmented_queue) } ]
+
+let native_batch_keys = List.map (fun (e : batch_entry) -> e.key) native_batch
+
+let find_native_batch key =
+  match List.find_opt (fun (e : batch_entry) -> e.key = key) native_batch with
+  | Some e -> e.queue
+  | None ->
+      raise
+        (Invalid_argument
+           (Printf.sprintf "unknown batch queue %S (available: %s)" key
+              (String.concat ", " native_batch_keys)))
+
 type native_entry = { key : string; queue : (module Core.Queue_intf.S) }
 
 let native =
@@ -38,6 +59,7 @@ let native =
     { key = "ms"; queue = (module Core.Ms_queue) };
     { key = "ms-counted"; queue = (module Core.Ms_queue_counted) };
     { key = "ms-hp"; queue = (module Core.Ms_queue_hp) };
+    { key = "segmented"; queue = (module Core.Segmented_queue) };
     { key = "two-lock"; queue = (module Core.Two_lock_queue) };
     { key = "single-lock"; queue = (module Baselines.Single_lock_queue) };
     { key = "mc"; queue = (module Baselines.Mc_queue) };

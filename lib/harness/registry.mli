@@ -30,6 +30,26 @@ val keys : string list
     The OCaml 5 implementations in {!Core} and {!Baselines}, all
     satisfying the unified {!Core.Queue_intf.S}. *)
 
+(** {2 Batch-capable native queues}
+
+    The subset of the native table that also satisfies
+    {!Core.Queue_intf.BATCH} ([enqueue_batch]/[dequeue_batch]); a
+    separate table so callers reach the batch operations without a
+    downcast.  Every entry's [key] also appears in {!native}.
+    (Declared before {!native_entry} so unannotated [{ key; queue }]
+    patterns over the native table keep resolving to it.) *)
+
+type batch_entry = { key : string; queue : (module Core.Queue_intf.BATCH) }
+
+val native_batch : batch_entry list
+
+val find_native_batch : string -> (module Core.Queue_intf.BATCH)
+(** Raises [Invalid_argument] with the available keys listed. *)
+
+val native_batch_keys : string list
+
+(** {2 The native table} *)
+
 type native_entry = { key : string; queue : (module Core.Queue_intf.S) }
 
 val native : native_entry list

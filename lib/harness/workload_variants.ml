@@ -80,3 +80,68 @@ let pp_measurement fmt m =
   Format.fprintf fmt "%-18s %-18s %7.0f cycles/op%s" m.algorithm m.variant
     m.cycles_per_op
     (if m.completed then "" else " [incomplete]")
+
+(* ------------------------------------------------------------------ *)
+(* Native batched workload (real domains, wall clock).
+
+   Unlike the measurements above this one runs on the OCaml 5 queues,
+   not in the simulator: batch operations only exist natively
+   ([Core.Queue_intf.BATCH]) and their payoff — one index-range claim
+   amortized over the batch — is a property of real fetch-and-add
+   traffic.  Every domain hammers the same queue with no think time
+   (the highest-contention shape), alternating one [enqueue_batch] of
+   [batch] items with [dequeue_batch]es until it has drained as many,
+   so the total item count is fixed while the synchronization count
+   shrinks by the batch factor.  [batch = 1] degenerates to the
+   single-element API and serves as the baseline of a sweep. *)
+
+type batch_measurement = {
+  queue : string;
+  batch : int;
+  domains : int;
+  total_items : int;  (* items enqueued (= dequeued) across all domains *)
+  seconds : float;
+  items_per_second : float;
+}
+
+let batched (module Q : Core.Queue_intf.BATCH) ?(domains = 2) ?(items = 20_000)
+    ~batch () =
+  if batch < 1 then invalid_arg "Workload_variants.batched: batch must be >= 1";
+  let q = Q.create () in
+  let rounds = items / batch in
+  let total_items = rounds * batch * domains in
+  let gate = Atomic.make 0 in
+  let body i () =
+    Atomic.incr gate;
+    while Atomic.get gate < domains do
+      Domain.cpu_relax ()
+    done;
+    for r = 1 to rounds do
+      let base = (i * 1_000_000_000) + (r * batch) in
+      Q.enqueue_batch q (List.init batch (fun k -> base + k));
+      (* drain as many as we enqueued; a batch dequeue may come up
+         short while producers are mid-publish, so loop on the rest *)
+      let got = ref 0 in
+      while !got < batch do
+        match Q.dequeue_batch q ~max:(batch - !got) with
+        | [] -> Domain.cpu_relax ()
+        | l -> got := !got + List.length l
+      done
+    done
+  in
+  let t0 = Unix.gettimeofday () in
+  let ds = List.init domains (fun i -> Domain.spawn (body i)) in
+  List.iter Domain.join ds;
+  let seconds = Unix.gettimeofday () -. t0 in
+  {
+    queue = Q.name;
+    batch;
+    domains;
+    total_items;
+    seconds;
+    items_per_second = float_of_int total_items /. seconds;
+  }
+
+let pp_batch_measurement fmt m =
+  Format.fprintf fmt "%-12s batch=%-3d domains=%d %9.0f items/s" m.queue m.batch
+    m.domains m.items_per_second

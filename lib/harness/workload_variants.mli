@@ -43,3 +43,35 @@ val burst :
     300-cycle other work between operations. *)
 
 val pp_measurement : Format.formatter -> measurement -> unit
+
+(** {1 Native batched workload}
+
+    Runs on the OCaml 5 queues (real domains, wall clock), not in the
+    simulator: batch operations only exist natively
+    ({!Core.Queue_intf.BATCH}).  All [domains] domains share one queue
+    with no think time — the highest-contention shape — each
+    alternating an [enqueue_batch] of [batch] items with dequeues of
+    the same count, so a sweep over [batch] holds the item total fixed
+    while dividing the index-claim (FAA) count by the batch size.
+    [batch = 1] is the single-element baseline. *)
+
+type batch_measurement = {
+  queue : string;
+  batch : int;
+  domains : int;
+  total_items : int;  (** items enqueued (= dequeued) across all domains *)
+  seconds : float;
+  items_per_second : float;
+}
+
+val batched :
+  (module Core.Queue_intf.BATCH) ->
+  ?domains:int ->
+  ?items:int ->
+  batch:int ->
+  unit ->
+  batch_measurement
+(** Defaults: 2 domains, 20,000 items per domain (rounded down to a
+    multiple of [batch]). *)
+
+val pp_batch_measurement : Format.formatter -> batch_measurement -> unit

@@ -37,6 +37,13 @@ let record r ~proc f =
   let finish = Atomic.fetch_and_add r.stamp 1 in
   b := { proc; op; start; finish } :: !b
 
+let record_many r ~proc f =
+  let b = bucket r proc in
+  let start = Atomic.fetch_and_add r.stamp 1 in
+  let ops = f () in
+  let finish = Atomic.fetch_and_add r.stamp 1 in
+  List.iter (fun op -> b := { proc; op; start; finish } :: !b) ops
+
 let history r =
   Mutex.lock r.buckets_lock;
   let entries = Hashtbl.fold (fun _ b acc -> !b @ acc) r.buckets [] in

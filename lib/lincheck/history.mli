@@ -33,6 +33,17 @@ val record : recorder -> proc:int -> (unit -> op) -> unit
     Thread-safe across domains; [proc] must be unique per thread of
     control. *)
 
+val record_many : recorder -> proc:int -> (unit -> op list) -> unit
+(** [record_many r ~proc f] runs [f] (which performs one compound queue
+    operation — e.g. a {!Core.Queue_intf.BATCH} batch — and returns one
+    descriptor per element) between two stamps and logs every element
+    as an entry over that single shared interval.  The checker then
+    treats the elements as concurrent within the window, which
+    over-approximates the orders a batch can take; a [Not_linearizable]
+    verdict is therefore still a real violation, while per-batch
+    element order is checked separately (values within one batch must
+    dequeue in batch order — see [test/test_lincheck.ml]). *)
+
 val history : recorder -> t
 (** Collect all recorded entries.  Call only after the recorded
     processes have finished. *)

@@ -4,7 +4,30 @@ module type S = sig
   val metrics : 'a t -> Metrics.t
 end
 
+module type BATCH_S = sig
+  include Core.Queue_intf.BATCH
+
+  val metrics : 'a t -> Metrics.t
+end
+
 let now_ns () = Int64.to_int (Monotonic_clock.now ())
+
+(* Run [f], attributing its latency and its per-domain probe deltas
+   (CAS retries, backoffs, helps) to [m]. *)
+let measured m latency f =
+  let before = Locks.Probe.local () in
+  let t0 = now_ns () in
+  let result = f () in
+  let dt = now_ns () - t0 in
+  let d = Locks.Probe.diff (Locks.Probe.local ()) before in
+  Histogram.record latency dt;
+  if d.Locks.Probe.cas_retries > 0 then
+    Counter.add m.Metrics.cas_retries d.Locks.Probe.cas_retries;
+  Histogram.record m.Metrics.retries_per_op d.Locks.Probe.cas_retries;
+  if d.Locks.Probe.backoffs > 0 then
+    Counter.add m.Metrics.backoffs d.Locks.Probe.backoffs;
+  if d.Locks.Probe.helps > 0 then Counter.add m.Metrics.helps d.Locks.Probe.helps;
+  result
 
 module Make (Q : Core.Queue_intf.S) : S = struct
   type 'a t = { q : 'a Q.t; m : Metrics.t }
@@ -15,38 +38,75 @@ module Make (Q : Core.Queue_intf.S) : S = struct
 
   let metrics t = t.m
 
-  (* Run [f], attributing its latency and its per-domain probe deltas
-     (CAS retries, backoffs, helps) to this queue's metrics. *)
-  let measured m latency count_events f =
-    let before = Locks.Probe.local () in
-    let t0 = now_ns () in
-    let result = f () in
-    let dt = now_ns () - t0 in
-    let d = Locks.Probe.diff (Locks.Probe.local ()) before in
-    Histogram.record latency dt;
-    if count_events then begin
-      if d.Locks.Probe.cas_retries > 0 then
-        Counter.add m.Metrics.cas_retries d.Locks.Probe.cas_retries;
-      Histogram.record m.Metrics.retries_per_op d.Locks.Probe.cas_retries;
-      if d.Locks.Probe.backoffs > 0 then
-        Counter.add m.Metrics.backoffs d.Locks.Probe.backoffs;
-      if d.Locks.Probe.helps > 0 then Counter.add m.Metrics.helps d.Locks.Probe.helps
-    end;
-    result
-
   let enqueue t v =
     if not (Control.enabled ()) then Q.enqueue t.q v
     else begin
       Counter.incr t.m.Metrics.enqueues;
-      measured t.m t.m.Metrics.enq_latency true (fun () -> Q.enqueue t.q v)
+      measured t.m t.m.Metrics.enq_latency (fun () -> Q.enqueue t.q v)
     end
 
   let dequeue t =
     if not (Control.enabled ()) then Q.dequeue t.q
     else begin
       Counter.incr t.m.Metrics.dequeues;
-      let r = measured t.m t.m.Metrics.deq_latency true (fun () -> Q.dequeue t.q) in
+      let r = measured t.m t.m.Metrics.deq_latency (fun () -> Q.dequeue t.q) in
       if r = None then Counter.incr t.m.Metrics.empty_dequeues;
+      r
+    end
+
+  let peek t = Q.peek t.q
+  let is_empty t = Q.is_empty t.q
+  let length t = Q.length t.q
+end
+
+(* The batch wrapper: the per-element operations are instrumented
+   exactly as in [Make]; each batch call is one latency sample in the
+   corresponding histogram (a batch's sample covers all its elements)
+   while the operation counters advance by the element count, keeping
+   "enqueues = elements enqueued" true across both APIs.  Probe deltas
+   (segment-transition CAS retries, poisoned-slot races) are attributed
+   to the batch exactly as to a single operation. *)
+module Make_batch (Q : Core.Queue_intf.BATCH) : BATCH_S = struct
+  type 'a t = { q : 'a Q.t; m : Metrics.t }
+
+  let name = Q.name
+
+  let create () = { q = Q.create (); m = Metrics.create Q.name }
+
+  let metrics t = t.m
+
+  let enqueue t v =
+    if not (Control.enabled ()) then Q.enqueue t.q v
+    else begin
+      Counter.incr t.m.Metrics.enqueues;
+      measured t.m t.m.Metrics.enq_latency (fun () -> Q.enqueue t.q v)
+    end
+
+  let dequeue t =
+    if not (Control.enabled ()) then Q.dequeue t.q
+    else begin
+      Counter.incr t.m.Metrics.dequeues;
+      let r = measured t.m t.m.Metrics.deq_latency (fun () -> Q.dequeue t.q) in
+      if r = None then Counter.incr t.m.Metrics.empty_dequeues;
+      r
+    end
+
+  let enqueue_batch t vs =
+    if not (Control.enabled ()) then Q.enqueue_batch t.q vs
+    else begin
+      Counter.add t.m.Metrics.enqueues (List.length vs);
+      measured t.m t.m.Metrics.enq_latency (fun () -> Q.enqueue_batch t.q vs)
+    end
+
+  let dequeue_batch t ~max =
+    if not (Control.enabled ()) then Q.dequeue_batch t.q ~max
+    else begin
+      let r =
+        measured t.m t.m.Metrics.deq_latency (fun () -> Q.dequeue_batch t.q ~max)
+      in
+      (match r with
+      | [] -> Counter.incr t.m.Metrics.empty_dequeues
+      | _ :: _ -> Counter.add t.m.Metrics.dequeues (List.length r));
       r
     end
 

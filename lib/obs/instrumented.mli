@@ -19,3 +19,23 @@ module type S = sig
 end
 
 module Make (Q : Core.Queue_intf.S) : S
+
+(** {1 Batch-capable queues}
+
+    [Make_batch (Q)] is [Make (Q)] plus instrumented
+    [enqueue_batch]/[dequeue_batch]: each batch call records one
+    latency sample (covering all its elements) in the per-operation
+    histogram, advances the [enqueues]/[dequeues] counters by the
+    element count (so counters keep meaning "elements", not "calls"),
+    and attributes the probe events the batch emitted — including the
+    segmented queue's segment-transition CAS retries — exactly as a
+    single operation would.  An empty [dequeue_batch] result counts as
+    one [empty_dequeues]. *)
+
+module type BATCH_S = sig
+  include Core.Queue_intf.BATCH
+
+  val metrics : 'a t -> Metrics.t
+end
+
+module Make_batch (Q : Core.Queue_intf.BATCH) : BATCH_S

@@ -7,6 +7,7 @@ let all_queues : (string * (module Core.Queue_intf.S)) list =
     ("ms", (module Core.Ms_queue));
     ("ms-counted", (module Core.Ms_queue_counted));
     ("ms-hazard", (module Core.Ms_queue_hp));
+    ("segmented", (module Core.Segmented_queue));
     ("two-lock", (module Core.Two_lock_queue));
     ("single-lock", (module Baselines.Single_lock_queue));
     ("mc", (module Baselines.Mc_queue));

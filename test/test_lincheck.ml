@@ -130,26 +130,37 @@ let test_recorder_basic () =
 (* ------------------------------------------------------------------ *)
 (* Properties *)
 
-(* Any single-process (sequential) run of the real queue yields a
-   linearizable history. *)
-let qcheck_sequential_always_linearizable =
-  QCheck2.Test.make ~count:50 ~name:"sequential MS-queue histories linearizable"
+(* Any single-process (sequential) run of a real queue yields a
+   linearizable history — instantiated for the paper's queue and for
+   the implementations whose extra machinery (locks, hazard-pointer
+   reclamation, segment transitions) could plausibly reorder. *)
+let qcheck_sequential_lin name (module Q : Core.Queue_intf.S) =
+  QCheck2.Test.make ~count:50
+    ~name:(Printf.sprintf "sequential %s histories linearizable" name)
     QCheck2.Gen.(
       list_size (int_range 1 25)
         (oneof [ map (fun v -> `Enq v) (int_range 0 50); return `Deq ]))
     (fun ops ->
-      let q = Core.Ms_queue.create () in
+      let q = Q.create () in
       let r = History.create_recorder () in
       List.iter
         (function
           | `Enq v ->
               History.record r ~proc:0 (fun () ->
-                  Core.Ms_queue.enqueue q v;
+                  Q.enqueue q v;
                   History.Enq v)
-          | `Deq ->
-              History.record r ~proc:0 (fun () -> History.Deq (Core.Ms_queue.dequeue q)))
+          | `Deq -> History.record r ~proc:0 (fun () -> History.Deq (Q.dequeue q)))
         ops;
       Checker.check (History.history r) = Checker.Linearizable)
+
+let qcheck_sequential_always_linearizable =
+  qcheck_sequential_lin "MS-queue" (module Core.Ms_queue)
+
+let qcheck_sequential_two_lock =
+  qcheck_sequential_lin "two-lock" (module Core.Two_lock_queue)
+
+let qcheck_sequential_ms_hp =
+  qcheck_sequential_lin "MS-queue/HP" (module Core.Ms_queue_hp)
 
 (* Corrupting one dequeue result in a valid sequential history makes it
    non-linearizable (as long as the value is fresh). *)
@@ -177,6 +188,114 @@ let qcheck_corruption_detected =
           h
       in
       Checker.check corrupted = Checker.Not_linearizable)
+
+(* ------------------------------------------------------------------ *)
+(* Batch operations as multi-element events (History.record_many) *)
+
+(* record_many logs one entry per element over a single shared
+   interval *)
+let test_record_many_basic () =
+  let r = History.create_recorder () in
+  History.record_many r ~proc:0 (fun () ->
+      [ History.Enq 1; History.Enq 2; History.Enq 3 ]);
+  History.record r ~proc:0 (fun () -> History.Deq (Some 1));
+  let h = History.history r in
+  Alcotest.(check int) "four entries" 4 (List.length h);
+  let enqs = List.filter (fun e -> match e.History.op with History.Enq _ -> true | _ -> false) h in
+  (match enqs with
+  | e :: rest ->
+      List.iter
+        (fun e' ->
+          Alcotest.(check int) "shared start" e.History.start e'.History.start;
+          Alcotest.(check int) "shared finish" e.History.finish e'.History.finish)
+        rest
+  | [] -> Alcotest.fail "no enqueue entries");
+  check_v "batch history is consistent" Checker.Linearizable h
+
+(* sequential segmented-queue traces mixing batch and single ops,
+   recorded through record_many, stay linearizable *)
+let qcheck_batch_sequential_lin =
+  let module Q = Core.Segmented_queue in
+  QCheck2.Test.make ~count:50
+    ~name:"sequential segmented batch histories linearizable"
+    QCheck2.Gen.(
+      list_size (int_range 1 15)
+        (oneof
+           [
+             map (fun l -> `EnqBatch l) (list_size (int_range 1 5) (int_range 0 50));
+             map (fun n -> `DeqBatch n) (int_range 1 5);
+             map (fun v -> `Enq v) (int_range 0 50);
+             return `Deq;
+           ]))
+    (fun ops ->
+      let q = Q.create () in
+      let r = History.create_recorder () in
+      List.iter
+        (function
+          | `EnqBatch l ->
+              History.record_many r ~proc:0 (fun () ->
+                  Q.enqueue_batch q l;
+                  List.map (fun v -> History.Enq v) l)
+          | `DeqBatch n ->
+              History.record_many r ~proc:0 (fun () ->
+                  List.map
+                    (fun v -> History.Deq (Some v))
+                    (Q.dequeue_batch q ~max:n))
+          | `Enq v ->
+              History.record r ~proc:0 (fun () ->
+                  Q.enqueue q v;
+                  History.Enq v)
+          | `Deq -> History.record r ~proc:0 (fun () -> History.Deq (Q.dequeue q)))
+        ops;
+      Checker.check (History.history r) = Checker.Linearizable)
+
+(* 2-domain segmented batch workload: the over-approximated history
+   (batch elements concurrent within their interval) must check out,
+   and within every dequeued batch the elements of a single producer
+   batch must appear in batch order.  Values encode (producer, batch
+   number, position) so order inside a batch is recoverable. *)
+let test_batch_two_domain_lin () =
+  let module Q = Core.Segmented_queue in
+  let batch = 3 and rounds_per_domain = 8 in
+  for _round = 1 to 5 do
+    let q = Q.create () in
+    let r = History.create_recorder () in
+    let dequeued = Array.make 2 [] in
+    let body i () =
+      for k = 1 to rounds_per_domain do
+        let vs = List.init batch (fun j -> (i * 100_000) + (k * 100) + j) in
+        History.record_many r ~proc:i (fun () ->
+            Q.enqueue_batch q vs;
+            List.map (fun v -> History.Enq v) vs);
+        History.record_many r ~proc:i (fun () ->
+            let got = Q.dequeue_batch q ~max:batch in
+            dequeued.(i) <- List.rev_append got dequeued.(i);
+            List.map (fun v -> History.Deq (Some v)) got)
+      done
+    in
+    let ds = List.init 2 (fun i -> Domain.spawn (body i)) in
+    List.iter Domain.join ds;
+    check_v "2-domain batch history" Checker.Linearizable (History.history r);
+    (* per-batch element order: within EACH consumer's chronological
+       stream (FIFO gives each consumer queue-order delivery), the
+       elements it received from one producer batch must appear in
+       batch-position order; cross-consumer order is not observable *)
+    for d = 0 to 1 do
+      let stream = List.rev dequeued.(d) in
+      for i = 0 to 1 do
+        for k = 1 to rounds_per_domain do
+          let positions =
+            List.filter_map
+              (fun v -> if v / 100 = (i * 1000) + k then Some (v mod 100) else None)
+              stream
+          in
+          Alcotest.(check (list int))
+            (Printf.sprintf "consumer %d sees batch (%d,%d) in batch order" d i k)
+            (List.sort compare positions) positions
+        done
+      done
+    done
+  done
 
 (* Interval widening preserves linearizability: if a history has a
    witness order, enlarging operation intervals only adds freedom. *)
@@ -311,7 +430,16 @@ let suites =
       [
         Alcotest.test_case "basic" `Quick test_recorder_basic;
         QCheck_alcotest.to_alcotest qcheck_sequential_always_linearizable;
+        QCheck_alcotest.to_alcotest qcheck_sequential_two_lock;
+        QCheck_alcotest.to_alcotest qcheck_sequential_ms_hp;
         QCheck_alcotest.to_alcotest qcheck_corruption_detected;
+      ] );
+    ( "lincheck.batch",
+      [
+        Alcotest.test_case "record_many intervals" `Quick test_record_many_basic;
+        QCheck_alcotest.to_alcotest qcheck_batch_sequential_lin;
+        Alcotest.test_case "2-domain segmented batches" `Slow
+          test_batch_two_domain_lin;
       ] );
     ( "lincheck.properties",
       [

@@ -13,4 +13,5 @@ let () =
          Test_extensions.suites;
          Test_more.suites;
          Test_obs.suites;
+         Test_qcheck_queues.suites;
        ])

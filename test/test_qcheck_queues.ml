@@ -1,0 +1,264 @@
+(* Randomized property tests run generically over EVERY native queue in
+   Harness.Registry.native (and every batch-capable queue in
+   Harness.Registry.native_batch) — modeled on saturn's qcheck suites
+   for its Michael-Scott queue.  A queue registered in the registry is
+   picked up here with no edits, so the net tightens automatically as
+   queues are added.
+
+   Sequential properties (FIFO order, drain count, length consistency)
+   compare against the obviously-correct Stdlib.Queue; the concurrent
+   ones check what survives real 2-domain interleavings: exact order
+   preservation with one producer and one consumer, and the documented
+   [0, enqueues-started] bounds on the racy [length] snapshot. *)
+
+let natives =
+  List.map
+    (fun { Harness.Registry.key; queue } -> (key, queue))
+    Harness.Registry.native
+
+let batch_natives =
+  List.map
+    (fun (e : Harness.Registry.batch_entry) -> (e.key, e.queue))
+    Harness.Registry.native_batch
+
+(* ------------------------------------------------------------------ *)
+(* Sequential properties *)
+
+(* enqueue a whole list, dequeue everything: exact FIFO order *)
+let prop_fifo_order key (module Q : Core.Queue_intf.S) =
+  QCheck2.Test.make ~count:100 ~name:(key ^ ": dequeue order = enqueue order")
+    QCheck2.Gen.(list_size (int_range 0 200) int)
+    (fun l ->
+      let q = Q.create () in
+      List.iter (Q.enqueue q) l;
+      let out = List.init (List.length l) (fun _ -> Q.dequeue q) in
+      out = List.map Option.some l && Q.dequeue q = None)
+
+(* push n, pop until is_empty: exactly n pops, then None *)
+let prop_drain_count key (module Q : Core.Queue_intf.S) =
+  QCheck2.Test.make ~count:100 ~name:(key ^ ": drain count = push count")
+    QCheck2.Gen.(list_size (int_range 0 150) int)
+    (fun l ->
+      let q = Q.create () in
+      List.iter (Q.enqueue q) l;
+      let count = ref 0 in
+      while not (Q.is_empty q) do
+        (match Q.dequeue q with Some _ -> incr count | None -> ());
+        if !count > List.length l then failwith "drained more than pushed"
+      done;
+      !count = List.length l && Q.dequeue q = None)
+
+(* after every operation of a random trace, length and is_empty agree
+   with the model queue *)
+let prop_length_consistent key (module Q : Core.Queue_intf.S) =
+  QCheck2.Test.make ~count:100 ~name:(key ^ ": length tracks the FIFO model")
+    QCheck2.Gen.(
+      list_size (int_range 1 120)
+        (oneof [ map (fun v -> `Enq v) int; return `Deq ]))
+    (fun ops ->
+      let q = Q.create () in
+      let model = Queue.create () in
+      List.for_all
+        (fun op ->
+          (match op with
+          | `Enq v ->
+              Q.enqueue q v;
+              Queue.push v model
+          | `Deq ->
+              let got = Q.dequeue q and want = Queue.take_opt model in
+              if got <> want then failwith "dequeue diverged from model");
+          Q.length q = Queue.length model
+          && Q.is_empty q = Queue.is_empty model)
+        ops)
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent properties *)
+
+(* one producer domain, one consumer: the consumer observes exactly the
+   produced sequence (per-producer order is total order here) *)
+let prop_two_domain_order key (module Q : Core.Queue_intf.S) =
+  QCheck2.Test.make ~count:15 ~name:(key ^ ": 2-domain producer/consumer order")
+    QCheck2.Gen.(list_size (int_range 1 400) int)
+    (fun l ->
+      let q = Q.create () in
+      let producer = Domain.spawn (fun () -> List.iter (Q.enqueue q) l) in
+      let ok =
+        List.for_all
+          (fun expected ->
+            let rec next () =
+              match Q.dequeue q with
+              | Some v -> v
+              | None ->
+                  Domain.cpu_relax ();
+                  next ()
+            in
+            next () = expected)
+          l
+      in
+      Domain.join producer;
+      ok && Q.is_empty q && Q.dequeue q = None)
+
+(* the documented concurrent-length contract: under concurrent traffic
+   every sample stays within [0, enqueues started]; see the caveat on
+   [Core.Queue_intf.S.length] *)
+let test_length_bounds key (module Q : Core.Queue_intf.S) () =
+  let q = Q.create () in
+  let per = 3_000 in
+  let enq_started = Atomic.make 0 in
+  let stop = Atomic.make false in
+  let producer =
+    Domain.spawn (fun () ->
+        for i = 1 to per do
+          Atomic.incr enq_started;
+          Q.enqueue q i
+        done)
+  in
+  let consumer =
+    Domain.spawn (fun () ->
+        let drained = ref 0 in
+        while !drained < per do
+          match Q.dequeue q with
+          | Some _ -> incr drained
+          | None -> Domain.cpu_relax ()
+        done)
+  in
+  let samples = ref 0 in
+  while not (Atomic.get stop) do
+    let len = Q.length q in
+    (* read the upper bound AFTER the sample: enqueues only grow, so
+       len <= started-at-sample-time <= started-now *)
+    let upper = Atomic.get enq_started in
+    if len < 0 then Alcotest.failf "%s: negative length %d" key len;
+    if len > upper then
+      Alcotest.failf "%s: length %d exceeds %d enqueues started" key len upper;
+    incr samples;
+    if Atomic.get enq_started >= per && Q.is_empty q then Atomic.set stop true
+  done;
+  Domain.join producer;
+  Domain.join consumer;
+  Alcotest.(check bool) (key ^ " sampled while racing") true (!samples > 0);
+  Alcotest.(check int) (key ^ " settles to empty") 0 (Q.length q)
+
+(* ------------------------------------------------------------------ *)
+(* Batch properties (Registry.native_batch) *)
+
+(* a random interleaving of batch and single operations matches the
+   FIFO model *)
+let prop_batch_model key (module Q : Core.Queue_intf.BATCH) =
+  QCheck2.Test.make ~count:100 ~name:(key ^ ": batch ops track the FIFO model")
+    QCheck2.Gen.(
+      list_size (int_range 1 60)
+        (oneof
+           [
+             map (fun l -> `EnqBatch l) (list_size (int_range 0 20) int);
+             map (fun v -> `Enq v) int;
+             map (fun n -> `DeqBatch n) (int_range 0 25);
+             return `Deq;
+           ]))
+    (fun ops ->
+      let q = Q.create () in
+      let model = Queue.create () in
+      List.for_all
+        (fun op ->
+          match op with
+          | `EnqBatch l ->
+              Q.enqueue_batch q l;
+              List.iter (fun v -> Queue.push v model) l;
+              true
+          | `Enq v ->
+              Q.enqueue q v;
+              Queue.push v model;
+              true
+          | `DeqBatch n ->
+              (* a batch may come up short only at a segment boundary;
+                 sequentially it must deliver min n (length) items *)
+              let want = min n (Queue.length model) in
+              let rec drain got =
+                if got >= want then true
+                else
+                  match Q.dequeue_batch q ~max:(want - got) with
+                  | [] -> false
+                  | l ->
+                      List.for_all (fun v -> Queue.take_opt model = Some v) l
+                      && drain (got + List.length l)
+              in
+              drain 0
+          | `Deq -> Q.dequeue q = Queue.take_opt model)
+        ops)
+
+(* batches much larger than a segment round-trip intact *)
+let prop_batch_boundaries key (module Q : Core.Queue_intf.BATCH) =
+  QCheck2.Test.make ~count:20 ~name:(key ^ ": batches across segment boundaries")
+    QCheck2.Gen.(int_range 1 2000)
+    (fun n ->
+      let q = Q.create () in
+      let l = List.init n (fun i -> i) in
+      Q.enqueue_batch q l;
+      if Q.length q <> n then failwith "length after batch";
+      let rec drain acc =
+        match Q.dequeue_batch q ~max:n with
+        | [] -> List.rev acc
+        | got -> drain (List.rev_append got acc)
+      in
+      drain [] = l && Q.is_empty q)
+
+(* one producer feeding batches, one consumer draining batches: the
+   concatenation of consumed batches is exactly the produced stream *)
+let prop_batch_two_domain key (module Q : Core.Queue_intf.BATCH) =
+  QCheck2.Test.make ~count:15
+    ~name:(key ^ ": 2-domain batch producer/consumer order")
+    QCheck2.Gen.(pair (int_range 1 32) (list_size (int_range 1 600) int))
+    (fun (batch, l) ->
+      let q = Q.create () in
+      let total = List.length l in
+      let producer =
+        Domain.spawn (fun () ->
+            let rec feed = function
+              | [] -> ()
+              | l ->
+                  let chunk, rest =
+                    let rec split n acc = function
+                      | x :: r when n > 0 -> split (n - 1) (x :: acc) r
+                      | r -> (List.rev acc, r)
+                    in
+                    split batch [] l
+                  in
+                  Q.enqueue_batch q chunk;
+                  feed rest
+            in
+            feed l)
+      in
+      let consumed = ref [] in
+      let got = ref 0 in
+      while !got < total do
+        match Q.dequeue_batch q ~max:batch with
+        | [] -> Domain.cpu_relax ()
+        | chunk ->
+            consumed := List.rev_append chunk !consumed;
+            got := !got + List.length chunk
+      done;
+      Domain.join producer;
+      List.rev !consumed = l && Q.is_empty q)
+
+(* ------------------------------------------------------------------ *)
+
+let suites =
+  let map_q f = List.map (fun (key, q) -> f key q) natives in
+  let map_b f = List.map (fun (key, q) -> f key q) batch_natives in
+  [
+    ( "registry.fifo_order",
+      map_q (fun k q -> QCheck_alcotest.to_alcotest (prop_fifo_order k q)) );
+    ( "registry.drain_count",
+      map_q (fun k q -> QCheck_alcotest.to_alcotest (prop_drain_count k q)) );
+    ( "registry.length_model",
+      map_q (fun k q -> QCheck_alcotest.to_alcotest (prop_length_consistent k q)) );
+    ( "registry.two_domain_order",
+      map_q (fun k q -> QCheck_alcotest.to_alcotest (prop_two_domain_order k q)) );
+    ( "registry.length_bounds",
+      map_q (fun k q -> Alcotest.test_case k `Slow (test_length_bounds k q)) );
+    ( "registry.batch",
+      map_b (fun k q -> QCheck_alcotest.to_alcotest (prop_batch_model k q))
+      @ map_b (fun k q -> QCheck_alcotest.to_alcotest (prop_batch_boundaries k q))
+      @ map_b (fun k q -> QCheck_alcotest.to_alcotest (prop_batch_two_domain k q))
+    );
+  ]
