@@ -57,12 +57,24 @@ let memory () =
   show (Harness.Memory_experiment.run (module Squeues.Ms_queue) ());
   show (Harness.Memory_experiment.run (module Squeues.Two_lock_queue) ())
 
-let liveness () =
-  heading "Section 3.3: delay injection (is the algorithm non-blocking?)";
-  List.iter
-    (fun { Harness.Registry.algo; _ } ->
-      Format.printf "  %a@." Harness.Liveness.pp_result (Harness.Liveness.run algo ()))
-    Harness.Registry.all
+(* Stall and crash injection over the whole registry.  Runs in smoke
+   too (at a reduced scale) so BENCH_queues.json always carries the
+   robustness section. *)
+let robustness () =
+  heading
+    "Robustness: stall and crash injection (is the algorithm non-blocking?)";
+  let liveness =
+    if smoke then
+      Harness.Liveness.run_all ~procs:4 ~pairs:2_000 ~trials:4
+        ~stall_duration:2_000_000 ()
+    else Harness.Liveness.run_all ()
+  in
+  Harness.Report.liveness_table Format.std_formatter liveness;
+  let crash =
+    Harness.Crash_experiment.run_all ~trials:(if smoke then 12 else 48) ()
+  in
+  Harness.Report.crash_table Format.std_formatter crash;
+  (liveness, crash)
 
 let ablations () =
   heading "Ablation: bounded exponential backoff (p = 12)";
@@ -415,14 +427,14 @@ let instrumented_batch_metrics () =
               ])))
     Harness.Registry.native_batch
 
-let write_json figs native batched =
+let write_json figs native batched ~robustness:(liveness, crash) =
   match json_path with
   | None -> ()
   | Some path ->
       let doc =
         Obs.Json.Assoc
           [
-            ("schema_version", Obs.Json.Int 2);
+            ("schema_version", Obs.Json.Int 3);
             ("suite", Obs.Json.String "msqueue-bench");
             ("pairs", Obs.Json.Int pairs);
             ("quantum", Obs.Json.Int quantum);
@@ -430,6 +442,7 @@ let write_json figs native batched =
             ("figures", Obs.Json.List (List.map Harness.Report.figure_json figs));
             ("native", Obs.Json.List native);
             ("batched", Obs.Json.List batched);
+            ("robustness", Harness.Report.robustness_json ~liveness ~crash);
           ]
       in
       Out_channel.with_open_text path (fun oc ->
@@ -444,7 +457,6 @@ let () =
   let figs = figures () in
   if not smoke then begin
     memory ();
-    liveness ();
     ablations ();
     lock_ablation ();
     two_lock_lock_ablation ();
@@ -454,7 +466,8 @@ let () =
     microbench ();
     native_domains ()
   end;
+  let robustness = robustness () in
   let batched = batched_sweep () in
   let native = instrumented_metrics () @ instrumented_batch_metrics () in
-  write_json figs native batched;
+  write_json figs native batched ~robustness;
   Format.printf "@.done.@."

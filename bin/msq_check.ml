@@ -10,6 +10,11 @@ let algo_arg =
        & info [ "a"; "algo" ]
            ~doc:"Algorithm key: single-lock, mc, valois, two-lock, plj, ms, stone, stone-ring, hb.")
 
+let seed_arg =
+  Arg.(value & opt (some int64) None
+       & info [ "seed" ]
+           ~doc:"Seed for every randomized choice; a fixed seed replays the run.")
+
 (* A fresh simulated instance where each of [procs] processes performs
    [ops] enqueue+dequeue pairs, with every operation recorded. *)
 let recorded_spec (module Q : Squeues.Intf.S) ~procs ~ops =
@@ -70,7 +75,8 @@ let explore_cmd =
     Term.(const run $ algo_arg $ procs $ ops $ preemptions)
 
 let lin_cmd =
-  let run algo procs ops rounds =
+  let run algo procs ops rounds seed =
+    let base = Option.value seed ~default:0L in
     let (module Q : Squeues.Intf.S) = Harness.Registry.find algo in
     let failures = ref 0 in
     for round = 1 to rounds do
@@ -78,7 +84,7 @@ let lin_cmd =
         Sim.Engine.create
           {
             (Sim.Config.with_processors procs) with
-            seed = Int64.of_int (round * 7919);
+            seed = Int64.add base (Int64.of_int (round * 7919));
             quantum = 5_000;
           }
       in
@@ -100,7 +106,7 @@ let lin_cmd =
       done;
       (match Sim.Engine.run ~max_steps:50_000_000 eng with
       | Sim.Engine.Completed -> ()
-      | Sim.Engine.Step_limit -> failwith "step limit");
+      | Sim.Engine.Step_limit | Sim.Engine.Blocked -> failwith "step limit");
       match Lincheck.Checker.check (Lincheck.History.history recorder) with
       | Lincheck.Checker.Linearizable -> ()
       | Lincheck.Checker.Not_linearizable ->
@@ -120,7 +126,7 @@ let lin_cmd =
        ~doc:
          "Record concurrent histories over many seeded executions and check \
           each against the sequential FIFO specification.")
-    Term.(const run $ algo_arg $ procs $ ops $ rounds)
+    Term.(const run $ algo_arg $ procs $ ops $ rounds $ seed_arg)
 
 (* Linearizability of the NATIVE queues (real domains, not the
    simulator): record every operation of a small multi-domain workload
@@ -129,13 +135,25 @@ let lin_cmd =
    are additionally driven through enqueue_batch/dequeue_batch, each
    batch recorded as a multi-element event over one interval. *)
 let native_lin_cmd =
-  let run key domains ops rounds =
-    let (module Q : Core.Queue_intf.S) = Harness.Registry.find_native key in
+  let run key domains ops rounds chaos seed =
+    let (module Q0 : Core.Queue_intf.S) = Harness.Registry.find_native key in
+    let (module Q : Core.Queue_intf.S) =
+      if chaos then (module Obs.Chaos.Make (Q0)) else (module Q0)
+    in
     let batch_q =
       if List.mem key Harness.Registry.native_batch_keys then
-        Some (Harness.Registry.find_native_batch key)
+        let (module B0 : Core.Queue_intf.BATCH) =
+          Harness.Registry.find_native_batch key
+        in
+        if chaos then
+          Some (module Obs.Chaos.Make_batch (B0) : Core.Queue_intf.BATCH)
+        else Some (module B0 : Core.Queue_intf.BATCH)
       else None
     in
+    if chaos then begin
+      (match seed with Some s -> Obs.Chaos.configure ~seed:s () | None -> ());
+      Obs.Chaos.enable ()
+    end;
     let failures = ref 0 in
     let check round recorder =
       match Lincheck.Checker.check (Lincheck.History.history recorder) with
@@ -187,6 +205,12 @@ let native_lin_cmd =
           check round recorder
         done;
         Format.printf "%s: batch rounds included (batch=3)@." key);
+    if chaos then begin
+      Format.printf "%s: chaos on (seed %Ld), %d delays injected@." key
+        (Obs.Chaos.current ()).Obs.Chaos.seed
+        (Obs.Chaos.hits ());
+      Obs.Chaos.disable ()
+    end;
     Format.printf "%s: %d rounds x %d domains, %d linearizability failures@." key
       rounds domains !failures;
     if !failures = 0 then 0 else 1
@@ -200,16 +224,251 @@ let native_lin_cmd =
   let domains = Arg.(value & opt int 2 & info [ "d"; "domains" ] ~doc:"Domains.") in
   let ops = Arg.(value & opt int 4 & info [ "ops" ] ~doc:"Pairs per domain.") in
   let rounds = Arg.(value & opt int 25 & info [ "rounds" ] ~doc:"Repetitions.") in
+  let chaos =
+    Arg.(value & flag
+         & info [ "chaos" ]
+             ~doc:"Wrap the queue in the chaos layer (Obs.Chaos): seeded \
+                   randomized delays at the algorithm's injection sites.")
+  in
   Cmd.v
     (Cmd.info "native-lin"
        ~doc:
          "Record concurrent histories of a NATIVE OCaml 5 queue across real \
           domains and check each against the sequential FIFO specification; \
           batch-capable queues also exercise their batch operations.")
-    Term.(const run $ key $ domains $ ops $ rounds)
+    Term.(const run $ key $ domains $ ops $ rounds $ chaos $ seed_arg)
+
+(* Fail-stop crash sweep over the simulated algorithms, with the
+   paper's dichotomy as the exit-code gate: the non-blocking queues
+   must survive every crash point; the blocking ones must be caught at
+   least once (given enough points to hit a critical section). *)
+let crash_cmd =
+  let expected_nonblocking = [ "ms"; "plj"; "valois" ] in
+  let expected_blocking = [ "single-lock"; "two-lock"; "mc" ] in
+  let run algos procs pairs trials watchdog seed trace_out =
+    let keys = match algos with [] -> Harness.Registry.keys | ks -> ks in
+    let results =
+      List.map
+        (fun key ->
+          ( key,
+            Harness.Crash_experiment.run (Harness.Registry.find key) ~procs
+              ~pairs ~trials ~watchdog ?seed () ))
+        keys
+    in
+    Harness.Report.crash_table Format.std_formatter (List.map snd results);
+    (match trace_out with
+    | None -> ()
+    | Some path -> (
+        let first_blocked =
+          List.find_map
+            (fun (key, (r : Harness.Crash_experiment.result)) ->
+              List.find_map
+                (fun (t : Harness.Crash_experiment.trial) ->
+                  if t.outcome <> Sim.Engine.Completed then Some (key, t)
+                  else None)
+                r.points)
+            results
+        in
+        match first_blocked with
+        | None -> Format.printf "no blocked trial; nothing to trace@."
+        | Some (key, t) ->
+            let _, trace, info =
+              Harness.Crash_experiment.replay_traced
+                (Harness.Registry.find key) ~procs ~pairs ~watchdog ?seed
+                ~crash_after:t.crash_after ()
+            in
+            let label =
+              Printf.sprintf "%s crash after %d ops" key t.crash_after
+            in
+            let oc = open_out path in
+            output_string oc (Sim.Trace.to_chrome_string ~label trace);
+            close_out oc;
+            Format.printf "wrote Chrome trace of %s to %s@." label path;
+            Option.iter
+              (fun (i : Sim.Engine.blocked_info) ->
+                Format.printf
+                  "blocked at cycle %d (last progress %d); %d live processes@."
+                  i.Sim.Engine.at_cycle i.Sim.Engine.progress_cycle
+                  (List.length i.Sim.Engine.live))
+              info));
+    let failures = ref 0 in
+    List.iter
+      (fun (key, (r : Harness.Crash_experiment.result)) ->
+        if List.mem key expected_nonblocking && r.blocked_trials > 0 then begin
+          incr failures;
+          Format.printf
+            "FAIL %s: non-blocking algorithm blocked in %d/%d crash trials@."
+            key r.blocked_trials r.trials
+        end;
+        (* with few points a blocking queue's critical section can be
+           missed; only insist on the dichotomy given a dense sweep *)
+        if List.mem key expected_blocking && trials >= 24
+           && r.blocked_trials = 0
+        then begin
+          incr failures;
+          Format.printf
+            "FAIL %s: blocking algorithm survived all %d crash points@." key
+            r.trials
+        end)
+      results;
+    if !failures = 0 then begin
+      Format.printf "crash sweep: dichotomy holds@.";
+      0
+    end
+    else 1
+  in
+  let algos =
+    Arg.(value & opt_all string []
+         & info [ "a"; "algo" ]
+             ~doc:"Algorithm key (repeatable); default: the whole registry.")
+  in
+  let procs = Arg.(value & opt int 4 & info [ "p"; "procs" ] ~doc:"Processes.") in
+  let pairs = Arg.(value & opt int 2_000 & info [ "pairs" ] ~doc:"Total pairs.") in
+  let trials =
+    Arg.(value & opt int 48
+         & info [ "trials" ] ~doc:"Crash points swept across the run.")
+  in
+  let watchdog =
+    Arg.(value & opt int 2_000_000
+         & info [ "watchdog" ] ~doc:"Watchdog window, cycles.")
+  in
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"Replay the first blocked trial with tracing and write a \
+                   Chrome trace (chrome://tracing, Perfetto) to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "crash"
+       ~doc:
+         "Kill one process at crash points swept across the run, for every \
+          simulated algorithm: non-blocking queues must survive all of them, \
+          lock-based queues block when the victim dies in a critical \
+          section.  Deterministic per seed.  Exit code 1 if the dichotomy \
+          fails.")
+    Term.(const run $ algos $ procs $ pairs $ trials $ watchdog $ seed_arg
+          $ trace_out)
+
+(* Chaos stress for the NATIVE queues: seeded randomized delays at the
+   algorithms' injection sites while real domains hammer the queue;
+   checks element conservation and per-producer FIFO order. *)
+let chaos_cmd =
+  let run key domains ops rounds seed one_in max_delay =
+    let keys =
+      if key = "all" then Harness.Registry.native_keys else [ key ]
+    in
+    Obs.Chaos.configure ?seed ~one_in ~max_delay ();
+    let failures = ref 0 in
+    let stamp p k = (p * 1_000_000) + k in
+    let check_round key (module Q : Core.Queue_intf.S) =
+      let q = Q.create () in
+      let dequeued = Array.make domains [] in
+      let body i () =
+        let out = ref [] in
+        for k = 1 to ops do
+          Q.enqueue q (stamp i k);
+          match Q.dequeue q with
+          | Some v -> out := v :: !out
+          | None -> ()
+        done;
+        dequeued.(i) <- List.rev !out
+      in
+      let ds = List.init domains (fun i -> Domain.spawn (body i)) in
+      List.iter Domain.join ds;
+      let leftover = ref [] in
+      let rec drain () =
+        match Q.dequeue q with
+        | Some v ->
+            leftover := v :: !leftover;
+            drain ()
+        | None -> ()
+      in
+      drain ();
+      (* conservation: every value enqueued comes out exactly once *)
+      let got =
+        List.sort compare
+          (List.concat (!leftover :: Array.to_list dequeued))
+      in
+      let expected =
+        List.sort compare
+          (List.concat
+             (List.init domains (fun i -> List.init ops (fun k -> stamp i (k + 1)))))
+      in
+      if got <> expected then begin
+        incr failures;
+        Format.printf "%s: conservation violated (%d values out, %d in)@." key
+          (List.length got) (List.length expected)
+      end;
+      (* per-producer FIFO: any single consumer sees each producer's
+         values in increasing order *)
+      Array.iter
+        (fun l ->
+          let last = Array.make domains min_int in
+          List.iter
+            (fun v ->
+              let p = v / 1_000_000 in
+              if v <= last.(p) then begin
+                incr failures;
+                Format.printf "%s: FIFO violation (%d after %d)@." key v
+                  last.(p)
+              end;
+              last.(p) <- v)
+            l)
+        dequeued
+    in
+    Obs.Chaos.reset_hits ();
+    Obs.Chaos.with_enabled (fun () ->
+        List.iter
+          (fun key ->
+            let (module Q0 : Core.Queue_intf.S) =
+              Harness.Registry.find_native key
+            in
+            let module Q = Obs.Chaos.Make (Q0) in
+            for _ = 1 to rounds do
+              check_round key (module Q : Core.Queue_intf.S)
+            done)
+          keys);
+    Format.printf
+      "chaos: %d queue(s) x %d rounds x %d domains x %d pairs, seed %Ld, %d \
+       delays injected, %d violations@."
+      (List.length keys) rounds domains ops
+      (Obs.Chaos.current ()).Obs.Chaos.seed
+      (Obs.Chaos.hits ()) !failures;
+    if Obs.Chaos.hits () = 0 then begin
+      Format.printf "FAIL: chaos injected no delays — sites not wired?@.";
+      incr failures
+    end;
+    if !failures = 0 then 0 else 1
+  in
+  let key =
+    Arg.(value & opt string "all"
+         & info [ "q"; "queue" ]
+             ~doc:"Native queue key, or $(b,all) for every registered queue.")
+  in
+  let domains = Arg.(value & opt int 4 & info [ "d"; "domains" ] ~doc:"Domains.") in
+  let ops = Arg.(value & opt int 2_000 & info [ "ops" ] ~doc:"Pairs per domain.") in
+  let rounds = Arg.(value & opt int 4 & info [ "rounds" ] ~doc:"Repetitions.") in
+  let one_in =
+    Arg.(value & opt int 4
+         & info [ "one-in" ] ~doc:"Perturb a site with probability 1/N.")
+  in
+  let max_delay =
+    Arg.(value & opt int 96
+         & info [ "max-delay" ] ~doc:"Short-burst bound, cpu_relax iterations.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Hammer the native queues from real domains with seeded randomized \
+          delays injected at each algorithm's marked CAS/FAA windows and \
+          critical sections; check element conservation and per-producer \
+          FIFO order.  Exit code 1 on any violation.")
+    Term.(const run $ key $ domains $ ops $ rounds $ seed_arg $ one_in
+          $ max_delay)
 
 let cmd =
   let doc = "Verification tools for the PODC 1996 queue reproduction" in
-  Cmd.group (Cmd.info "msq_check" ~doc) [ explore_cmd; lin_cmd; native_lin_cmd ]
+  Cmd.group (Cmd.info "msq_check" ~doc)
+    [ explore_cmd; lin_cmd; native_lin_cmd; crash_cmd; chaos_cmd ]
 
 let () = exit (Cmd.eval' cmd)

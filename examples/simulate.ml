@@ -31,7 +31,7 @@ let () =
 
   (match Sim.Engine.run eng with
   | Sim.Engine.Completed -> ()
-  | Sim.Engine.Step_limit -> failwith "unexpected step limit");
+  | Sim.Engine.Step_limit | Sim.Engine.Blocked -> failwith "unexpected step limit");
 
   Format.printf "simulated 4-processor run:@.";
   List.iteri

@@ -20,6 +20,7 @@ let enqueue t v =
     if Atomic.get t.tail == tail then (* E7 *)
       match next with
       | None ->
+          Locks.Probe.site "msq.enq.link";
           if Atomic.compare_and_set tail.next next (Some node) then tail (* E9 *)
           else begin
             Locks.Probe.cas_retry ();
@@ -34,6 +35,8 @@ let enqueue t v =
     else loop ()
   in
   let tail = loop () in
+  (* the window between E9 and E13 is what E12/D9 helping defends *)
+  Locks.Probe.site "msq.enq.swing";
   ignore (Atomic.compare_and_set t.tail tail node) (* E13 *)
 
 let dequeue t =
@@ -58,6 +61,7 @@ let dequeue t =
             loop ()
         | Some n ->
             let value = n.value in (* D11 *)
+            Locks.Probe.site "msq.deq.head";
             if Atomic.compare_and_set t.head head n then begin
               (* D12 *)
               n.value <- None; (* n is the new dummy; drop its payload *)

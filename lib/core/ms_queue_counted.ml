@@ -149,10 +149,17 @@ let pool_size t =
   in
   walk (Atomic.get t.free).ptr 0
 
+(* O(1) from the counted pointers: each linked node gets exactly one
+   successful tail swing (E12/E13/D9 install [count + 1] on the same
+   record at most once) and each dequeue one successful D12, so
+   [tail.count - head.count] is the number of linked, undequeued nodes.
+   A pointer walk would race with recycling — a walker overtaken by
+   dequeues can follow a freed node's relinked [next] back into the
+   live tail and double-count — violating the [0, enqueues started]
+   bound documented on {!Queue_intf.S.length}.  Reading [head] first
+   keeps the difference non-negative (a node is swung before it can be
+   dequeued, so head's count never leads tail's). *)
 let length t =
-  let rec walk n acc =
-    match (Atomic.get n.next).ptr with
-    | None -> acc
-    | Some n' -> walk n' (acc + 1)
-  in
-  walk (Option.get (Atomic.get t.head).ptr) 0
+  let head = Atomic.get t.head in
+  let tail = Atomic.get t.tail in
+  max 0 (tail.count - head.count)

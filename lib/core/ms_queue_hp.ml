@@ -55,6 +55,7 @@ let enqueue t v =
     if Atomic.get t.tail == tailo then
       match next with
       | None ->
+          Locks.Probe.site "msq-hp.enq.link";
           if Atomic.compare_and_set tail.next next (Some node) then tailo
           else begin
             Locks.Probe.cas_retry ();
@@ -68,6 +69,7 @@ let enqueue t v =
     else loop ()
   in
   let tailo = loop () in
+  Locks.Probe.site "msq-hp.enq.swing";
   ignore (Atomic.compare_and_set t.tail tailo (Some node));
   Hazard_pointers.clear t.hp ~slot:0
 
@@ -80,6 +82,9 @@ let dequeue t =
     (* the head hazard makes head.next a stable cell; the second slot
        then pins the successor before we read through it *)
     let nexto = Hazard_pointers.protect t.hp ~slot:1 head.next in
+    (* between publishing the hazard and acting on it: the window a
+       concurrent retire+scan must respect *)
+    Locks.Probe.site "msq-hp.deq.protected";
     if Atomic.get t.head == heado then
       if head == Option.get tailo then
         match nexto with
@@ -93,6 +98,7 @@ let dequeue t =
         | None -> loop ()
         | Some n ->
             let value = n.value in
+            Locks.Probe.site "msq-hp.deq.head";
             if Atomic.compare_and_set t.head heado nexto then begin
               n.value <- None;
               (* the old dummy is detached: no new reference can form,

@@ -100,8 +100,12 @@ let rec enqueue t v =
       advance_tail t tail;
       enqueue t v
   | None ->
+      Locks.Probe.site "seg.enq.claim";
       let i = Atomic.fetch_and_add tail.enq 1 in
       if i < segment_capacity then begin
+        (* between claiming index [i] and publishing into it: the
+           window a dequeuer's poisoning CAS races against *)
+        Locks.Probe.site "seg.enq.publish";
         if not (Atomic.compare_and_set tail.slots.(i) Empty (Value v)) then begin
           (* a dequeuer poisoned our slot before we published *)
           Locks.Probe.cas_retry ();
@@ -166,6 +170,7 @@ let rec dequeue t =
          e < capacity: linearizably empty *)
       None
     else begin
+      Locks.Probe.site "seg.deq.claim";
       let i = Atomic.fetch_and_add head.deq 1 in
       if i >= segment_capacity then (
         (* racing dequeuers pushed the counter past the rim *)
@@ -258,6 +263,7 @@ let rec enqueue_batch t vs =
           enqueue_batch t vs
       | None ->
           let n = List.length vs in
+          Locks.Probe.site "seg.enq.claim";
           let i = Atomic.fetch_and_add tail.enq n in
           if i < segment_capacity then
             (* claimed [i .. i+n-1]; publish what fits, recurse on the
@@ -292,6 +298,7 @@ let rec dequeue_batch t ~max =
       if d >= e then [] (* same linearization argument as [dequeue] *)
       else begin
         let k = min max (min e segment_capacity - d) in
+        Locks.Probe.site "seg.deq.claim";
         let i = Atomic.fetch_and_add head.deq k in
         if i >= segment_capacity then (
           (* racing dequeuers pushed the counter past the rim *)

@@ -17,11 +17,13 @@ module Make (Lock : Locks.Lock_intf.LOCK) = struct
   let enqueue t v =
     let node = { value = Some v; next = Atomic.make None } in
     Lock.with_lock t.t_lock (fun () ->
+        Locks.Probe.site "2lock.enq.locked";
         Atomic.set t.tail.next (Some node); (* link at the end *)
         t.tail <- node (* swing Tail *))
 
   let dequeue t =
     Lock.with_lock t.h_lock (fun () ->
+        Locks.Probe.site "2lock.deq.locked";
         match Atomic.get t.head.next with
         | None -> None
         | Some node ->

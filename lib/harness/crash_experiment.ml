@@ -1,0 +1,115 @@
+type trial = { crash_after : int; outcome : Sim.Engine.outcome }
+
+type result = {
+  algorithm : string;
+  trials : int;
+  survived_trials : int;
+  blocked_trials : int;
+  victim_total_ops : int;
+  points : trial list;
+}
+
+let survives_all r = r.blocked_trials = 0
+
+(* Same workload shape as the liveness sweep: every process runs its
+   share of enqueue/dequeue pairs and marks progress after each. *)
+let setup (module Q : Squeues.Intf.S) (params : Params.t) ?trace_limit () =
+  let cfg =
+    {
+      (Sim.Config.with_processors params.Params.processors) with
+      quantum = params.Params.quantum;
+      seed = params.Params.seed;
+    }
+  in
+  let eng = Sim.Engine.create cfg in
+  let trace =
+    Option.map (fun limit -> Sim.Engine.enable_trace ~limit eng) trace_limit
+  in
+  let options =
+    {
+      Squeues.Intf.pool = params.Params.pool;
+      bounded = false;
+      backoff = params.Params.backoff;
+    }
+  in
+  let q = Q.init ~options eng in
+  let n = params.Params.processors in
+  let per = params.Params.total_pairs / n in
+  let body i () =
+    for k = 1 to per do
+      Q.enqueue q ((i * 10_000_000) + k);
+      Sim.Api.work params.Params.other_work;
+      ignore (Q.dequeue q);
+      Sim.Api.work params.Params.other_work;
+      Sim.Api.progress ()
+    done
+  in
+  let pids = List.init n (fun i -> Sim.Engine.spawn eng (body i)) in
+  (eng, List.hd pids, trace)
+
+let run_trial (module Q : Squeues.Intf.S) params ~crash_after ~watchdog =
+  let eng, victim, _ = setup (module Q) params () in
+  Sim.Faults.inject eng victim (Sim.Faults.Crash { after_ops = crash_after });
+  let outcome = Sim.Engine.run ~max_steps:params.Params.max_steps ~watchdog eng in
+  { crash_after; outcome }
+
+let params_of ~procs ~pairs ~seed =
+  {
+    Params.default with
+    processors = procs;
+    total_pairs = pairs;
+    seed = Option.value seed ~default:Params.default.Params.seed;
+  }
+
+let run (module Q : Squeues.Intf.S) ?(procs = 4) ?(pairs = 2_000)
+    ?(trials = 12) ?(watchdog = 2_000_000) ?seed () =
+  let params = params_of ~procs ~pairs ~seed in
+  (* reference run: how many simulator operations does the victim
+     execute end-to-end?  Crash points are swept across that range. *)
+  let eng, victim, _ = setup (module Q) params () in
+  (match Sim.Engine.run ~max_steps:params.Params.max_steps ~watchdog eng with
+  | Sim.Engine.Completed -> ()
+  | Sim.Engine.Step_limit | Sim.Engine.Blocked ->
+      failwith (Q.name ^ ": crash-sweep reference run did not complete"));
+  let victim_total_ops = Sim.Engine.ops_executed eng victim in
+  let points =
+    Sim.Faults.crash_points ~trials ~total_ops:victim_total_ops
+    |> List.map (fun crash_after ->
+           run_trial (module Q) params ~crash_after ~watchdog)
+  in
+  let blocked =
+    List.length
+      (List.filter (fun t -> t.outcome <> Sim.Engine.Completed) points)
+  in
+  {
+    algorithm = Q.name;
+    trials = List.length points;
+    survived_trials = List.length points - blocked;
+    blocked_trials = blocked;
+    victim_total_ops;
+    points;
+  }
+
+let run_all ?(queues = Registry.all) ?procs ?pairs ?trials ?watchdog ?seed () =
+  List.map
+    (fun { Registry.algo; _ } ->
+      run algo ?procs ?pairs ?trials ?watchdog ?seed ())
+    queues
+
+(* Replay one crash point with tracing enabled, for exporting the trace
+   tail of a Blocked verdict (msq_check crash --trace-out). *)
+let replay_traced (module Q : Squeues.Intf.S) ?(procs = 4) ?(pairs = 2_000)
+    ?(watchdog = 2_000_000) ?(trace_limit = 4_096) ?seed ~crash_after () =
+  let params = params_of ~procs ~pairs ~seed in
+  let eng, victim, trace = setup (module Q) params ~trace_limit () in
+  Sim.Faults.inject eng victim (Sim.Faults.Crash { after_ops = crash_after });
+  let outcome = Sim.Engine.run ~max_steps:params.Params.max_steps ~watchdog eng in
+  (outcome, Option.get trace, Sim.Engine.blocked eng)
+
+let pp_result fmt r =
+  Format.fprintf fmt "%-18s survived %d/%d crash points%s" r.algorithm
+    r.survived_trials r.trials
+    (if survives_all r then " (non-blocking: no crash can block the others)"
+     else
+       Printf.sprintf " — BLOCKED in %d (a crashed process strands the rest)"
+         r.blocked_trials)

@@ -9,7 +9,9 @@ type result = {
 
 let non_blocking r = r.blocked_trials = 0
 
-(* One run, reporting the latest finish time among non-victim processes. *)
+(* One run, reporting the latest finish time among non-victim processes;
+   [None] if the run blocked or hit the step budget (counted as a
+   propagated delay by the caller). *)
 let run_once (module Q : Squeues.Intf.S) (params : Params.t) ~stall =
   let cfg =
     {
@@ -34,32 +36,55 @@ let run_once (module Q : Squeues.Intf.S) (params : Params.t) ~stall =
       Q.enqueue q ((i * 10_000_000) + k);
       Sim.Api.work params.Params.other_work;
       ignore (Q.dequeue q);
-      Sim.Api.work params.Params.other_work
+      Sim.Api.work params.Params.other_work;
+      Sim.Api.progress ()
     done
   in
   let pids = List.init n (fun i -> Sim.Engine.spawn eng (body i)) in
   let victim = List.hd pids in
   (match stall with
-  | Some (at, duration) -> Sim.Engine.plan_stall eng victim ~at ~duration
+  | Some fault -> Sim.Faults.inject eng victim fault
   | None -> ());
-  (match Sim.Engine.run ~max_steps:params.Params.max_steps eng with
-  | Sim.Engine.Completed -> ()
-  | Sim.Engine.Step_limit -> failwith (Q.name ^ ": liveness run hit the step limit"));
-  let others = List.filter (fun pid -> pid <> victim) pids in
-  List.fold_left (fun acc pid -> max acc (Sim.Engine.finish_time eng pid)) 0 others
+  match Sim.Engine.run ~max_steps:params.Params.max_steps ?watchdog:params.Params.watchdog eng with
+  | Sim.Engine.Step_limit | Sim.Engine.Blocked -> None
+  | Sim.Engine.Completed ->
+      let others = List.filter (fun pid -> pid <> victim) pids in
+      Some
+        (List.fold_left
+           (fun acc pid -> max acc (Sim.Engine.finish_time eng pid))
+           0 others)
 
 let run (module Q : Squeues.Intf.S) ?(procs = 8) ?(pairs = 8_000) ?(trials = 12)
-    ?(stall_duration = 50_000_000) () =
-  let params = { Params.default with processors = procs; total_pairs = pairs } in
-  let undelayed = run_once (module Q) params ~stall:None in
+    ?(stall_duration = 50_000_000) ?seed () =
+  let params =
+    {
+      Params.default with
+      processors = procs;
+      total_pairs = pairs;
+      seed = Option.value seed ~default:Params.default.Params.seed;
+    }
+  in
+  let undelayed =
+    match run_once (module Q) params ~stall:None with
+    | Some t -> t
+    | None -> failwith (Q.name ^ ": liveness reference run did not complete")
+  in
   let blocked = ref 0 in
   let worst = ref 0 in
   for k = 0 to trials - 1 do
     (* spread injection times over the bulk of the undelayed run *)
     let at = max 1 (undelayed * (k + 1) / (trials + 1)) in
-    let finish = run_once (module Q) params ~stall:(Some (at, stall_duration)) in
-    worst := max !worst finish;
-    if finish - undelayed > stall_duration / 2 then incr blocked
+    match
+      run_once (module Q) params
+        ~stall:(Some (Sim.Faults.Stall { at; duration = stall_duration }))
+    with
+    | Some finish ->
+        worst := max !worst finish;
+        if finish - undelayed > stall_duration / 2 then incr blocked
+    | None ->
+        (* the watchdog (or step budget) cut the trial: everybody was
+           waiting out the stall — the delay clearly propagated *)
+        incr blocked
   done;
   {
     algorithm = Q.name;
@@ -69,6 +94,16 @@ let run (module Q : Squeues.Intf.S) ?(procs = 8) ?(pairs = 8_000) ?(trials = 12)
     worst_others_finish = !worst;
     undelayed_elapsed = undelayed;
   }
+
+(* Registry-driven sweep: every queue from the given list (default: the
+   paper's six algorithms) through the same experiment, so new queues
+   are covered by registering them, not by editing call sites. *)
+let run_all ?(queues = Registry.all) ?procs ?pairs ?trials ?stall_duration
+    ?seed () =
+  List.map
+    (fun { Registry.algo; _ } ->
+      run algo ?procs ?pairs ?trials ?stall_duration ?seed ())
+    queues
 
 let pp_result fmt r =
   Format.fprintf fmt "%-18s delay propagated in %d/%d trials: %s" r.algorithm

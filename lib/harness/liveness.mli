@@ -30,10 +30,26 @@ val run :
   ?pairs:int ->
   ?trials:int ->
   ?stall_duration:int ->
+  ?seed:int64 ->
   unit ->
   result
 (** Defaults: 8 processors (dedicated), 8,000 pairs, 12 trials with
     injection times spread uniformly across the undelayed run's
-    duration, 50,000,000-cycle stall. *)
+    duration, 50,000,000-cycle stall.  Runs under the default
+    {!Params.watchdog}, so a pathological trial ends in a [Blocked]
+    verdict (counted as a blocked trial) rather than a hang. *)
+
+val run_all :
+  ?queues:Registry.entry list ->
+  ?procs:int ->
+  ?pairs:int ->
+  ?trials:int ->
+  ?stall_duration:int ->
+  ?seed:int64 ->
+  unit ->
+  result list
+(** The sweep over a whole registry slice (default {!Registry.all}) —
+    results render through [Report.liveness_table] and land in the
+    robustness section of [BENCH_queues.json]. *)
 
 val pp_result : Format.formatter -> result -> unit

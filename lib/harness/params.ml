@@ -9,6 +9,7 @@ type t = {
   backoff : bool;
   seed : int64;
   max_steps : int;
+  watchdog : int option;
 }
 
 let default =
@@ -23,6 +24,11 @@ let default =
     backoff = true;
     seed = 0x4D5351464947L (* "MSQFIG" *);
     max_steps = 1_000_000_000;
+    (* larger than any legitimate progress gap across the whole suite:
+       paper-scale quantum (2M) times the deepest multiprogramming (3),
+       the longest planned stall (50M), and the backoff cap all fit with
+       a wide margin *)
+    watchdog = Some 200_000_000;
   }
 
 let paper_scale =

@@ -21,6 +21,11 @@ type t = {
   backoff : bool;
   seed : int64;
   max_steps : int;  (** step budget: exceeding it marks the run blocked *)
+  watchdog : int option;
+      (** deadlock watchdog window in cycles (see {!Sim.Engine.run}): a
+          run in which no process completes a pair for this long stops
+          with a structured [Blocked] verdict instead of spinning to
+          [max_steps].  [None] disables the watchdog. *)
 }
 
 val default : t

@@ -98,6 +98,7 @@ let measurement_json (m : Workload.measurement) =
       ("pairs_done", Obs.Json.Int m.Workload.pairs_done);
       ("completed", Obs.Json.Bool m.Workload.completed);
       ("exhausted_pool", Obs.Json.Bool m.Workload.exhausted_pool);
+      ("blocked", Obs.Json.Bool m.Workload.blocked);
       ("miss_rate", Obs.Json.Float (Sim.Stats.miss_rate stats));
       ("utilization", Obs.Json.Float (Sim.Stats.utilization stats));
       ("cache_hits", Obs.Json.Int stats.Sim.Stats.cache_hits);
@@ -128,6 +129,73 @@ let figure_json (fig : Experiment.figure) =
     ]
 
 let json fmt fig = Format.fprintf fmt "%a@." Obs.Json.pp (figure_json fig)
+
+(* ------------------------------------------------------------------ *)
+(* Robustness experiments: stall (liveness) and crash sweeps *)
+
+let liveness_table fmt (results : Liveness.result list) =
+  Format.fprintf fmt "Stall injection: %d-cycle stall, delay propagation@."
+    (match results with r :: _ -> r.Liveness.stall_duration | [] -> 0);
+  List.iter (fun r -> Format.fprintf fmt "  %a@." Liveness.pp_result r) results
+
+let liveness_json (results : Liveness.result list) =
+  Obs.Json.List
+    (List.map
+       (fun (r : Liveness.result) ->
+         Obs.Json.Assoc
+           [
+             ("algorithm", Obs.Json.String r.Liveness.algorithm);
+             ("stall_duration", Obs.Json.Int r.Liveness.stall_duration);
+             ("trials", Obs.Json.Int r.Liveness.trials);
+             ("blocked_trials", Obs.Json.Int r.Liveness.blocked_trials);
+             ("non_blocking", Obs.Json.Bool (Liveness.non_blocking r));
+             ( "worst_others_finish",
+               Obs.Json.Int r.Liveness.worst_others_finish );
+             ("undelayed_elapsed", Obs.Json.Int r.Liveness.undelayed_elapsed);
+           ])
+       results)
+
+let crash_table fmt (results : Crash_experiment.result list) =
+  Format.fprintf fmt
+    "Crash injection: fail-stop kill of one process, swept across the run@.";
+  List.iter
+    (fun r -> Format.fprintf fmt "  %a@." Crash_experiment.pp_result r)
+    results
+
+let crash_json (results : Crash_experiment.result list) =
+  Obs.Json.List
+    (List.map
+       (fun (r : Crash_experiment.result) ->
+         Obs.Json.Assoc
+           [
+             ("algorithm", Obs.Json.String r.Crash_experiment.algorithm);
+             ("trials", Obs.Json.Int r.Crash_experiment.trials);
+             ("survived_trials", Obs.Json.Int r.Crash_experiment.survived_trials);
+             ("blocked_trials", Obs.Json.Int r.Crash_experiment.blocked_trials);
+             ( "survives_all",
+               Obs.Json.Bool (Crash_experiment.survives_all r) );
+             ("victim_total_ops", Obs.Json.Int r.Crash_experiment.victim_total_ops);
+             ( "points",
+               Obs.Json.List
+                 (List.map
+                    (fun (t : Crash_experiment.trial) ->
+                      Obs.Json.Assoc
+                        [
+                          ("crash_after", Obs.Json.Int t.Crash_experiment.crash_after);
+                          ( "outcome",
+                            Obs.Json.String
+                              (match t.Crash_experiment.outcome with
+                              | Sim.Engine.Completed -> "completed"
+                              | Sim.Engine.Step_limit -> "step_limit"
+                              | Sim.Engine.Blocked -> "blocked") );
+                        ])
+                    r.Crash_experiment.points) );
+           ])
+       results)
+
+let robustness_json ~liveness ~crash =
+  Obs.Json.Assoc
+    [ ("stall_sweep", liveness_json liveness); ("crash_sweep", crash_json crash) ]
 
 let render format fmt fig =
   match format with

@@ -29,6 +29,25 @@ val figure_json : Experiment.figure -> Obs.Json.t
 (** The [Json] rendering as a tree, for embedding in larger documents
     (the benchmark suite's [BENCH_queues.json]). *)
 
+(** {1 Robustness experiments}
+
+    The stall-injection ({!Liveness}) and crash-injection
+    ({!Crash_experiment}) sweeps, rendered through the same two
+    backends as the figures: a terminal table and a JSON tree for the
+    [robustness] section of [BENCH_queues.json]. *)
+
+val liveness_table : Format.formatter -> Liveness.result list -> unit
+val liveness_json : Liveness.result list -> Obs.Json.t
+val crash_table : Format.formatter -> Crash_experiment.result list -> unit
+val crash_json : Crash_experiment.result list -> Obs.Json.t
+
+val robustness_json :
+  liveness:Liveness.result list ->
+  crash:Crash_experiment.result list ->
+  Obs.Json.t
+(** [{ "stall_sweep": ..., "crash_sweep": ... }] — the [robustness]
+    section of [BENCH_queues.json]. *)
+
 val summary : Format.formatter -> Experiment.figure -> unit
 (** The paper's qualitative claims evaluated on this figure: which
     algorithm wins at 3+ processors, the MS/two-lock/single-lock

@@ -7,6 +7,7 @@ type measurement = {
   pairs_done : int;
   completed : bool;
   exhausted_pool : bool;
+  blocked : bool;
   stats : Sim.Stats.t;
   trace : Sim.Trace.t option;
 }
@@ -57,6 +58,7 @@ let run ?(stall = fun _ -> None) ?trace_limit (module Q : Squeues.Intf.S)
          other_work ();
          ignore (Q.dequeue q);
          other_work ();
+         Sim.Api.progress ();
          incr pairs_done
        done
      with Squeues.Intf.Out_of_nodes -> exhausted := true);
@@ -69,7 +71,9 @@ let run ?(stall = fun _ -> None) ?trace_limit (module Q : Squeues.Intf.S)
       | Some (at, duration) -> Sim.Engine.plan_stall eng pid ~at ~duration
       | None -> ())
     pids;
-  let outcome = Sim.Engine.run ~max_steps:params.max_steps eng in
+  let outcome =
+    Sim.Engine.run ~max_steps:params.max_steps ?watchdog:params.watchdog eng
+  in
   let elapsed = Sim.Engine.elapsed eng in
   (* one processor's other-work share: total/p pairs, two spins each *)
   let other_work_share = params.total_pairs / params.processors * 2 * params.other_work in
@@ -83,13 +87,15 @@ let run ?(stall = fun _ -> None) ?trace_limit (module Q : Squeues.Intf.S)
     pairs_done = !pairs_done;
     completed = (outcome = Sim.Engine.Completed) && not !exhausted;
     exhausted_pool = !exhausted;
+    blocked = outcome = Sim.Engine.Blocked;
     stats = Sim.Engine.stats eng;
     trace;
   }
 
 let pp_measurement fmt m =
-  Format.fprintf fmt "%-18s p=%-2d mpl=%d net=%d (%.0f/pair)%s%s" m.algorithm
+  Format.fprintf fmt "%-18s p=%-2d mpl=%d net=%d (%.0f/pair)%s%s%s" m.algorithm
     m.params.Params.processors m.params.Params.multiprogramming m.net_time
     m.net_per_pair
     (if m.completed then "" else " [incomplete]")
     (if m.exhausted_pool then " [pool exhausted]" else "")
+    (if m.blocked then " [BLOCKED]" else "")

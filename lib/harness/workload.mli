@@ -19,6 +19,9 @@ type measurement = {
   pairs_done : int;  (** completed pairs (= total unless the run aborted) *)
   completed : bool;  (** false on step-limit (blocked) or pool exhaustion *)
   exhausted_pool : bool;  (** a bounded pool ran dry ({!Squeues.Intf.Out_of_nodes}) *)
+  blocked : bool;
+      (** the deadlock watchdog ([Params.watchdog]) expired: no process
+          completed a pair for the configured window *)
   stats : Sim.Stats.t;
   trace : Sim.Trace.t option;  (** populated when [run ~trace_limit] *)
 }

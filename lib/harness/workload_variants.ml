@@ -31,6 +31,7 @@ let producer_consumer (module Q : Squeues.Intf.S) ?(processors = 8) ?(items = 16
            Sim.Api.work jitter.(i);
            for k = 1 to share do
              Q.enqueue q ((i * 1_000_000) + k);
+             Sim.Api.progress ();
              Sim.Api.work other_work
            done))
   done;
@@ -43,7 +44,9 @@ let producer_consumer (module Q : Squeues.Intf.S) ?(processors = 8) ?(items = 16
            let rec loop () =
              if !consumed < items then begin
                (match Q.dequeue q with
-               | Some _ -> incr consumed
+               | Some _ ->
+                   incr consumed;
+                   Sim.Api.progress ()
                | None -> ());
                Sim.Api.work other_work;
                loop ()
@@ -51,7 +54,9 @@ let producer_consumer (module Q : Squeues.Intf.S) ?(processors = 8) ?(items = 16
            in
            loop ()))
   done;
-  let outcome = Sim.Engine.run ~max_steps:500_000_000 eng in
+  let outcome =
+    Sim.Engine.run ~max_steps:500_000_000 ~watchdog:200_000_000 eng
+  in
   measure ~name:Q.name ~variant:"producer-consumer" ~total_ops:(2 * items) eng outcome
 
 let burst (module Q : Squeues.Intf.S) ?(processors = 8) ?(bursts = 50) ?(burst = 32)
@@ -64,15 +69,19 @@ let burst (module Q : Squeues.Intf.S) ?(processors = 8) ?(bursts = 50) ?(burst =
            for b = 1 to bursts do
              for k = 1 to burst do
                Q.enqueue q ((i * 1_000_000) + (b * 1_000) + k);
+               Sim.Api.progress ();
                Sim.Api.work other_work
              done;
              for _ = 1 to burst do
                ignore (Q.dequeue q);
+               Sim.Api.progress ();
                Sim.Api.work other_work
              done
            done))
   done;
-  let outcome = Sim.Engine.run ~max_steps:500_000_000 eng in
+  let outcome =
+    Sim.Engine.run ~max_steps:500_000_000 ~watchdog:200_000_000 eng
+  in
   measure ~name:Q.name ~variant:"burst" eng outcome
     ~total_ops:(2 * processors * bursts * burst)
 

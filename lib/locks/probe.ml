@@ -31,6 +31,23 @@ let cas_retry () = bump cas_retry_cell
 let backoff () = bump backoff_cell
 let help () = bump help_cell
 
+(* Labeled injection sites: a second, independent switch used by the
+   chaos layer (Obs.Chaos) to perturb timing at algorithm-specific
+   points.  Same discipline as the counters — a single [bool ref] test
+   when nothing is installed. *)
+
+let site_enabled = ref false
+let site_hook : (string -> unit) ref = ref (fun _ -> ())
+let site label = if !site_enabled then !site_hook label
+
+let set_site_hook f =
+  site_hook := f;
+  site_enabled := true
+
+let clear_site_hook () =
+  site_enabled := false;
+  site_hook := fun _ -> ()
+
 type counts = { cas_retries : int; backoffs : int; helps : int }
 
 let read_row base =

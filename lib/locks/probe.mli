@@ -30,6 +30,25 @@ val backoff : unit -> unit
 val help : unit -> unit
 (** A lagging-tail help-along: the paper's E12 or D9 line. *)
 
+(** {1 Labeled injection sites}
+
+    The native queues mark timing-sensitive points — just before and
+    after a linearizing CAS/FAA, inside lock-held critical sections —
+    with {!site}.  When a hook is installed (by [Obs.Chaos]) the label
+    is passed to it; when none is, the call is one [bool ref] test.
+    Labels are stable identifiers like ["msq.enq.link"]. *)
+
+val site : string -> unit
+(** Mark an injection site on the current code path. *)
+
+val set_site_hook : (string -> unit) -> unit
+(** Install the handler and switch sites on.  The handler runs on the
+    hot path of every marked algorithm, concurrently from any domain —
+    it must be domain-safe and must not call back into the queues. *)
+
+val clear_site_hook : unit -> unit
+(** Switch sites off and drop the handler. *)
+
 (** {1 Reading} *)
 
 type counts = { cas_retries : int; backoffs : int; helps : int }

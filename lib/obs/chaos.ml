@@ -1,0 +1,130 @@
+(* SplitMix64, the same generator as the simulator's [Sim.Rng],
+   re-implemented here because [Obs] does not depend on the simulator.
+   One stream per domain row (padding discipline as in [Locks.Probe]),
+   each seeded from the global seed plus the row index, so the delay
+   sequence any domain sees is a pure function of (seed, domain id). *)
+
+let n_rows = 128
+let golden = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+type config = { seed : int64; one_in : int; max_delay : int }
+
+let default = { seed = 0x6368616F73L (* "chaos" *); one_in = 4; max_delay = 96 }
+let config = ref default
+let states = Array.make n_rows 0L
+
+let reseed () =
+  for r = 0 to n_rows - 1 do
+    states.(r) <- mix64 (Int64.add !config.seed (Int64.of_int (r + 1)))
+  done
+
+let () = reseed ()
+
+let configure ?seed ?one_in ?max_delay () =
+  let c = !config in
+  let c = match seed with Some s -> { c with seed = s } | None -> c in
+  let c =
+    match one_in with
+    | Some n when n >= 1 -> { c with one_in = n }
+    | Some n -> invalid_arg (Printf.sprintf "Chaos.configure: one_in %d < 1" n)
+    | None -> c
+  in
+  let c =
+    match max_delay with
+    | Some d when d >= 1 -> { c with max_delay = d }
+    | Some d -> invalid_arg (Printf.sprintf "Chaos.configure: max_delay %d < 1" d)
+    | None -> c
+  in
+  config := c;
+  reseed ()
+
+let current () = !config
+
+let row () = (Domain.self () :> int) land (n_rows - 1)
+
+let next_bits () =
+  let r = row () in
+  let s = Int64.add states.(r) golden in
+  states.(r) <- s;
+  Int64.to_int (Int64.shift_right_logical (mix64 s) 2)
+
+let hit_count = Atomic.make 0
+let hits () = Atomic.get hit_count
+let reset_hits () = Atomic.set hit_count 0
+
+let on = ref false
+let enabled () = !on
+
+(* The perturbation itself: usually a short relax burst, occasionally
+   (1/16th of the delays) a long one standing in for a preemption. *)
+let perturb () =
+  let c = !config in
+  let bits = next_bits () in
+  if bits mod c.one_in = 0 then begin
+    Atomic.incr hit_count;
+    let scale = if (bits / c.one_in) mod 16 = 0 then 16 * c.max_delay else c.max_delay in
+    let d = 1 + ((bits / 256) mod scale) in
+    for _ = 1 to d do
+      Domain.cpu_relax ()
+    done
+  end
+
+let maybe_delay _label = if !on then perturb ()
+
+let enable () =
+  on := true;
+  Locks.Probe.set_site_hook maybe_delay
+
+let disable () =
+  on := false;
+  Locks.Probe.clear_site_hook ()
+
+let with_enabled ?seed f =
+  (match seed with Some s -> configure ~seed:s () | None -> ());
+  let was = !on in
+  enable ();
+  Fun.protect ~finally:(fun () -> if not was then disable ()) f
+
+module Make_unsealed (Q : Core.Queue_intf.S) = struct
+  type 'a t = 'a Q.t
+
+  let name = Q.name ^ "+chaos"
+  let create = Q.create
+
+  let enqueue q v =
+    maybe_delay "wrap.enqueue.pre";
+    Q.enqueue q v;
+    maybe_delay "wrap.enqueue.post"
+
+  let dequeue q =
+    maybe_delay "wrap.dequeue.pre";
+    let r = Q.dequeue q in
+    maybe_delay "wrap.dequeue.post";
+    r
+
+  let peek = Q.peek
+  let is_empty = Q.is_empty
+  let length = Q.length
+end
+
+module Make (Q : Core.Queue_intf.S) : Core.Queue_intf.S = Make_unsealed (Q)
+
+module Make_batch (Q : Core.Queue_intf.BATCH) : Core.Queue_intf.BATCH = struct
+  include Make_unsealed (Q) (* 'a t = 'a Q.t stays visible here *)
+
+  let enqueue_batch q vs =
+    maybe_delay "wrap.enqueue_batch.pre";
+    Q.enqueue_batch q vs;
+    maybe_delay "wrap.enqueue_batch.post"
+
+  let dequeue_batch q ~max =
+    maybe_delay "wrap.dequeue_batch.pre";
+    let r = Q.dequeue_batch q ~max in
+    maybe_delay "wrap.dequeue_batch.post";
+    r
+end

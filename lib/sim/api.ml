@@ -36,6 +36,7 @@ let free ~addr ~size = unit_reply (perform (Op.Free { addr; size }))
 let work n = if n > 0 then unit_reply (perform (Op.Work n))
 let yield () = unit_reply (perform Op.Yield)
 let count name = unit_reply (perform (Op.Count name))
+let progress () = unit_reply (perform Op.Progress)
 let now () = int_reply (perform Op.Now)
 let self () = int_reply (perform Op.Self)
 

@@ -38,6 +38,14 @@ val work : int -> unit
 
 val yield : unit -> unit
 val count : string -> unit
+
+val progress : unit -> unit
+(** Mark forward progress — a completed logical operation (an enqueue, a
+    dequeue, a finished request).  Zero-cost.  Workload loops call this
+    so the engine's deadlock watchdog (see {!Engine.run}) can tell a
+    blocked system (runnable processes spinning without completing
+    anything) from a merely slow one. *)
+
 val now : unit -> int
 val self : unit -> int
 

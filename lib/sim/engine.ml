@@ -14,6 +14,8 @@ type process = {
   mutable state : proc_state;
   mutable finish_time : int;
   mutable planned_stalls : (int * int) list;  (* (at, duration), at-ordered *)
+  mutable ops_executed : int;
+  mutable crash_after : int option;  (* fail-stop after this many ops *)
 }
 
 type processor = {
@@ -39,11 +41,35 @@ type t = {
   mutable context_switches : int;
   mutable failure : exn option;
   mutable trace : Trace.t option;
+  (* watchdog bookkeeping: [max_clock] is the global high-water clock,
+     [last_progress] the value it had when some process last made
+     progress (Op.Progress, finishing, or a legitimate idle sleep). *)
+  mutable max_clock : int;
+  mutable last_progress : int;
+  mutable blocked : blocked_info option;
+}
+
+and process_view = {
+  view_pid : pid;
+  view_cpu : int;
+  view_state : string;  (* "runnable" | "stalled" *)
+  view_ops : int;
+}
+
+and blocked_info = {
+  at_cycle : int;
+  progress_cycle : int;  (* [max_clock] when progress last happened *)
+  watchdog_cycles : int;
+  live : process_view list;
+  tails : (pid * Trace.event list) list;
+      (* last trace events of each live process, newest last; empty
+         unless tracing was enabled on the engine *)
 }
 
 type outcome =
   | Completed
   | Step_limit
+  | Blocked
 
 let create (cfg : Config.t) =
   let mem = Memory.create ~n_processors:cfg.n_processors in
@@ -64,6 +90,9 @@ let create (cfg : Config.t) =
     context_switches = 0;
     failure = None;
     trace = None;
+    max_clock = 0;
+    last_progress = 0;
+    blocked = None;
   }
 
 let memory t = t.mem
@@ -96,6 +125,8 @@ let spawn ?cpu t body =
       state = Runnable;
       finish_time = -1;
       planned_stalls = [];
+      ops_executed = 0;
+      crash_after = None;
     }
   in
   Hashtbl.add t.procs pid p;
@@ -130,10 +161,24 @@ let kill t pid =
       p.state <- Killed;
       t.remaining <- t.remaining - 1
 
+let plan_crash t pid ~after_ops =
+  if after_ops < 0 then invalid_arg "Engine.plan_crash: negative operation index";
+  let p = find_process t pid in
+  p.crash_after <- Some after_ops
+
+let ops_executed t pid = (find_process t pid).ops_executed
+
 let bump_counter t name =
   match Hashtbl.find_opt t.counters name with
   | Some r -> incr r
   | None -> Hashtbl.add t.counters name (ref 1)
+
+(* Progress happened "now" in global time: credit the watchdog window
+   from the high-water clock, not the (possibly lagging) local clock, so
+   a slow processor's progress mark cannot re-arm an already-elapsed
+   window. *)
+let mark_progress t (cpu : processor) =
+  t.last_progress <- max t.last_progress (max t.max_clock cpu.clock)
 
 (* Execute one operation for process [p] on processor [cpu]; returns the
    cycle cost and the reply fed back to the process. *)
@@ -172,6 +217,9 @@ let exec_op t (cpu : processor) (p : process) (op : Op.t) : int * Op.reply =
   | Op.Yield -> (1, Op.Unit)
   | Op.Count name ->
       bump_counter t name;
+      (0, Op.Unit)
+  | Op.Progress ->
+      mark_progress t cpu;
       (0, Op.Unit)
   | Op.Now -> (0, Op.Int cpu.clock)
   | Op.Self -> (0, Op.Int p.pid)
@@ -241,8 +289,21 @@ let pick_processor t =
 let step_processor t (cpu : processor) =
   match select t cpu ~rotated:0 with
   | `Idle_forever -> ()
-  | `Idle_until c -> cpu.clock <- max cpu.clock c
+  | `Idle_until c ->
+      cpu.clock <- max cpu.clock c;
+      (* every process of this processor is legitimately asleep — that is
+         scheduling, not deadlock, so it re-arms the watchdog window *)
+      mark_progress t cpu
   | `Run p -> (
+      match p.crash_after with
+      | Some n when p.ops_executed >= n ->
+          (* fail-stop: the last operation's memory effect stands but the
+             process never runs another instruction — a lock it holds
+             stays held forever, a half-linked node stays half-linked *)
+          p.state <- Killed;
+          t.remaining <- t.remaining - 1;
+          ignore (Queue.pop cpu.runq)
+      | _ -> (
       match p.planned_stalls with
       | (at, duration) :: rest when at <= cpu.clock ->
           (* a planned delay fires between two operations *)
@@ -265,16 +326,19 @@ let step_processor t (cpu : processor) =
             p.state <- Finished;
             p.finish_time <- cpu.clock;
             t.remaining <- t.remaining - 1;
-            ignore (Queue.pop cpu.runq)
+            ignore (Queue.pop cpu.runq);
+            mark_progress t cpu
         | Api.Raised e ->
             p.state <- Finished;
             p.finish_time <- cpu.clock;
             t.remaining <- t.remaining - 1;
             ignore (Queue.pop cpu.runq);
+            mark_progress t cpu;
             if t.failure = None then t.failure <- Some e
         | Api.Pending (op, k) ->
             let start = cpu.clock in
             let cost, reply = exec_op t cpu p op in
+            p.ops_executed <- p.ops_executed + 1;
             cpu.clock <- cpu.clock + cost;
             cpu.busy <- cpu.busy + cost;
             (match t.trace with
@@ -302,18 +366,68 @@ let step_processor t (cpu : processor) =
               ignore (Queue.pop cpu.runq);
               Queue.push p cpu.runq;
               context_switch t cpu
-            end)
+            end))
 
-let run ?(max_steps = 1_000_000_000) t =
+(* The structured verdict of a watchdog expiry: which processes were
+   still alive, what they were doing (their trace tails, when tracing is
+   enabled), and the cycle window that elapsed without progress. *)
+let build_blocked_info t ~watchdog =
+  let live =
+    Hashtbl.fold
+      (fun _ p acc ->
+        match p.state with
+        | Runnable ->
+            { view_pid = p.pid; view_cpu = p.cpu; view_state = "runnable";
+              view_ops = p.ops_executed }
+            :: acc
+        | Stalled _ ->
+            { view_pid = p.pid; view_cpu = p.cpu; view_state = "stalled";
+              view_ops = p.ops_executed }
+            :: acc
+        | Finished | Killed -> acc)
+      t.procs []
+    |> List.sort (fun a b -> compare a.view_pid b.view_pid)
+  in
+  let tail_of pid =
+    match t.trace with
+    | None -> []
+    | Some tr ->
+        let events = Trace.by_pid tr pid in
+        let n = List.length events in
+        if n <= 12 then events else List.filteri (fun i _ -> i >= n - 12) events
+  in
+  {
+    at_cycle = t.max_clock;
+    progress_cycle = t.last_progress;
+    watchdog_cycles = watchdog;
+    live;
+    tails = List.map (fun v -> (v.view_pid, tail_of v.view_pid)) live;
+  }
+
+let run ?(max_steps = 1_000_000_000) ?watchdog t =
   let outcome = ref Completed in
+  (* the watchdog window opens at the current high-water clock, not at
+     whatever [last_progress] was left over from a previous [run] call *)
+  (match watchdog with
+  | Some w when w <= 0 -> invalid_arg "Engine.run: watchdog must be positive"
+  | Some _ -> t.last_progress <- max t.last_progress t.max_clock
+  | None -> ());
   (try
      while t.remaining > 0 do
        if t.steps >= max_steps then begin
          outcome := Step_limit;
          raise Exit
        end;
+       (match watchdog with
+       | Some w when t.max_clock - t.last_progress > w ->
+           t.blocked <- Some (build_blocked_info t ~watchdog:w);
+           outcome := Blocked;
+           raise Exit
+       | _ -> ());
        match pick_processor t with
-       | Some cpu -> step_processor t cpu
+       | Some cpu ->
+           step_processor t cpu;
+           if cpu.clock > t.max_clock then t.max_clock <- cpu.clock
        | None ->
            (* remaining > 0 but nobody eligible: impossible by construction,
               since killed/finished decrement [remaining]. *)
@@ -326,6 +440,8 @@ let run ?(max_steps = 1_000_000_000) t =
       raise e
   | None -> ());
   !outcome
+
+let blocked t = t.blocked
 
 let elapsed t =
   Array.fold_left (fun acc cpu -> max acc cpu.clock) 0 t.processors

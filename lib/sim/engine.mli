@@ -63,17 +63,68 @@ val kill : t -> pid -> unit
     processes; a non-blocking algorithm must allow the others to finish
     while a blocking one will spin to the step limit. *)
 
+val plan_crash : t -> pid -> after_ops:int -> unit
+(** Schedule a fail-stop crash: the process executes exactly
+    [after_ops] operations and then never runs again.  The last
+    operation's memory effect stands — a crash can land {e mid-CAS}
+    (the CAS took effect but the process never saw the reply), inside a
+    critical section (the lock stays held forever), or between an MS
+    enqueue's link and its tail swing (E9 and E13).  This is the
+    fail-stop adversary behind the paper's non-blocking claim: the
+    other processes of a non-blocking algorithm must still complete.
+    [after_ops = 0] crashes the process before its first operation. *)
+
+val ops_executed : t -> pid -> int
+(** Operations the process has executed so far (crash-point sweeps use
+    a reference run's count as the sweep range). *)
+
 (** {1 Running} *)
+
+type process_view = {
+  view_pid : pid;
+  view_cpu : int;
+  view_state : string;  (** ["runnable"] or ["stalled"] *)
+  view_ops : int;  (** operations executed before the system blocked *)
+}
+
+type blocked_info = {
+  at_cycle : int;  (** global clock when the watchdog expired *)
+  progress_cycle : int;  (** global clock at the last progress mark *)
+  watchdog_cycles : int;  (** the window that elapsed without progress *)
+  live : process_view list;  (** processes neither finished nor killed *)
+  tails : (pid * Trace.event list) list;
+      (** the last operations of each live process (newest last), from
+          the engine's trace buffer; empty lists unless {!enable_trace}
+          was called *)
+}
 
 type outcome =
   | Completed  (** every live process ran to completion *)
   | Step_limit  (** the step budget was exhausted — livelock/blocking *)
+  | Blocked
+      (** the watchdog expired: no process marked progress
+          ({!Api.progress}), finished, or legitimately slept for the
+          configured number of cycles — deadlock or unbounded blocking;
+          details in {!blocked} *)
 
-val run : ?max_steps:int -> t -> outcome
+val run : ?max_steps:int -> ?watchdog:int -> t -> outcome
 (** Execute until all non-killed processes finish.  A process whose body
     raises causes [run] to re-raise that exception after marking the
     process finished.  [max_steps] (default 1 billion) bounds total
-    operations so blocked systems terminate with [Step_limit]. *)
+    operations so blocked systems terminate with [Step_limit].
+
+    [watchdog] arms the deadlock watchdog: if no process marks progress
+    ({!Api.progress}), finishes, or goes to sleep for [watchdog]
+    consecutive cycles of the global (high-water) clock while work
+    remains, the run stops with {!Blocked} and {!blocked} returns a
+    structured verdict.  This turns a crashed-lock-holder hang — which
+    would otherwise spin to [max_steps] — into a cheap, structured
+    result.  Choose a window larger than any legitimate progress gap
+    (quantum × multiprogramming level, the longest planned stall, the
+    backoff cap). *)
+
+val blocked : t -> blocked_info option
+(** The verdict of the last {!Blocked} outcome, if any. *)
 
 val elapsed : t -> int
 (** Maximum processor clock — the parallel makespan in cycles. *)

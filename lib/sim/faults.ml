@@ -1,0 +1,45 @@
+type t =
+  | Crash of { after_ops : int }
+  | Stall of { at : int; duration : int }
+  | Storm of { first_at : int; every : int; duration : int; count : int }
+
+let inject eng pid = function
+  | Crash { after_ops } -> Engine.plan_crash eng pid ~after_ops
+  | Stall { at; duration } -> Engine.plan_stall eng pid ~at ~duration
+  | Storm { first_at; every; duration; count } ->
+      if every <= 0 || count <= 0 then invalid_arg "Faults.inject: bad storm";
+      for i = 0 to count - 1 do
+        Engine.plan_stall eng pid ~at:(first_at + (i * every)) ~duration
+      done
+
+let crash_points ~trials ~total_ops =
+  if trials <= 0 then invalid_arg "Faults.crash_points: trials must be positive";
+  (* spread over the interior of the run; never 0 (a crash before the
+     first operation exercises nothing) and never past the last op *)
+  List.init trials (fun k ->
+      max 1 (min total_ops (total_ops * (k + 1) / (trials + 1))))
+
+let random rng ~max_ops ~horizon =
+  if max_ops <= 0 || horizon <= 0 then invalid_arg "Faults.random";
+  match Rng.int rng 3 with
+  | 0 -> Crash { after_ops = 1 + Rng.int rng max_ops }
+  | 1 ->
+      Stall { at = Rng.int rng horizon; duration = 1 + Rng.int rng horizon }
+  | _ ->
+      let count = 2 + Rng.int rng 14 in
+      let every = 1 + Rng.int rng (max 1 (horizon / count)) in
+      Storm
+        {
+          first_at = Rng.int rng horizon;
+          every;
+          duration = 1 + Rng.int rng (max 1 (every / 2));
+          count;
+        }
+
+let pp fmt = function
+  | Crash { after_ops } -> Format.fprintf fmt "crash after %d ops" after_ops
+  | Stall { at; duration } ->
+      Format.fprintf fmt "stall at %d for %d cycles" at duration
+  | Storm { first_at; every; duration; count } ->
+      Format.fprintf fmt "%d stalls of %d cycles every %d from %d" count
+        duration every first_at

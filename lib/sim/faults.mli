@@ -1,0 +1,43 @@
+(** Fault injection for simulated runs.
+
+    The paper's non-blocking claim (§1, §3.3) is a statement about an
+    adversarial environment: a process may be preempted, delayed
+    arbitrarily, or killed outright at any point — including between a
+    lock acquire and its release, or between an MS enqueue's E9 link and
+    its E13 tail swing — and the remaining processes of a non-blocking
+    algorithm must still complete.  This module names those adversaries
+    and plants them into an {!Engine} deterministically, so every
+    failure replays exactly from its seed:
+
+    - {!Crash}: fail-stop at an exact operation index
+      ({!Engine.plan_crash} — mid-CAS included);
+    - {!Stall}: one long transient delay ({!Engine.plan_stall} — a page
+      fault, descheduling);
+    - {!Storm}: repeated short preemptions, the "repeatedly unlucky
+      process" adversary.
+
+    Paired with [run ~watchdog] the injected runs cannot hang: a
+    blocking algorithm caught by a fault yields a structured
+    {!Engine.Blocked} verdict instead of spinning. *)
+
+type t =
+  | Crash of { after_ops : int }
+  | Stall of { at : int; duration : int }
+  | Storm of { first_at : int; every : int; duration : int; count : int }
+
+val inject : Engine.t -> Engine.pid -> t -> unit
+(** Plant the fault on one process.  Must be called before
+    {!Engine.run}.  Raises [Invalid_argument] on nonpositive storm
+    parameters. *)
+
+val crash_points : trials:int -> total_ops:int -> int list
+(** [trials] crash indices spread evenly over the interior of a run of
+    [total_ops] operations (never 0, never beyond [total_ops]) — the
+    sweep used by [Harness.Crash_experiment]. *)
+
+val random : Rng.t -> max_ops:int -> horizon:int -> t
+(** Draw a random fault from the generator: a crash index in
+    [\[1, max_ops\]], or a stall/storm landing within [horizon] cycles.
+    Deterministic per generator state. *)
+
+val pp : Format.formatter -> t -> unit

@@ -12,6 +12,7 @@ type t =
   | Work of int
   | Yield
   | Count of string
+  | Progress
   | Now
   | Self
 
@@ -36,6 +37,7 @@ let pp fmt = function
   | Work n -> Format.fprintf fmt "work %d" n
   | Yield -> Format.fprintf fmt "yield"
   | Count name -> Format.fprintf fmt "count %s" name
+  | Progress -> Format.fprintf fmt "progress"
   | Now -> Format.fprintf fmt "now"
   | Self -> Format.fprintf fmt "self"
 

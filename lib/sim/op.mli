@@ -21,6 +21,12 @@ type t =
   | Work of int  (** spin for [n] cycles of local computation *)
   | Yield  (** voluntarily relinquish the processor *)
   | Count of string  (** bump a named statistics counter; free *)
+  | Progress
+      (** mark forward progress (a completed logical operation); free.
+          Feeds the engine's deadlock watchdog: a run under a watchdog is
+          declared blocked when no process has marked progress (or
+          finished, or legitimately slept) for the configured number of
+          cycles. *)
   | Now  (** read the local processor clock *)
   | Self  (** the id of the running process *)
 

@@ -48,13 +48,14 @@ let op_addr (op : Op.t) =
   | Op.Load_linked a
   | Op.Store_conditional (a, _) -> Some a
   | Op.Free { addr = a; _ } -> Some a
-  | Op.Alloc _ | Op.Work _ | Op.Yield | Op.Count _ | Op.Now | Op.Self -> None
+  | Op.Alloc _ | Op.Work _ | Op.Yield | Op.Count _ | Op.Progress | Op.Now | Op.Self -> None
 
 let is_memory_op (op : Op.t) =
   match op with
   | Op.Read _ | Op.Write _ | Op.Cas _ | Op.Fetch_and_add _ | Op.Swap _
   | Op.Test_and_set _ | Op.Load_linked _ | Op.Store_conditional _ -> true
-  | Op.Alloc _ | Op.Free _ | Op.Work _ | Op.Yield | Op.Count _ | Op.Now | Op.Self ->
+  | Op.Alloc _ | Op.Free _ | Op.Work _ | Op.Yield | Op.Count _ | Op.Progress | Op.Now
+  | Op.Self ->
       false
 
 let op_kind (op : Op.t) =
@@ -72,6 +73,7 @@ let op_kind (op : Op.t) =
   | Op.Work _ -> "work"
   | Op.Yield -> "yield"
   | Op.Count _ -> "count"
+  | Op.Progress -> "progress"
   | Op.Now -> "now"
   | Op.Self -> "self"
 

@@ -13,5 +13,6 @@ let () =
          Test_extensions.suites;
          Test_more.suites;
          Test_obs.suites;
+         Test_faults.suites;
          Test_qcheck_queues.suites;
        ])

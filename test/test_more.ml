@@ -38,7 +38,8 @@ let lincheck_rounds (module Q : Squeues.Intf.S) ~procs ~ops ~rounds =
     done;
     (match Engine.run ~max_steps:20_000_000 eng with
     | Engine.Completed -> ()
-    | Engine.Step_limit -> Alcotest.fail "seeded run hit the step limit");
+    | Engine.Step_limit | Engine.Blocked ->
+        Alcotest.fail "seeded run hit the step limit");
     match Lincheck.Checker.check (Lincheck.History.history recorder) with
     | Lincheck.Checker.Linearizable -> ()
     | Lincheck.Checker.Not_linearizable -> incr failures

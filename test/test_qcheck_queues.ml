@@ -76,27 +76,29 @@ let prop_length_consistent key (module Q : Core.Queue_intf.S) =
 
 (* one producer domain, one consumer: the consumer observes exactly the
    produced sequence (per-producer order is total order here) *)
+let two_domain_round (module Q : Core.Queue_intf.S) l =
+  let q = Q.create () in
+  let producer = Domain.spawn (fun () -> List.iter (Q.enqueue q) l) in
+  let ok =
+    List.for_all
+      (fun expected ->
+        let rec next () =
+          match Q.dequeue q with
+          | Some v -> v
+          | None ->
+              Domain.cpu_relax ();
+              next ()
+        in
+        next () = expected)
+      l
+  in
+  Domain.join producer;
+  ok && Q.is_empty q && Q.dequeue q = None
+
 let prop_two_domain_order key (module Q : Core.Queue_intf.S) =
   QCheck2.Test.make ~count:15 ~name:(key ^ ": 2-domain producer/consumer order")
     QCheck2.Gen.(list_size (int_range 1 400) int)
-    (fun l ->
-      let q = Q.create () in
-      let producer = Domain.spawn (fun () -> List.iter (Q.enqueue q) l) in
-      let ok =
-        List.for_all
-          (fun expected ->
-            let rec next () =
-              match Q.dequeue q with
-              | Some v -> v
-              | None ->
-                  Domain.cpu_relax ();
-                  next ()
-            in
-            next () = expected)
-          l
-      in
-      Domain.join producer;
-      ok && Q.is_empty q && Q.dequeue q = None)
+    (two_domain_round (module Q))
 
 (* the documented concurrent-length contract: under concurrent traffic
    every sample stays within [0, enqueues started]; see the caveat on
@@ -241,6 +243,55 @@ let prop_batch_two_domain key (module Q : Core.Queue_intf.BATCH) =
       List.rev !consumed = l && Q.is_empty q)
 
 (* ------------------------------------------------------------------ *)
+(* Chaos-wrapped runs (Obs.Chaos): the same concurrent ordering
+   property with seeded randomized delays injected at each algorithm's
+   marked CAS/FAA windows and critical sections, stretching exactly the
+   interleavings an unperturbed run rarely produces.  Smaller counts —
+   each round is deliberately slow. *)
+
+let prop_chaos_two_domain key (module Q : Core.Queue_intf.S) =
+  let module C = Obs.Chaos.Make (Q) in
+  QCheck2.Test.make ~count:6
+    ~name:(key ^ ": 2-domain order under chaos delays")
+    QCheck2.Gen.(list_size (int_range 1 250) int)
+    (fun l ->
+      Obs.Chaos.with_enabled (fun () ->
+          two_domain_round (module C : Core.Queue_intf.S) l))
+
+let prop_chaos_batch_conservation key (module Q : Core.Queue_intf.BATCH) =
+  let module C = Obs.Chaos.Make_batch (Q) in
+  QCheck2.Test.make ~count:6
+    ~name:(key ^ ": 2-domain batch conservation under chaos delays")
+    QCheck2.Gen.(pair (int_range 1 16) (list_size (int_range 1 300) int))
+    (fun (batch, l) ->
+      Obs.Chaos.with_enabled (fun () ->
+          let q = C.create () in
+          let total = List.length l in
+          let producer =
+            Domain.spawn (fun () ->
+                List.iter (fun v -> C.enqueue_batch q [ v ]) l)
+          in
+          let consumed = ref [] in
+          let got = ref 0 in
+          while !got < total do
+            match C.dequeue_batch q ~max:batch with
+            | [] -> Domain.cpu_relax ()
+            | chunk ->
+                consumed := List.rev_append chunk !consumed;
+                got := !got + List.length chunk
+          done;
+          Domain.join producer;
+          List.rev !consumed = l && C.is_empty q))
+
+let chaos_injected_delays () =
+  (* placed after the chaos properties: the workloads above must have
+     actually crossed perturbed sites, or the suite tested nothing *)
+  Alcotest.(check bool) "chaos rounds injected delays" true
+    (Obs.Chaos.hits () > 0)
+
+let () = Obs.Chaos.configure ~seed:0xC7A05EEDL ~one_in:3 ~max_delay:48 ()
+
+(* ------------------------------------------------------------------ *)
 
 let suites =
   let map_q f = List.map (fun (key, q) -> f key q) natives in
@@ -261,4 +312,12 @@ let suites =
       @ map_b (fun k q -> QCheck_alcotest.to_alcotest (prop_batch_boundaries k q))
       @ map_b (fun k q -> QCheck_alcotest.to_alcotest (prop_batch_two_domain k q))
     );
+    ( "registry.chaos",
+      map_q (fun k q -> QCheck_alcotest.to_alcotest (prop_chaos_two_domain k q))
+      @ map_b (fun k q ->
+            QCheck_alcotest.to_alcotest (prop_chaos_batch_conservation k q))
+      @ [
+          Alcotest.test_case "delays were injected" `Quick
+            chaos_injected_delays;
+        ] );
   ]

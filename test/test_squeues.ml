@@ -24,7 +24,7 @@ let solo body =
   ignore (Engine.spawn eng (fun () -> result := Some (body eng)));
   (match Engine.run eng with
   | Engine.Completed -> ()
-  | Engine.Step_limit -> Alcotest.fail "solo run hit step limit");
+  | Engine.Step_limit | Engine.Blocked -> Alcotest.fail "solo run hit step limit");
   Option.get !result
 
 (* ------------------------------------------------------------------ *)
@@ -44,7 +44,8 @@ let sequential_ops (module Q : Squeues.Intf.S) ops =
            ops));
   (match Engine.run eng with
   | Engine.Completed -> ()
-  | Engine.Step_limit -> Alcotest.fail "sequential run hit step limit");
+  | Engine.Step_limit | Engine.Blocked ->
+      Alcotest.fail "sequential run hit step limit");
   List.rev !out
 
 let model_ops ops =
@@ -108,7 +109,8 @@ let concurrent_run (module Q : Squeues.Intf.S) ~procs ~mpl ~per =
   done;
   (match Engine.run ~max_steps:200_000_000 eng with
   | Engine.Completed -> ()
-  | Engine.Step_limit -> Alcotest.fail "concurrent run hit step limit");
+  | Engine.Step_limit | Engine.Blocked ->
+      Alcotest.fail "concurrent run hit step limit");
   received
 
 let check_conservation name received ~expected =
