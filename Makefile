@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke clean
+.PHONY: all build test bench bench-smoke bench-diff profile clean
 
 all: build
 
@@ -14,11 +14,23 @@ bench:
 
 # A minutes-scale subset for CI: figure 3 only, tiny pair counts, and
 # the instrumented native-queue metrics — still exercising every layer
-# that feeds BENCH_queues.json.
+# that feeds BENCH_queues.json.  Also emits the cycle-attribution
+# profile section on its own as profile.json.
 bench-smoke:
 	dune build bench/main.exe
-	MSQ_SMOKE=1 MSQ_JSON=BENCH_queues.json dune exec bench/main.exe
+	MSQ_SMOKE=1 MSQ_JSON=BENCH_queues.json dune exec bench/main.exe -- --profile-out profile.json
+
+# Gate a fresh smoke run against the committed baseline: the
+# deterministic simulator metric (net cycles/pair) must not regress by
+# more than 10%.  Native wall-clock numbers are reported but never gate.
+bench-diff: bench-smoke
+	dune exec bin/msq_check.exe -- bench-diff bench/BASELINE_smoke.json BENCH_queues.json --max-regress 10
+
+# Where the cycles go: simulated cache-line heatmaps plus native
+# per-site/per-phase contention profiles, on the terminal.
+profile:
+	dune exec bin/msq_check.exe -- profile --seed 0 -p 8 --native
 
 clean:
 	dune clean
-	rm -f BENCH_queues.json
+	rm -f BENCH_queues.json profile.json

@@ -18,6 +18,16 @@ let smoke = Sys.getenv_opt "MSQ_SMOKE" <> None
 
 let json_path = Sys.getenv_opt "MSQ_JSON"
 
+(* --profile-out FILE: additionally write the cycle-attribution
+   [profile] section alone (the CI artifact), independent of MSQ_JSON. *)
+let profile_path =
+  let rec scan = function
+    | "--profile-out" :: path :: _ -> Some path
+    | _ :: rest -> scan rest
+    | [] -> None
+  in
+  scan (Array.to_list Sys.argv)
+
 let pairs =
   match Sys.getenv_opt "MSQ_PAIRS" with
   | Some s -> int_of_string s
@@ -427,14 +437,80 @@ let instrumented_batch_metrics () =
               ])))
     Harness.Registry.native_batch
 
-let write_json figs native batched ~robustness:(liveness, crash) =
+(* Cycle attribution — the "where the cycles go" section:
+   - simulated cache-line heatmaps for the paper's three main queues at
+     p = 1 and p = 8 (deterministic; small pair count, this is about
+     attribution, not throughput);
+   - native per-site contention and per-phase spans over the whole
+     registry under two real domains (Obs.Profile; site labels carry
+     the algorithm prefix, so one snapshot covers all queues).
+   Runs in smoke too so BENCH_queues.json always carries the section. *)
+let profile_section () =
+  heading "Cycle attribution: simulated cache-line heatmaps";
+  let ppairs = if smoke then 2_000 else 4_000 in
+  let sim_entries =
+    List.concat_map
+      (fun key ->
+        List.map
+          (fun p ->
+            let m =
+              Harness.Workload.run ~heatmap:true (Harness.Registry.find key)
+                { base with total_pairs = ppairs; processors = p }
+            in
+            Format.printf "@.%s p=%d (%d pairs):@." key p ppairs;
+            Harness.Report.heatmap_table ~top:5 Format.std_formatter
+              m.Harness.Workload.heatmap;
+            Obs.Json.Assoc
+              [
+                ("queue", Obs.Json.String key);
+                ("processors", Obs.Json.Int p);
+                ("pairs", Obs.Json.Int ppairs);
+                ("lines", Harness.Report.heatmap_json m.Harness.Workload.heatmap);
+              ])
+          [ 1; 8 ])
+      [ "ms"; "two-lock"; "single-lock" ]
+  in
+  heading "Cycle attribution: native per-site contention (2 domains)";
+  let per = if smoke then 5_000 else 20_000 in
+  Obs.Profile.reset ();
+  Obs.Profile.enable ();
+  List.iter
+    (fun { Harness.Registry.queue = (module Q : Core.Queue_intf.S); _ } ->
+      let q = Q.create () in
+      let worker () =
+        for i = 1 to per do
+          Q.enqueue q i;
+          ignore (Q.dequeue q)
+        done
+      in
+      let d = Domain.spawn worker in
+      worker ();
+      Domain.join d)
+    Harness.Registry.native;
+  Obs.Profile.disable ();
+  let native_prof = Obs.Profile.snapshot () in
+  Format.printf "%a" Obs.Profile.pp native_prof;
+  Obs.Json.Assoc
+    [
+      ("sim_heatmaps", Obs.Json.List sim_entries);
+      ("native", Obs.Profile.to_json native_prof);
+    ]
+
+let write_json figs native batched ~robustness:(liveness, crash) ~profile =
+  (match profile_path with
+  | None -> ()
+  | Some path ->
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc (Obs.Json.to_string profile);
+          Out_channel.output_char oc '\n');
+      Format.printf "@.wrote profile to %s@." path);
   match json_path with
   | None -> ()
   | Some path ->
       let doc =
         Obs.Json.Assoc
           [
-            ("schema_version", Obs.Json.Int 3);
+            ("schema_version", Obs.Json.Int 4);
             ("suite", Obs.Json.String "msqueue-bench");
             ("pairs", Obs.Json.Int pairs);
             ("quantum", Obs.Json.Int quantum);
@@ -443,6 +519,7 @@ let write_json figs native batched ~robustness:(liveness, crash) =
             ("native", Obs.Json.List native);
             ("batched", Obs.Json.List batched);
             ("robustness", Harness.Report.robustness_json ~liveness ~crash);
+            ("profile", profile);
           ]
       in
       Out_channel.with_open_text path (fun oc ->
@@ -469,5 +546,6 @@ let () =
   let robustness = robustness () in
   let batched = batched_sweep () in
   let native = instrumented_metrics () @ instrumented_batch_metrics () in
-  write_json figs native batched ~robustness;
+  let profile = profile_section () in
+  write_json figs native batched ~robustness ~profile;
   Format.printf "@.done.@."

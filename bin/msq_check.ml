@@ -466,9 +466,220 @@ let chaos_cmd =
     Term.(const run $ key $ domains $ ops $ rounds $ seed_arg $ one_in
           $ max_delay)
 
+(* Cycle attribution: per-cache-line heatmaps of the simulated
+   algorithms (deterministic per seed) and, with --native, per-site
+   contention profiles of the native queues under two real domains. *)
+let profile_cmd =
+  let run algos procs pairs mpl seed top json_out native =
+    let keys =
+      match algos with
+      | [] -> [ "ms"; "two-lock"; "single-lock" ]
+      | ks -> ks
+    in
+    let params =
+      {
+        Harness.Params.default with
+        processors = procs;
+        total_pairs = pairs;
+        multiprogramming = mpl;
+      }
+    in
+    let params =
+      match seed with
+      | Some s -> { params with Harness.Params.seed = s }
+      | None -> params
+    in
+    let results =
+      List.map
+        (fun key ->
+          let m =
+            Harness.Workload.run ~heatmap:true (Harness.Registry.find key)
+              params
+          in
+          Format.printf "@.%s  p=%d mpl=%d  %d pairs  (net %.0f cycles/pair)@."
+            key procs mpl pairs m.Harness.Workload.net_per_pair;
+          Harness.Report.heatmap_table ~top Format.std_formatter
+            m.Harness.Workload.heatmap;
+          (key, m))
+        keys
+    in
+    let native_results =
+      if not native then []
+      else
+        List.map
+          (fun key ->
+            let (module Q : Core.Queue_intf.S) =
+              Harness.Registry.find_native key
+            in
+            Obs.Profile.reset ();
+            Obs.Profile.enable ();
+            let q = Q.create () in
+            let worker () =
+              for i = 1 to 10_000 do
+                Q.enqueue q i;
+                ignore (Q.dequeue q)
+              done
+            in
+            let d = Domain.spawn worker in
+            worker ();
+            Domain.join d;
+            Obs.Profile.disable ();
+            let s = Obs.Profile.snapshot () in
+            Format.printf "@.native %s (2 domains, 10000 pairs each):@.%a" key
+              Obs.Profile.pp s;
+            (key, s))
+          Harness.Registry.native_keys
+    in
+    Option.iter
+      (fun path ->
+        let doc =
+          Obs.Json.Assoc
+            [
+              ("schema_version", Obs.Json.Int 1);
+              ( "sim_heatmaps",
+                Obs.Json.List
+                  (List.map
+                     (fun (key, (m : Harness.Workload.measurement)) ->
+                       Obs.Json.Assoc
+                         [
+                           ("queue", Obs.Json.String key);
+                           ("processors", Obs.Json.Int procs);
+                           ("mpl", Obs.Json.Int mpl);
+                           ("pairs", Obs.Json.Int pairs);
+                           ( "net_per_pair",
+                             Obs.Json.Float m.Harness.Workload.net_per_pair );
+                           ( "lines",
+                             Harness.Report.heatmap_json
+                               m.Harness.Workload.heatmap );
+                         ])
+                     results) );
+              ( "native",
+                Obs.Json.List
+                  (List.map
+                     (fun (key, s) ->
+                       Obs.Json.Assoc
+                         [
+                           ("queue", Obs.Json.String key);
+                           ("profile", Obs.Profile.to_json s);
+                         ])
+                     native_results) );
+            ]
+        in
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc (Obs.Json.to_string doc);
+            Out_channel.output_char oc '\n');
+        Format.printf "@.wrote profile JSON to %s@." path)
+      json_out;
+    0
+  in
+  let algos =
+    Arg.(value & opt_all string []
+         & info [ "a"; "algo" ]
+             ~doc:"Simulated algorithm key (repeatable); default ms, \
+                   two-lock, single-lock.")
+  in
+  let procs = Arg.(value & opt int 8 & info [ "p"; "procs" ] ~doc:"Processors.") in
+  let pairs = Arg.(value & opt int 4_000 & info [ "pairs" ] ~doc:"Total pairs.") in
+  let mpl = Arg.(value & opt int 1 & info [ "m"; "mpl" ] ~doc:"Processes per processor.") in
+  let top =
+    Arg.(value & opt int 10 & info [ "top" ] ~doc:"Hottest lines to show.")
+  in
+  let json_out =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Write the heatmaps (and native profiles) as JSON to $(docv).")
+  in
+  let native =
+    Arg.(value & flag
+         & info [ "native" ]
+             ~doc:"Also profile every native queue under two real domains: \
+                   per-site contention and per-phase spans via Obs.Profile \
+                   (wall-clock, not deterministic).")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Where the cycles go: per-cache-line heatmaps of the simulated \
+          algorithms (hottest lines with their symbolic labels — Head, Tail, \
+          node[i], locks), deterministic per seed; optionally native per-site \
+          contention profiles.")
+    Term.(const run $ algos $ procs $ pairs $ mpl $ seed_arg $ top $ json_out
+          $ native)
+
+let bench_diff_cmd =
+  let run old_path new_path max_regress gate_native =
+    match (Harness.Bench_compare.load old_path, Harness.Bench_compare.load new_path) with
+    | Error e, _ | _, Error e ->
+        Format.eprintf "bench-diff: %s@." e;
+        2
+    | Ok old_doc, Ok new_doc ->
+        let c =
+          Harness.Bench_compare.diff ~max_regress ~gate_native ~old_doc
+            ~new_doc ()
+        in
+        Format.printf "%a@." Harness.Bench_compare.pp c;
+        if Harness.Bench_compare.ok c then 0 else 1
+  in
+  let old_path =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"OLD" ~doc:"Baseline BENCH_queues.json.")
+  in
+  let new_path =
+    Arg.(required & pos 1 (some file) None
+         & info [] ~docv:"NEW" ~doc:"Candidate BENCH_queues.json.")
+  in
+  let max_regress =
+    Arg.(value & opt float 10.
+         & info [ "max-regress" ] ~docv:"PCT"
+             ~doc:"Fail when a gated metric worsens by more than $(docv) percent.")
+  in
+  let gate_native =
+    Arg.(value & flag
+         & info [ "gate-native" ]
+             ~doc:"Also gate on native wall-clock throughput (noisy on a \
+                   timeshared core; off by default).")
+  in
+  Cmd.v
+    (Cmd.info "bench-diff"
+       ~doc:
+         "Compare two BENCH_queues.json documents (schema versions 2-4): the \
+          deterministic simulator figures gate, native throughput is \
+          informational.  Exit 1 on regression past --max-regress, 2 on \
+          unreadable input.")
+    Term.(const run $ old_path $ new_path $ max_regress $ gate_native)
+
+let bench_summary_cmd =
+  let run path top =
+    match Harness.Bench_compare.load path with
+    | Error e ->
+        Format.eprintf "bench-summary: %s@." e;
+        2
+    | Ok doc ->
+        Harness.Bench_compare.markdown_summary ~top Format.std_formatter doc;
+        0
+  in
+  let path =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE" ~doc:"BENCH_queues.json to summarize.")
+  in
+  let top =
+    Arg.(value & opt int 3
+         & info [ "top" ] ~doc:"Hottest cache lines per queue.")
+  in
+  Cmd.v
+    (Cmd.info "bench-summary"
+       ~doc:
+         "Render a BENCH_queues.json as GitHub-flavoured markdown — headline \
+          native throughput and the hottest simulated cache lines — suitable \
+          for \\$GITHUB_STEP_SUMMARY.")
+    Term.(const run $ path $ top)
+
 let cmd =
   let doc = "Verification tools for the PODC 1996 queue reproduction" in
   Cmd.group (Cmd.info "msq_check" ~doc)
-    [ explore_cmd; lin_cmd; native_lin_cmd; crash_cmd; chaos_cmd ]
+    [
+      explore_cmd; lin_cmd; native_lin_cmd; crash_cmd; chaos_cmd; profile_cmd;
+      bench_diff_cmd; bench_summary_cmd;
+    ]
 
 let () = exit (Cmd.eval' cmd)

@@ -16,7 +16,8 @@ let parse_procs s =
 let procs_conv = Arg.conv (parse_procs, fun fmt l ->
     Format.fprintf fmt "%s" (String.concat "," (List.map string_of_int l)))
 
-let run figures pairs quantum procs algos csv summary_only chart json_out trace_out =
+let run figures pairs quantum procs algos csv summary_only chart json_out trace_out
+    profile_out =
   let base =
     { Harness.Params.default with total_pairs = pairs; quantum } in
   let algos =
@@ -35,9 +36,11 @@ let run figures pairs quantum procs algos csv summary_only chart json_out trace_
       csv
   in
   let trace_limit = Option.map (fun _ -> 65_536) trace_out in
+  let heatmap = profile_out <> None in
   let figs =
     List.map
-      (fun n -> Harness.Experiment.figure ~algos ~procs ?trace_limit ~base n)
+      (fun n ->
+        Harness.Experiment.figure ~algos ~procs ?trace_limit ~heatmap ~base n)
       figures
   in
   List.iter
@@ -93,6 +96,49 @@ let run figures pairs quantum procs algos csv summary_only chart json_out trace_
           Out_channel.output_string oc (Buffer.contents buf));
       Format.printf "wrote Chrome trace to %s@." path)
     trace_out;
+  Option.iter
+    (fun path ->
+      let entries =
+        List.concat_map
+          (fun fig ->
+            List.concat_map
+              (fun s ->
+                List.filter_map
+                  (fun (m : Harness.Workload.measurement) ->
+                    match m.Harness.Workload.heatmap with
+                    | [] -> None
+                    | lines ->
+                        Some
+                          (Obs.Json.Assoc
+                             [
+                               ( "figure",
+                                 Obs.Json.Int fig.Harness.Experiment.number );
+                               ( "queue",
+                                 Obs.Json.String s.Harness.Experiment.algorithm
+                               );
+                               ( "processors",
+                                 Obs.Json.Int
+                                   m.Harness.Workload.params
+                                     .Harness.Params.processors );
+                               ("lines", Harness.Report.heatmap_json lines);
+                             ]))
+                  s.Harness.Experiment.points)
+              fig.Harness.Experiment.series)
+          figs
+      in
+      let doc =
+        Obs.Json.Assoc
+          [
+            ("schema_version", Obs.Json.Int 1);
+            ("pairs", Obs.Json.Int pairs);
+            ("sim_heatmaps", Obs.Json.List entries);
+          ]
+      in
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc (Obs.Json.to_string doc);
+          Out_channel.output_char oc '\n');
+      Format.printf "wrote cache-line profiles to %s@." path)
+    profile_out;
   0
 
 let figures_arg =
@@ -150,12 +196,21 @@ let trace_out_arg =
                  (figure, algorithm, processor count)."
            ~docv:"FILE")
 
+let profile_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "profile-out" ]
+           ~doc:"Enable per-cache-line statistics on every run and write the \
+                 heatmaps (one entry per figure/algorithm/processor count) as \
+                 JSON to $(docv)."
+           ~docv:"FILE")
+
 let cmd =
   let doc = "Regenerate the figures of Michael & Scott (PODC 1996) on the simulator" in
   Cmd.v
     (Cmd.info "msq_figures" ~doc)
     Term.(
       const run $ figures_arg $ pairs_arg $ quantum_arg $ procs_arg $ algos_arg
-      $ csv_arg $ summary_arg $ chart_arg $ json_arg $ trace_out_arg)
+      $ csv_arg $ summary_arg $ chart_arg $ json_arg $ trace_out_arg
+      $ profile_out_arg)
 
 let () = exit (Cmd.eval' cmd)

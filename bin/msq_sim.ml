@@ -34,8 +34,9 @@ let write_chrome ~path ~label tr =
      else "")
 
 let run_cmd =
-  let run algo procs pairs mpl trace trace_out =
+  let run algo procs pairs mpl trace trace_out profile_out phases =
     let (module Q) = Harness.Registry.find algo in
+    if phases then Squeues.Intf.phases := true;
     if trace then begin
       (* a small traced run printed in full: a readable interleaving *)
       let eng = Sim.Engine.create (Sim.Config.with_processors procs) in
@@ -60,6 +61,7 @@ let run_cmd =
       let m =
         Harness.Workload.run
           ?trace_limit:(Option.map (fun _ -> 1_048_576) trace_out)
+          ~heatmap:(profile_out <> None)
           (module Q)
           {
             Harness.Params.default with
@@ -76,6 +78,25 @@ let run_cmd =
             ~label:(Printf.sprintf "%s p=%d mpl=%d" algo procs mpl)
             tr
       | _ -> ());
+      Option.iter
+        (fun path ->
+          Harness.Report.heatmap_table Format.std_formatter
+            m.Harness.Workload.heatmap;
+          let doc =
+            Obs.Json.Assoc
+              [
+                ("queue", Obs.Json.String algo);
+                ("processors", Obs.Json.Int procs);
+                ("mpl", Obs.Json.Int mpl);
+                ("pairs", Obs.Json.Int pairs);
+                ("lines", Harness.Report.heatmap_json m.Harness.Workload.heatmap);
+              ]
+          in
+          Out_channel.with_open_text path (fun oc ->
+              Out_channel.output_string oc (Obs.Json.to_string doc);
+              Out_channel.output_char oc '\n');
+          Format.printf "wrote cache-line profile to %s@." path)
+        profile_out;
       0
     end
   in
@@ -91,10 +112,24 @@ let run_cmd =
                    to $(docv), loadable in about://tracing or Perfetto."
              ~docv:"FILE")
   in
+  let profile_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "profile-out" ]
+             ~doc:"Enable per-cache-line statistics, print the hottest-lines \
+                   table and write the heatmap as JSON to $(docv)."
+             ~docv:"FILE")
+  in
+  let phases_arg =
+    Arg.(value & flag
+         & info [ "phases" ]
+             ~doc:"Mark operation phases (snapshot, cas, backoff, help) in \
+                   the simulated queues; with --trace-out the Chrome trace \
+                   gains nested phase spans.")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"One workload run with full statistics (or --trace)")
     Term.(const run $ algo_arg $ procs_arg $ pairs_arg $ mpl_arg $ trace_arg
-          $ trace_out_arg)
+          $ trace_out_arg $ profile_out_arg $ phases_arg)
 
 let memory_cmd =
   let run algo procs pairs pool =

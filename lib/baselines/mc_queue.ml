@@ -10,9 +10,11 @@ let create () =
 
 let enqueue t v =
   let node = { value = Some v; next = Atomic.make None } in
+  Locks.Probe.site "mc.enq.swap";
   let prev = Atomic.exchange t.tail node in
   (* the blocking gap: between the exchange above and this link write,
      the list is disconnected and dequeuers at [prev] must wait *)
+  Locks.Probe.site "mc.enq.link";
   Atomic.set prev.next (Some node)
 
 let dequeue t =
@@ -25,16 +27,19 @@ let dequeue t =
           if Atomic.get t.head == head then None (* truly empty *) else loop ()
         else begin
           (* an enqueuer holds the gap: wait for its link write *)
+          Locks.Probe.site "mc.deq.gap";
           Locks.Backoff.once b;
           loop ()
         end
     | Some n ->
         let value = n.value in
+        Locks.Probe.site "mc.deq.head";
         if Atomic.compare_and_set t.head head n then begin
           n.value <- None;
           value
         end
         else begin
+          Locks.Probe.cas_retry ();
           Locks.Backoff.once b;
           loop ()
         end

@@ -15,22 +15,31 @@ module Make (Lock : Locks.Lock_intf.LOCK) = struct
   let enqueue t v =
     let node = { value = v; next = None } in
     Lock.with_lock t.lock (fun () ->
-        match t.tail with
+        Locks.Probe.site "slock.enq.locked";
+        Locks.Probe.phase_begin "slock.enq.critical";
+        (match t.tail with
         | None ->
             t.head <- Some node;
             t.tail <- Some node
         | Some last ->
             last.next <- Some node;
-            t.tail <- Some node)
+            t.tail <- Some node);
+        Locks.Probe.phase_end "slock.enq.critical")
 
   let dequeue t =
     Lock.with_lock t.lock (fun () ->
-        match t.head with
-        | None -> None
-        | Some first ->
-            t.head <- first.next;
-            if first.next = None then t.tail <- None;
-            Some first.value)
+        Locks.Probe.site "slock.deq.locked";
+        Locks.Probe.phase_begin "slock.deq.critical";
+        let r =
+          match t.head with
+          | None -> None
+          | Some first ->
+              t.head <- first.next;
+              if first.next = None then t.tail <- None;
+              Some first.value
+        in
+        Locks.Probe.phase_end "slock.deq.critical";
+        r)
 
   let peek t =
     Lock.with_lock t.lock (fun () ->

@@ -15,22 +15,29 @@ let enqueue t v =
   let node = { value = Some v; next = Atomic.make None } in (* E1-E3 *)
   let b = Locks.Backoff.create () in
   let rec loop () =
+    Locks.Probe.phase_begin "msq.enq.snapshot";
     let tail = Atomic.get t.tail in (* E5 *)
     let next = Atomic.get tail.next in (* E6 *)
-    if Atomic.get t.tail == tail then (* E7 *)
+    let consistent = Atomic.get t.tail == tail in (* E7 *)
+    Locks.Probe.phase_end "msq.enq.snapshot";
+    if consistent then
       match next with
       | None ->
           Locks.Probe.site "msq.enq.link";
           if Atomic.compare_and_set tail.next next (Some node) then tail (* E9 *)
           else begin
             Locks.Probe.cas_retry ();
+            Locks.Probe.phase_begin "msq.enq.backoff";
             Locks.Backoff.once b;
+            Locks.Probe.phase_end "msq.enq.backoff";
             loop ()
           end
       | Some n ->
           (* E12: Tail is lagging; help it forward and retry *)
           Locks.Probe.help ();
+          Locks.Probe.phase_begin "msq.enq.help";
           ignore (Atomic.compare_and_set t.tail tail n);
+          Locks.Probe.phase_end "msq.enq.help";
           loop ()
     else loop ()
   in
@@ -42,17 +49,22 @@ let enqueue t v =
 let dequeue t =
   let b = Locks.Backoff.create () in
   let rec loop () =
+    Locks.Probe.phase_begin "msq.deq.snapshot";
     let head = Atomic.get t.head in (* D2 *)
     let tail = Atomic.get t.tail in (* D3 *)
     let next = Atomic.get head.next in (* D4 *)
-    if Atomic.get t.head == head then (* D5 *)
+    let consistent = Atomic.get t.head == head in (* D5 *)
+    Locks.Probe.phase_end "msq.deq.snapshot";
+    if consistent then (* D5 *)
       if head == tail then
         match next with
         | None -> None (* D7-D8: empty *)
         | Some n ->
             (* D9: Tail is falling behind; advance it *)
             Locks.Probe.help ();
+            Locks.Probe.phase_begin "msq.deq.help";
             ignore (Atomic.compare_and_set t.tail tail n);
+            Locks.Probe.phase_end "msq.deq.help";
             loop ()
       else
         match next with
@@ -69,7 +81,9 @@ let dequeue t =
             end
             else begin
               Locks.Probe.cas_retry ();
+              Locks.Probe.phase_begin "msq.deq.backoff";
               Locks.Backoff.once b;
+              Locks.Probe.phase_end "msq.deq.backoff";
               loop ()
             end
     else loop ()

@@ -55,6 +55,7 @@ let enqueue t v =
     if Atomic.get t.tail == tail then (* E7 *)
       match next.ptr with
       | None ->
+          Locks.Probe.site "msc.enq.link";
           if
             Atomic.compare_and_set tail_node.next next (* E9 *)
               { ptr = Some node; count = next.count + 1 }
@@ -73,6 +74,7 @@ let enqueue t v =
     else loop ()
   in
   let tail = loop () in
+  Locks.Probe.site "msc.enq.swing";
   ignore (Atomic.compare_and_set t.tail tail { ptr = Some node; count = tail.count + 1 })
 (* E13 *)
 
@@ -101,6 +103,7 @@ let dequeue t =
         | None -> loop () (* transiently inconsistent snapshot *)
         | Some n ->
             let value = n.value in (* D11: read before the CAS *)
+            Locks.Probe.site "msc.deq.head";
             if
               Atomic.compare_and_set t.head head (* D12 *)
                 { ptr = Some n; count = head.count + 1 }

@@ -18,20 +18,27 @@ module Make (Lock : Locks.Lock_intf.LOCK) = struct
     let node = { value = Some v; next = Atomic.make None } in
     Lock.with_lock t.t_lock (fun () ->
         Locks.Probe.site "2lock.enq.locked";
+        Locks.Probe.phase_begin "2lock.enq.critical";
         Atomic.set t.tail.next (Some node); (* link at the end *)
-        t.tail <- node (* swing Tail *))
+        t.tail <- node (* swing Tail *);
+        Locks.Probe.phase_end "2lock.enq.critical")
 
   let dequeue t =
     Lock.with_lock t.h_lock (fun () ->
         Locks.Probe.site "2lock.deq.locked";
-        match Atomic.get t.head.next with
-        | None -> None
-        | Some node ->
-            (* [node] becomes the new dummy; take its payload *)
-            let value = node.value in
-            node.value <- None;
-            t.head <- node;
-            value)
+        Locks.Probe.phase_begin "2lock.deq.critical";
+        let r =
+          match Atomic.get t.head.next with
+          | None -> None
+          | Some node ->
+              (* [node] becomes the new dummy; take its payload *)
+              let value = node.value in
+              node.value <- None;
+              t.head <- node;
+              value
+        in
+        Locks.Probe.phase_end "2lock.deq.critical";
+        r)
 
   let peek t =
     Lock.with_lock t.h_lock (fun () ->

@@ -1,0 +1,270 @@
+(* Comparison of two BENCH_queues.json documents — the testable core
+   behind [msq_check bench-diff] and [msq_check bench-summary].
+
+   The gated metric is the deterministic simulator figure data
+   (net_per_pair, cycles per enqueue/dequeue pair, lower is better):
+   two runs at the same seed and scale produce identical numbers, so
+   any drift is a real algorithmic change, not scheduler noise.  The
+   native wall-clock throughput (pairs_per_second, higher is better)
+   is reported alongside but only gated under [~gate_native:true] —
+   on a timeshared core it is far too noisy to fail CI on. *)
+
+module Json = Obs.Json
+
+type doc = {
+  schema_version : int;
+  pairs : int;
+  smoke : bool;
+  sim : (string * float) list;  (** key -> net_per_pair, lower better *)
+  native : (string * float) list;  (** key -> pairs_per_second, higher better *)
+  raw : Json.t;  (** the whole document, for the summary renderer *)
+}
+
+let opt_member path json = Json.member path json
+
+let str_or ~default j k =
+  match Option.bind (opt_member k j) Json.to_string_opt with
+  | Some s -> s
+  | None -> default
+
+let int_or ~default j k =
+  match Option.bind (opt_member k j) Json.to_int_opt with
+  | Some i -> i
+  | None -> default
+
+let float_of j k = Option.bind (opt_member k j) Json.to_float_opt
+
+let list_of j k =
+  match Option.bind (opt_member k j) Json.to_list_opt with
+  | Some l -> l
+  | None -> []
+
+(* One key per measured point: "fig3/MS non-blocking/p4".  Incomplete
+   points (blocked or pool-exhausted runs) have no meaningful
+   net_per_pair and are skipped. *)
+let sim_points json =
+  List.concat_map
+    (fun fig ->
+      let n = int_or ~default:0 fig "figure" in
+      List.concat_map
+        (fun series ->
+          let algo = str_or ~default:"?" series "algorithm" in
+          List.filter_map
+            (fun point ->
+              let completed =
+                Option.bind (opt_member "completed" point) Json.to_bool_opt
+                |> Option.value ~default:true
+              in
+              match float_of point "net_per_pair" with
+              | Some v when completed ->
+                  let p = int_or ~default:0 point "processors" in
+                  Some (Printf.sprintf "fig%d/%s/p%d" n algo p, v)
+              | _ -> None)
+            (list_of series "points"))
+        (list_of fig "series"))
+    (list_of json "figures")
+
+let native_points json =
+  List.filter_map
+    (fun entry ->
+      let name = str_or ~default:"?" entry "name" in
+      match float_of entry "pairs_per_second" with
+      | Some v -> Some (name, v)
+      | None -> None)
+    (list_of json "native")
+
+let min_schema = 2
+let max_schema = 4
+
+let of_json json =
+  match Option.bind (opt_member "schema_version" json) Json.to_int_opt with
+  | None -> Error "missing schema_version"
+  | Some v when v < min_schema || v > max_schema ->
+      Error
+        (Printf.sprintf "unsupported schema_version %d (supported: %d..%d)" v
+           min_schema max_schema)
+  | Some v ->
+      Ok
+        {
+          schema_version = v;
+          pairs = int_or ~default:0 json "pairs";
+          smoke =
+            Option.bind (opt_member "smoke" json) Json.to_bool_opt
+            |> Option.value ~default:false;
+          sim = sim_points json;
+          native = native_points json;
+          raw = json;
+        }
+
+let of_string s =
+  match Json.of_string_opt s with
+  | None -> Error "not valid JSON"
+  | Some j -> of_json j
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | s -> (
+      match of_string s with
+      | Error e -> Error (Printf.sprintf "%s: %s" path e)
+      | Ok d -> Ok d)
+
+(* ------------------------------------------------------------------ *)
+(* Diff *)
+
+type delta = {
+  key : string;
+  old_value : float;
+  new_value : float;
+  worse_pct : float;  (** signed; positive = NEW is worse than OLD *)
+  regressed : bool;
+}
+
+type comparison = {
+  max_regress : float;
+  gate_native : bool;
+  comparable : bool;
+      (** same pairs/smoke scale — net_per_pair comparisons across
+          different scales are still shown but never gate *)
+  sim_deltas : delta list;  (** sorted worst-first *)
+  native_deltas : delta list;
+  missing : string list;  (** sim keys in OLD absent from NEW *)
+  added : string list;
+}
+
+let pct ~worse_when_new_is ~old_value ~new_value =
+  if old_value = 0. then 0.
+  else
+    let change = (new_value -. old_value) /. old_value *. 100. in
+    match worse_when_new_is with `Higher -> change | `Lower -> -.change
+
+let diff ?(max_regress = 10.) ?(gate_native = false) ~old_doc ~new_doc () =
+  let comparable =
+    old_doc.pairs = new_doc.pairs && old_doc.smoke = new_doc.smoke
+  in
+  let mk gate worse_when_new_is (key, old_value) new_value =
+    let worse_pct = pct ~worse_when_new_is ~old_value ~new_value in
+    { key; old_value; new_value; worse_pct;
+      regressed = gate && comparable && worse_pct > max_regress }
+  in
+  let join gate worse old_points new_points =
+    List.filter_map
+      (fun ((key, _) as o) ->
+        Option.map (mk gate worse o) (List.assoc_opt key new_points))
+      old_points
+    |> List.sort (fun a b -> Float.compare b.worse_pct a.worse_pct)
+  in
+  let sim_deltas = join true `Higher old_doc.sim new_doc.sim in
+  let native_deltas = join gate_native `Lower old_doc.native new_doc.native in
+  let missing =
+    List.filter_map
+      (fun (k, _) ->
+        if List.mem_assoc k new_doc.sim then None else Some k)
+      old_doc.sim
+  in
+  let added =
+    List.filter_map
+      (fun (k, _) ->
+        if List.mem_assoc k old_doc.sim then None else Some k)
+      new_doc.sim
+  in
+  { max_regress; gate_native; comparable; sim_deltas; native_deltas;
+    missing; added }
+
+let regressions c =
+  List.filter (fun d -> d.regressed) (c.sim_deltas @ c.native_deltas)
+
+let ok c = regressions c = [] && c.missing = []
+
+let pp fmt c =
+  let open Format in
+  fprintf fmt "@[<v>";
+  if not c.comparable then
+    fprintf fmt
+      "note: runs are at different scales (pairs/smoke differ); deltas shown \
+       but not gated@ ";
+  let row d =
+    fprintf fmt "  %s %-38s %12.1f -> %12.1f  (%+.1f%%)@ "
+      (if d.regressed then "REGRESS" else "ok     ")
+      d.key d.old_value d.new_value d.worse_pct
+  in
+  fprintf fmt "simulated net cycles/pair (lower is better, gate %.1f%%):@ "
+    c.max_regress;
+  List.iter row c.sim_deltas;
+  if c.native_deltas <> [] then begin
+    fprintf fmt "native pairs/second (higher is better%s):@ "
+      (if c.gate_native then ", gated" else ", informational");
+    List.iter row c.native_deltas
+  end;
+  List.iter (fun k -> fprintf fmt "  MISSING %s (in OLD, absent from NEW)@ " k)
+    c.missing;
+  List.iter (fun k -> fprintf fmt "  new     %s@ " k) c.added;
+  let r = List.length (regressions c) in
+  if r = 0 && c.missing = [] then fprintf fmt "bench-diff: OK@ "
+  else
+    fprintf fmt "bench-diff: FAIL (%d regression(s), %d missing)@ " r
+      (List.length c.missing);
+  fprintf fmt "@]"
+
+(* ------------------------------------------------------------------ *)
+(* Step summary: GitHub-flavoured markdown for $GITHUB_STEP_SUMMARY.
+   Headline native throughput plus, when the document carries the
+   schema-4 [profile] section, the top hottest simulated cache lines
+   per queue. *)
+
+let heatmap_entries doc =
+  match opt_member "profile" doc.raw with
+  | None -> []
+  | Some profile ->
+      List.filter_map
+        (fun entry ->
+          let queue = str_or ~default:"?" entry "queue" in
+          let procs = int_or ~default:0 entry "processors" in
+          match list_of entry "lines" with
+          | [] -> None
+          | lines -> Some (queue, procs, lines))
+        (list_of profile "sim_heatmaps")
+
+let markdown_summary ?(top = 3) fmt doc =
+  let open Format in
+  fprintf fmt "## Benchmark summary@.@.";
+  fprintf fmt "schema_version %d, %d pairs/point%s@.@." doc.schema_version
+    doc.pairs
+    (if doc.smoke then " (smoke subset)" else "");
+  if doc.native <> [] then begin
+    fprintf fmt "### Native throughput (2 domains)@.@.";
+    fprintf fmt "| queue | pairs/second |@.|---|---:|@.";
+    List.iter
+      (fun (name, v) -> fprintf fmt "| %s | %.0f |@." name v)
+      (List.sort
+         (fun (_, a) (_, b) -> Float.compare b a)
+         doc.native);
+    fprintf fmt "@."
+  end;
+  (match heatmap_entries doc with
+  | [] -> ()
+  | entries ->
+      fprintf fmt "### Hottest cache lines (simulated)@.@.";
+      fprintf fmt "| queue | line | cycles | misses | invalidations |@.";
+      fprintf fmt "|---|---|---:|---:|---:|@.";
+      List.iter
+        (fun (queue, procs, lines) ->
+          List.iteri
+            (fun i line ->
+              if i < top then
+                let label =
+                  match
+                    Option.bind (opt_member "label" line) Json.to_string_opt
+                  with
+                  | Some l -> l
+                  | None ->
+                      Printf.sprintf "line %d" (int_or ~default:0 line "line")
+                in
+                fprintf fmt "| %s (p=%d) | %s | %d | %d | %d |@."
+                  queue procs label
+                  (int_or ~default:0 line "cycles")
+                  (int_or ~default:0 line "misses")
+                  (int_or ~default:0 line "invalidations"))
+            lines)
+        entries;
+      fprintf fmt "@.")

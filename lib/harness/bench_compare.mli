@@ -1,0 +1,73 @@
+(** Comparison of two [BENCH_queues.json] documents.
+
+    The testable core behind [msq_check bench-diff OLD NEW] (regression
+    gate) and [msq_check bench-summary NEW] (GitHub step-summary
+    markdown).  Accepts schema versions 2 through 4 — older documents
+    simply lack the sections added later ([robustness], [batched],
+    [profile]) and compare on what they have.
+
+    The gate runs on the deterministic simulator metric
+    ([net_per_pair], net cycles per enqueue/dequeue pair, lower is
+    better): identical seeds and scales reproduce identical numbers,
+    so any drift past the threshold is a real change.  Native
+    wall-clock throughput is reported but, being scheduler noise on a
+    shared core, only gates under [~gate_native:true]. *)
+
+type doc = {
+  schema_version : int;
+  pairs : int;  (** total_pairs per point — the run's scale *)
+  smoke : bool;
+  sim : (string * float) list;
+      (** ["fig3/MS non-blocking/p4" -> net_per_pair] for every
+          completed figure point; lower is better *)
+  native : (string * float) list;
+      (** [queue name -> pairs_per_second]; higher is better *)
+  raw : Obs.Json.t;  (** the whole parsed document *)
+}
+
+val of_json : Obs.Json.t -> (doc, string) result
+val of_string : string -> (doc, string) result
+val load : string -> (doc, string) result
+(** Read and parse a file; errors carry the path. *)
+
+type delta = {
+  key : string;
+  old_value : float;
+  new_value : float;
+  worse_pct : float;  (** signed; positive = NEW is worse than OLD *)
+  regressed : bool;  (** gated metric, comparable scales, past threshold *)
+}
+
+type comparison = {
+  max_regress : float;
+  gate_native : bool;
+  comparable : bool;
+      (** OLD and NEW ran at the same pairs/smoke scale.  When false
+          every delta is shown but none gates. *)
+  sim_deltas : delta list;  (** worst first *)
+  native_deltas : delta list;  (** worst first *)
+  missing : string list;  (** sim keys in OLD absent from NEW — gates *)
+  added : string list;
+}
+
+val diff :
+  ?max_regress:float ->
+  ?gate_native:bool ->
+  old_doc:doc ->
+  new_doc:doc ->
+  unit ->
+  comparison
+(** [max_regress] defaults to 10 (percent); [gate_native] to false. *)
+
+val regressions : comparison -> delta list
+val ok : comparison -> bool
+(** No regressions and no missing keys — the CI gate. *)
+
+val pp : Format.formatter -> comparison -> unit
+(** Terminal report, one line per compared point. *)
+
+val markdown_summary : ?top:int -> Format.formatter -> doc -> unit
+(** GitHub-flavoured markdown for [$GITHUB_STEP_SUMMARY]: headline
+    native pairs/second table plus, when the document carries the
+    schema-4 [profile] section, the [top] (default 3) hottest
+    simulated cache lines per queue. *)

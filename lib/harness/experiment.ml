@@ -4,11 +4,12 @@ type series = {
   points : Workload.measurement list;
 }
 
-let sweep ?trace_limit (module Q : Squeues.Intf.S) ~(base : Params.t) ~procs ~mpl =
+let sweep ?trace_limit ?heatmap (module Q : Squeues.Intf.S) ~(base : Params.t)
+    ~procs ~mpl =
   let points =
     List.map
       (fun p ->
-        Workload.run ?trace_limit
+        Workload.run ?trace_limit ?heatmap
           (module Q)
           { base with processors = p; multiprogramming = mpl })
       procs
@@ -22,7 +23,7 @@ type figure = {
 }
 
 let figure ?(algos = Registry.all) ?(procs = List.init 12 (fun i -> i + 1))
-    ?trace_limit ~base n =
+    ?trace_limit ?heatmap ~base n =
   let mpl, title =
     match n with
     | 3 -> (1, "Net execution time, dedicated multiprocessor")
@@ -31,7 +32,9 @@ let figure ?(algos = Registry.all) ?(procs = List.init 12 (fun i -> i + 1))
     | _ -> invalid_arg "Experiment.figure: the paper has figures 3, 4 and 5"
   in
   let series =
-    List.map (fun { Registry.algo; _ } -> sweep ?trace_limit algo ~base ~procs ~mpl) algos
+    List.map
+      (fun { Registry.algo; _ } -> sweep ?trace_limit ?heatmap algo ~base ~procs ~mpl)
+      algos
   in
   { number = n; title; series }
 

@@ -15,6 +15,7 @@ type series = {
 
 val sweep :
   ?trace_limit:int ->
+  ?heatmap:bool ->
   (module Squeues.Intf.S) ->
   base:Params.t ->
   procs:int list ->
@@ -31,13 +32,15 @@ val figure :
   ?algos:Registry.entry list ->
   ?procs:int list ->
   ?trace_limit:int ->
+  ?heatmap:bool ->
   base:Params.t ->
   int ->
   figure
 (** [figure ~base n] regenerates paper figure [n] (3, 4 or 5).  [procs]
     defaults to 1..12; [algos] to the full registry; [trace_limit]
-    enables per-run structured tracing (see {!Workload.run}).  Raises
-    [Invalid_argument] for other figure numbers. *)
+    enables per-run structured tracing, [heatmap] per-cache-line
+    attribution (see {!Workload.run}).  Raises [Invalid_argument] for
+    other figure numbers. *)
 
 val crossover : figure -> a:string -> b:string -> int option
 (** Smallest processor count at which algorithm [a]'s net time drops

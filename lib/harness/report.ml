@@ -78,6 +78,58 @@ let chart fmt (fig : Experiment.figure) =
     fig.series
 
 (* ------------------------------------------------------------------ *)
+(* Cycle attribution: cache-line heatmaps and probe profiles *)
+
+let line_label (r : Sim.Cache.line_report) =
+  match r.Sim.Cache.label with
+  | Some l -> l
+  | None -> Printf.sprintf "line %d" r.Sim.Cache.line
+
+let heatmap_table ?(top = 10) fmt (lines : Sim.Cache.line_report list) =
+  match lines with
+  | [] -> Format.fprintf fmt "(no per-line statistics recorded)@."
+  | lines ->
+      Format.fprintf fmt "%-20s %12s %10s %10s %12s %6s %6s@." "line" "cycles"
+        "misses" "invals" "sharer-joins" "top-rd" "top-wr";
+      List.iteri
+        (fun i (r : Sim.Cache.line_report) ->
+          if i < top then
+            let proc = function Some p -> Printf.sprintf "p%d" p | None -> "-" in
+            Format.fprintf fmt "%-20s %12d %10d %10d %12d %6s %6s@."
+              (line_label r) r.Sim.Cache.cycles r.Sim.Cache.misses
+              r.Sim.Cache.invalidations r.Sim.Cache.sharer_joins
+              (proc r.Sim.Cache.top_reader)
+              (proc r.Sim.Cache.top_writer))
+        lines
+
+let heatmap_json ?(top = 16) (lines : Sim.Cache.line_report list) =
+  Obs.Json.List
+    (List.filteri (fun i _ -> i < top) lines
+    |> List.map (fun (r : Sim.Cache.line_report) ->
+           Obs.Json.Assoc
+             [
+               ("line", Obs.Json.Int r.Sim.Cache.line);
+               ("label", Obs.Json.String (line_label r));
+               ("cycles", Obs.Json.Int r.Sim.Cache.cycles);
+               ("hits", Obs.Json.Int r.Sim.Cache.hits);
+               ("misses", Obs.Json.Int r.Sim.Cache.misses);
+               ("invalidations", Obs.Json.Int r.Sim.Cache.invalidations);
+               ("sharer_joins", Obs.Json.Int r.Sim.Cache.sharer_joins);
+               ("reads", Obs.Json.Int r.Sim.Cache.reads);
+               ("writes", Obs.Json.Int r.Sim.Cache.writes);
+               ( "top_reader",
+                 match r.Sim.Cache.top_reader with
+                 | Some p -> Obs.Json.Int p
+                 | None -> Obs.Json.Null );
+               ( "top_writer",
+                 match r.Sim.Cache.top_writer with
+                 | Some p -> Obs.Json.Int p
+                 | None -> Obs.Json.Null );
+             ]))
+
+let profile_json snapshot = Obs.Profile.to_json snapshot
+
+(* ------------------------------------------------------------------ *)
 (* JSON — the machine-readable backend behind BENCH_queues.json *)
 
 let measurement_json (m : Workload.measurement) =
@@ -88,7 +140,7 @@ let measurement_json (m : Workload.measurement) =
     else float_of_int pairs *. 1_000_000. /. float_of_int m.Workload.elapsed
   in
   Obs.Json.Assoc
-    [
+    ([
       ("processors", Obs.Json.Int m.Workload.params.Params.processors);
       ("mpl", Obs.Json.Int m.Workload.params.Params.multiprogramming);
       ("elapsed_cycles", Obs.Json.Int m.Workload.elapsed);
@@ -109,6 +161,10 @@ let measurement_json (m : Workload.measurement) =
         Obs.Json.Assoc
           (List.map (fun (k, v) -> (k, Obs.Json.Int v)) stats.Sim.Stats.counters) );
     ]
+    @
+    match m.Workload.heatmap with
+    | [] -> []
+    | lines -> [ ("heatmap", heatmap_json lines) ])
 
 let figure_json (fig : Experiment.figure) =
   Obs.Json.Assoc

@@ -27,7 +27,28 @@ val render : format -> Format.formatter -> Experiment.figure -> unit
 
 val figure_json : Experiment.figure -> Obs.Json.t
 (** The [Json] rendering as a tree, for embedding in larger documents
-    (the benchmark suite's [BENCH_queues.json]). *)
+    (the benchmark suite's [BENCH_queues.json]).  Points measured with
+    [~heatmap:true] additionally carry a ["heatmap"] array. *)
+
+(** {1 Cycle attribution}
+
+    The per-cache-line heatmaps recorded by {!Workload.run}
+    [~heatmap:true] and the native probe profiles of {!Obs.Profile},
+    rendered as terminal tables and JSON trees for the [profile]
+    section of [BENCH_queues.json]. *)
+
+val heatmap_table :
+  ?top:int -> Format.formatter -> Sim.Cache.line_report list -> unit
+(** Hottest [top] (default 10) lines: symbolic label (or raw line
+    number), cycles paid, misses, invalidations, sharer joins, and the
+    processors that touched the line most. *)
+
+val heatmap_json : ?top:int -> Sim.Cache.line_report list -> Obs.Json.t
+(** The same, as a JSON array (default [top] 16). *)
+
+val profile_json : Obs.Profile.snapshot -> Obs.Json.t
+(** Alias of {!Obs.Profile.to_json}, re-exported so report consumers
+    need only this module. *)
 
 (** {1 Robustness experiments}
 

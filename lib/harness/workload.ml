@@ -10,10 +10,11 @@ type measurement = {
   blocked : bool;
   stats : Sim.Stats.t;
   trace : Sim.Trace.t option;
+  heatmap : Sim.Cache.line_report list;
 }
 
-let run ?(stall = fun _ -> None) ?trace_limit (module Q : Squeues.Intf.S)
-    (params : Params.t) =
+let run ?(stall = fun _ -> None) ?trace_limit ?(heatmap = false)
+    (module Q : Squeues.Intf.S) (params : Params.t) =
   let cfg =
     {
       (Sim.Config.with_processors params.processors) with
@@ -25,6 +26,7 @@ let run ?(stall = fun _ -> None) ?trace_limit (module Q : Squeues.Intf.S)
   let trace =
     Option.map (fun limit -> Sim.Engine.enable_trace ~limit eng) trace_limit
   in
+  if heatmap then Sim.Engine.enable_line_stats eng;
   let options =
     {
       Squeues.Intf.pool = params.pool;
@@ -90,6 +92,7 @@ let run ?(stall = fun _ -> None) ?trace_limit (module Q : Squeues.Intf.S)
     blocked = outcome = Sim.Engine.Blocked;
     stats = Sim.Engine.stats eng;
     trace;
+    heatmap = (if heatmap then Sim.Engine.line_report eng else []);
   }
 
 let pp_measurement fmt m =

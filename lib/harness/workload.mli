@@ -24,11 +24,16 @@ type measurement = {
           completed a pair for the configured window *)
   stats : Sim.Stats.t;
   trace : Sim.Trace.t option;  (** populated when [run ~trace_limit] *)
+  heatmap : Sim.Cache.line_report list;
+      (** hottest-first per-cache-line attribution, with the symbolic
+          labels the queue registered at init ("Head", "Tail",
+          "node[i]", ...); empty unless [run ~heatmap:true] *)
 }
 
 val run :
   ?stall:(Sim.Engine.pid -> (int * int) option) ->
   ?trace_limit:int ->
+  ?heatmap:bool ->
   (module Squeues.Intf.S) ->
   Params.t ->
   measurement
@@ -37,6 +42,8 @@ val run :
     experiments); default none.  [trace_limit] enables structured
     operation tracing on the run's engine, keeping the most recent
     [trace_limit] events in the measurement's [trace] — export with
-    {!Sim.Trace.Chrome}. *)
+    {!Sim.Trace.Chrome}.  [heatmap] (default false) enables per-line
+    cache statistics ({!Sim.Engine.enable_line_stats}) and fills the
+    measurement's [heatmap]. *)
 
 val pp_measurement : Format.formatter -> measurement -> unit

@@ -32,21 +32,67 @@ let backoff () = bump backoff_cell
 let help () = bump help_cell
 
 (* Labeled injection sites: a second, independent switch used by the
-   chaos layer (Obs.Chaos) to perturb timing at algorithm-specific
-   points.  Same discipline as the counters — a single [bool ref] test
-   when nothing is installed. *)
+   chaos layer (Obs.Chaos) to perturb timing and by the profiler
+   (Obs.Profile) to attribute cycles, at algorithm-specific points.
+   Same discipline as the counters — a single [bool ref] test when
+   nothing is installed.  Two independent hook slots (chaos, profile)
+   are composed into one dispatch closure whenever either changes, so
+   the hot path stays one load + one indirect call. *)
 
 let site_enabled = ref false
 let site_hook : (string -> unit) ref = ref (fun _ -> ())
 let site label = if !site_enabled then !site_hook label
 
+let chaos_slot : (string -> unit) option ref = ref None
+let profile_slot : (string -> unit) option ref = ref None
+
+let recompose () =
+  match (!chaos_slot, !profile_slot) with
+  | None, None ->
+      site_enabled := false;
+      site_hook := fun _ -> ()
+  | Some f, None | None, Some f ->
+      site_hook := f;
+      site_enabled := true
+  | Some f, Some g ->
+      (site_hook :=
+         fun label ->
+           f label;
+           g label);
+      site_enabled := true
+
 let set_site_hook f =
-  site_hook := f;
-  site_enabled := true
+  chaos_slot := Some f;
+  recompose ()
 
 let clear_site_hook () =
-  site_enabled := false;
-  site_hook := fun _ -> ()
+  chaos_slot := None;
+  recompose ()
+
+let set_profile_site_hook f =
+  profile_slot := Some f;
+  recompose ()
+
+let clear_profile_site_hook () =
+  profile_slot := None;
+  recompose ()
+
+(* Phase spans: begin/end marks around the phases of an operation
+   (snapshot-read, CAS-attempt, backoff, critical section).  One load
+   when no handler is installed. *)
+
+let phase_enabled = ref false
+let phase_hook : (enter:bool -> string -> unit) ref = ref (fun ~enter:_ _ -> ())
+let phase_begin label = if !phase_enabled then !phase_hook ~enter:true label
+let phase_end label = if !phase_enabled then !phase_hook ~enter:false label
+
+let set_phase_hook f =
+  phase_hook := f;
+  phase_enabled := true
+
+let clear_phase_hook () =
+  phase_enabled := false;
+  phase_hook := fun ~enter:_ _ -> ()
 
 type counts = { cas_retries : int; backoffs : int; helps : int }
 

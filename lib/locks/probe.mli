@@ -34,20 +34,52 @@ val help : unit -> unit
 
     The native queues mark timing-sensitive points — just before and
     after a linearizing CAS/FAA, inside lock-held critical sections —
-    with {!site}.  When a hook is installed (by [Obs.Chaos]) the label
-    is passed to it; when none is, the call is one [bool ref] test.
-    Labels are stable identifiers like ["msq.enq.link"]. *)
+    with {!site}.  Two independent consumers can observe them: the
+    chaos layer ([Obs.Chaos], via {!set_site_hook}) perturbs timing at
+    a site, and the profiler ([Obs.Profile], via
+    {!set_profile_site_hook}) attributes cycles to it.  The two hook
+    slots are composed into a single dispatch closure whenever either
+    changes, so with no hook installed the call is exactly one
+    [bool ref] load and a branch — the disabled-path cost contract
+    tested in [test_locks.ml].  Labels are stable identifiers like
+    ["msq.enq.link"]. *)
 
 val site : string -> unit
 (** Mark an injection site on the current code path. *)
 
 val set_site_hook : (string -> unit) -> unit
-(** Install the handler and switch sites on.  The handler runs on the
-    hot path of every marked algorithm, concurrently from any domain —
-    it must be domain-safe and must not call back into the queues. *)
+(** Install the chaos handler and switch sites on.  The handler runs on
+    the hot path of every marked algorithm, concurrently from any
+    domain — it must be domain-safe and must not call back into the
+    queues. *)
 
 val clear_site_hook : unit -> unit
-(** Switch sites off and drop the handler. *)
+(** Drop the chaos handler; sites switch off unless a profile hook
+    remains installed. *)
+
+val set_profile_site_hook : (string -> unit) -> unit
+(** Install the profiler handler (same contract as {!set_site_hook});
+    both handlers run, chaos first, when both are installed. *)
+
+val clear_profile_site_hook : unit -> unit
+
+(** {1 Phase spans}
+
+    The native queues bracket the phases of an operation —
+    snapshot-read, CAS-attempt, backoff, help-along, in-critical-
+    section — with {!phase_begin}/{!phase_end}.  Disabled cost is the
+    same single-load contract as {!site}.  Spans on one domain nest
+    properly (every [phase_end l] closes the most recent open
+    [phase_begin l]); the handler sees [~enter:true] on begin. *)
+
+val phase_begin : string -> unit
+val phase_end : string -> unit
+
+val set_phase_hook : (enter:bool -> string -> unit) -> unit
+(** Install the span handler (installed by [Obs.Profile]); same
+    domain-safety contract as {!set_site_hook}. *)
+
+val clear_phase_hook : unit -> unit
 
 (** {1 Reading} *)
 

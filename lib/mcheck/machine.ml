@@ -56,7 +56,8 @@ let exec_op t ~proc (op : Op.t) : Op.reply =
   | Op.Free { addr; size } ->
       Heap.free t.hp ~addr ~size;
       Op.Unit
-  | Op.Work _ | Op.Yield | Op.Count _ | Op.Progress -> Op.Unit
+  | Op.Work _ | Op.Yield | Op.Count _ | Op.Progress
+  | Op.Phase_begin _ | Op.Phase_end _ -> Op.Unit
   | Op.Now -> Op.Int t.steps
   | Op.Self -> Op.Int proc
 

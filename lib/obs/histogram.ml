@@ -2,14 +2,17 @@
    holds v <= 0, bucket 1 holds v = 1, bucket i >= 1 holds
    [2^(i-1), 2^i - 1].  Rows are per-domain (one array per domain slot),
    so concurrent recording from different domains touches disjoint
-   memory. *)
+   memory.  The cell past the last bucket carries the row's exact
+   running sum, so the mean is exact even though buckets quantize. *)
 
 let n_buckets = 63
 let n_rows = 64
+let sum_cell = n_buckets
+let row_width = n_buckets + 1
 
-type t = int array array (* rows.(domain_slot).(bucket) *)
+type t = int array array (* rows.(domain_slot).(bucket); last cell = sum *)
 
-let create () = Array.init n_rows (fun _ -> Array.make n_buckets 0)
+let create () = Array.init n_rows (fun _ -> Array.make row_width 0)
 
 let bucket_of v =
   if v <= 0 then 0
@@ -29,7 +32,8 @@ let upper_bound b = if b = 0 then 0 else (1 lsl b) - 1
 let record t v =
   let row = t.((Domain.self () :> int) land (n_rows - 1)) in
   let b = bucket_of v in
-  row.(b) <- row.(b) + 1
+  row.(b) <- row.(b) + 1;
+  row.(sum_cell) <- row.(sum_cell) + v
 
 let bucket_count t b =
   let total = ref 0 in
@@ -53,9 +57,20 @@ let buckets t =
   done;
   !acc
 
+let sum t =
+  let total = ref 0 in
+  for r = 0 to n_rows - 1 do
+    total := !total + t.(r).(sum_cell)
+  done;
+  !total
+
+let mean t =
+  let n = count t in
+  if n = 0 then None else Some (float_of_int (sum t) /. float_of_int n)
+
 let merge_into ~into t =
   for r = 0 to n_rows - 1 do
-    for b = 0 to n_buckets - 1 do
+    for b = 0 to row_width - 1 do
       into.(r).(b) <- into.(r).(b) + t.(r).(b)
     done
   done
@@ -87,7 +102,7 @@ let percentile t p =
     Some !result
   end
 
-let reset t = Array.iter (fun row -> Array.fill row 0 n_buckets 0) t
+let reset t = Array.iter (fun row -> Array.fill row 0 row_width 0) t
 
 let pp fmt t =
   let bs = buckets t in
@@ -109,6 +124,8 @@ let to_json t =
   Json.Assoc
     [
       ("count", Json.Int (count t));
+      ("sum", Json.Int (sum t));
+      ("mean", (match mean t with Some m -> Json.Float m | None -> Json.Null));
       ( "buckets",
         Json.List
           (List.map

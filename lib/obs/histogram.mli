@@ -29,6 +29,13 @@ val upper_bound : int -> int
 val count : t -> int
 (** Total samples recorded. *)
 
+val sum : t -> int
+(** Exact sum of all recorded values (tracked alongside the buckets, so
+    it is not subject to bucket quantization). *)
+
+val mean : t -> float option
+(** [sum / count]; [None] when empty. *)
+
 val bucket_count : t -> int -> int
 
 val buckets : t -> (int * int) list
@@ -48,4 +55,6 @@ val reset : t -> unit
 val pp : Format.formatter -> t -> unit
 
 val to_json : t -> Json.t
-(** [{"count": n, "buckets": [{"ge": lower_bound, "count": c}, ...]}] *)
+(** [{"count": n, "sum": s, "mean": m,
+     "buckets": [{"ge": lower_bound, "count": c}, ...]}];
+    ["mean"] is [null] when empty. *)

@@ -13,11 +13,18 @@ end
 let now_ns () = Int64.to_int (Monotonic_clock.now ())
 
 (* Run [f], attributing its latency and its per-domain probe deltas
-   (CAS retries, backoffs, helps) to [m]. *)
-let measured m latency f =
+   (CAS retries, backoffs, helps) to [m].  [phase] is a precomputed
+   "<queue>.enq"/"<queue>.deq" label (precomputed so the hot path does
+   not concatenate): the whole operation becomes one Probe phase span,
+   which Obs.Profile turns into a per-operation latency histogram
+   alongside the finer in-operation phases the queues mark
+   themselves. *)
+let measured ~phase m latency f =
   let before = Locks.Probe.local () in
+  Locks.Probe.phase_begin phase;
   let t0 = now_ns () in
   let result = f () in
+  Locks.Probe.phase_end phase;
   let dt = now_ns () - t0 in
   let d = Locks.Probe.diff (Locks.Probe.local ()) before in
   Histogram.record latency dt;
@@ -33,6 +40,8 @@ module Make (Q : Core.Queue_intf.S) : S = struct
   type 'a t = { q : 'a Q.t; m : Metrics.t }
 
   let name = Q.name
+  let enq_phase = Q.name ^ ".enq"
+  let deq_phase = Q.name ^ ".deq"
 
   let create () = { q = Q.create (); m = Metrics.create Q.name }
 
@@ -42,14 +51,18 @@ module Make (Q : Core.Queue_intf.S) : S = struct
     if not (Control.enabled ()) then Q.enqueue t.q v
     else begin
       Counter.incr t.m.Metrics.enqueues;
-      measured t.m t.m.Metrics.enq_latency (fun () -> Q.enqueue t.q v)
+      measured ~phase:enq_phase t.m t.m.Metrics.enq_latency (fun () ->
+          Q.enqueue t.q v)
     end
 
   let dequeue t =
     if not (Control.enabled ()) then Q.dequeue t.q
     else begin
       Counter.incr t.m.Metrics.dequeues;
-      let r = measured t.m t.m.Metrics.deq_latency (fun () -> Q.dequeue t.q) in
+      let r =
+        measured ~phase:deq_phase t.m t.m.Metrics.deq_latency (fun () ->
+            Q.dequeue t.q)
+      in
       if r = None then Counter.incr t.m.Metrics.empty_dequeues;
       r
     end
@@ -70,6 +83,10 @@ module Make_batch (Q : Core.Queue_intf.BATCH) : BATCH_S = struct
   type 'a t = { q : 'a Q.t; m : Metrics.t }
 
   let name = Q.name
+  let enq_phase = Q.name ^ ".enq"
+  let deq_phase = Q.name ^ ".deq"
+  let enq_batch_phase = Q.name ^ ".enq_batch"
+  let deq_batch_phase = Q.name ^ ".deq_batch"
 
   let create () = { q = Q.create (); m = Metrics.create Q.name }
 
@@ -79,14 +96,18 @@ module Make_batch (Q : Core.Queue_intf.BATCH) : BATCH_S = struct
     if not (Control.enabled ()) then Q.enqueue t.q v
     else begin
       Counter.incr t.m.Metrics.enqueues;
-      measured t.m t.m.Metrics.enq_latency (fun () -> Q.enqueue t.q v)
+      measured ~phase:enq_phase t.m t.m.Metrics.enq_latency (fun () ->
+          Q.enqueue t.q v)
     end
 
   let dequeue t =
     if not (Control.enabled ()) then Q.dequeue t.q
     else begin
       Counter.incr t.m.Metrics.dequeues;
-      let r = measured t.m t.m.Metrics.deq_latency (fun () -> Q.dequeue t.q) in
+      let r =
+        measured ~phase:deq_phase t.m t.m.Metrics.deq_latency (fun () ->
+            Q.dequeue t.q)
+      in
       if r = None then Counter.incr t.m.Metrics.empty_dequeues;
       r
     end
@@ -95,14 +116,16 @@ module Make_batch (Q : Core.Queue_intf.BATCH) : BATCH_S = struct
     if not (Control.enabled ()) then Q.enqueue_batch t.q vs
     else begin
       Counter.add t.m.Metrics.enqueues (List.length vs);
-      measured t.m t.m.Metrics.enq_latency (fun () -> Q.enqueue_batch t.q vs)
+      measured ~phase:enq_batch_phase t.m t.m.Metrics.enq_latency (fun () ->
+          Q.enqueue_batch t.q vs)
     end
 
   let dequeue_batch t ~max =
     if not (Control.enabled ()) then Q.dequeue_batch t.q ~max
     else begin
       let r =
-        measured t.m t.m.Metrics.deq_latency (fun () -> Q.dequeue_batch t.q ~max)
+        measured ~phase:deq_batch_phase t.m t.m.Metrics.deq_latency (fun () ->
+            Q.dequeue_batch t.q ~max)
       in
       (match r with
       | [] -> Counter.incr t.m.Metrics.empty_dequeues

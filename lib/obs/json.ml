@@ -221,3 +221,8 @@ let to_int_opt t =
   match t with Int i -> Some i | Float f when Float.is_integer f -> Some (int_of_float f) | _ -> None
 
 let to_string_opt t = match t with String s -> Some s | _ -> None
+
+let to_float_opt t =
+  match t with Float f -> Some f | Int i -> Some (float_of_int i) | _ -> None
+
+let to_bool_opt t = match t with Bool b -> Some b | _ -> None

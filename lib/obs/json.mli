@@ -37,3 +37,8 @@ val member : string -> t -> t option
 val to_list_opt : t -> t list option
 val to_int_opt : t -> int option
 val to_string_opt : t -> string option
+
+val to_float_opt : t -> float option
+(** [Int]s widen; everything else is [None]. *)
+
+val to_bool_opt : t -> bool option

@@ -1,0 +1,230 @@
+(* Per-site contention profiles and per-phase spans, fed by the
+   Locks.Probe hooks.  All hot-path state is per-domain (one slot per
+   domain id modulo [n_slots], single writer each), so enabling the
+   profiler adds no cross-domain coherence traffic beyond the clock
+   reads.  Aggregation happens at snapshot time and is accurate once
+   writers are quiescent — the same contract as Probe and Histogram. *)
+
+let n_slots = 64
+let max_phase_depth = 32
+
+let now_ns () = Int64.to_int (Monotonic_clock.now ())
+
+type stat = {
+  mutable events : int;
+  mutable cycles : int; (* exact ns sum, also Histogram.sum of hist *)
+  hist : Histogram.t;
+}
+
+type slot = {
+  sites : (string, stat) Hashtbl.t;
+  phases : (string, stat) Hashtbl.t;
+  mutable last_ns : int; (* clock at the previous probe mark; 0 = none *)
+  ph_labels : string array;
+  ph_starts : int array;
+  mutable depth : int;
+}
+
+let fresh_slot () =
+  {
+    sites = Hashtbl.create 16;
+    phases = Hashtbl.create 16;
+    last_ns = 0;
+    ph_labels = Array.make max_phase_depth "";
+    ph_starts = Array.make max_phase_depth 0;
+    depth = 0;
+  }
+
+let slots = Array.init n_slots (fun _ -> fresh_slot ())
+
+let my_slot () = slots.((Domain.self () :> int) land (n_slots - 1))
+
+let stat_of table label =
+  match Hashtbl.find_opt table label with
+  | Some s -> s
+  | None ->
+      let s = { events = 0; cycles = 0; hist = Histogram.create () } in
+      Hashtbl.add table label s;
+      s
+
+(* A site is a point event: the cycles attributed to it are the span
+   since the domain's previous probe mark (site, phase begin or phase
+   end) — i.e. the cost of the code region that ends at this site.  The
+   first mark after enable/reset anchors the clock and attributes
+   nothing. *)
+let on_site label =
+  let slot = my_slot () in
+  let now = now_ns () in
+  let s = stat_of slot.sites label in
+  s.events <- s.events + 1;
+  if slot.last_ns <> 0 then begin
+    let dt = now - slot.last_ns in
+    if dt >= 0 then begin
+      s.cycles <- s.cycles + dt;
+      Histogram.record s.hist dt
+    end
+  end;
+  slot.last_ns <- now
+
+let on_phase ~enter label =
+  let slot = my_slot () in
+  let now = now_ns () in
+  if enter then begin
+    if slot.depth < max_phase_depth then begin
+      slot.ph_labels.(slot.depth) <- label;
+      slot.ph_starts.(slot.depth) <- now
+    end;
+    slot.depth <- slot.depth + 1
+  end
+  else if slot.depth > 0 then begin
+    slot.depth <- slot.depth - 1;
+    if slot.depth < max_phase_depth then begin
+      let dt = now - slot.ph_starts.(slot.depth) in
+      (* record under the label the end names: tolerant of mismatched
+         brackets, identical to the opener when spans nest properly *)
+      let s = stat_of slot.phases label in
+      s.events <- s.events + 1;
+      if dt >= 0 then begin
+        s.cycles <- s.cycles + dt;
+        Histogram.record s.hist dt
+      end
+    end
+  end;
+  slot.last_ns <- now
+
+let on = ref false
+
+let enabled () = !on
+
+let enable () =
+  if not !on then begin
+    on := true;
+    Locks.Probe.set_profile_site_hook on_site;
+    Locks.Probe.set_phase_hook on_phase
+  end
+
+let disable () =
+  if !on then begin
+    on := false;
+    Locks.Probe.clear_profile_site_hook ();
+    Locks.Probe.clear_phase_hook ()
+  end
+
+let reset () =
+  Array.iteri (fun i _ -> slots.(i) <- fresh_slot ()) slots
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots *)
+
+type entry = {
+  label : string;
+  events : int;
+  cycles : int;
+  hist : Histogram.t; (* a merged copy; safe to keep after reset *)
+}
+
+type snapshot = { sites : entry list; phases : entry list }
+
+let p50 e = Histogram.percentile e.hist 50.
+let p99 e = Histogram.percentile e.hist 99.
+
+let aggregate select =
+  let acc : (string, entry) Hashtbl.t = Hashtbl.create 16 in
+  Array.iter
+    (fun slot ->
+      Hashtbl.iter
+        (fun label (s : stat) ->
+          match Hashtbl.find_opt acc label with
+          | Some e ->
+              Histogram.merge_into ~into:e.hist s.hist;
+              Hashtbl.replace acc label
+                {
+                  e with
+                  events = e.events + s.events;
+                  cycles = e.cycles + s.cycles;
+                }
+          | None ->
+              let hist = Histogram.merge s.hist (Histogram.create ()) in
+              Hashtbl.add acc label
+                { label; events = s.events; cycles = s.cycles; hist })
+        (select slot))
+    slots;
+  let all = Hashtbl.fold (fun _ e acc -> e :: acc) acc [] in
+  List.sort
+    (fun a b ->
+      match compare b.cycles a.cycles with
+      | 0 -> compare a.label b.label
+      | c -> c)
+    all
+
+let snapshot () =
+  { sites = aggregate (fun s -> s.sites); phases = aggregate (fun s -> s.phases) }
+
+let diff_entries after before =
+  let prior = Hashtbl.create 16 in
+  List.iter (fun e -> Hashtbl.replace prior e.label e) before;
+  after
+  |> List.map (fun e ->
+         match Hashtbl.find_opt prior e.label with
+         | None -> e
+         | Some b ->
+             {
+               e with
+               events = max 0 (e.events - b.events);
+               cycles = max 0 (e.cycles - b.cycles);
+             })
+  |> List.filter (fun e -> e.events > 0)
+  |> List.sort (fun a b ->
+         match compare b.cycles a.cycles with
+         | 0 -> compare a.label b.label
+         | c -> c)
+
+let diff after before =
+  {
+    sites = diff_entries after.sites before.sites;
+    phases = diff_entries after.phases before.phases;
+  }
+
+let top ?(n = 10) entries =
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | e :: rest -> e :: take (k - 1) rest
+  in
+  take n entries
+
+let entry_json e =
+  Json.Assoc
+    [
+      ("label", Json.String e.label);
+      ("events", Json.Int e.events);
+      ("cycles", Json.Int e.cycles);
+      ("p50", (match p50 e with Some v -> Json.Int v | None -> Json.Null));
+      ("p99", (match p99 e with Some v -> Json.Int v | None -> Json.Null));
+      ("latency", Histogram.to_json e.hist);
+    ]
+
+let to_json s =
+  Json.Assoc
+    [
+      ("sites", Json.List (List.map entry_json s.sites));
+      ("phases", Json.List (List.map entry_json s.phases));
+    ]
+
+let pp_entries fmt title entries =
+  if entries <> [] then begin
+    Format.fprintf fmt "@[<v>%s@ %-28s %12s %14s %10s %10s@ " title "label"
+      "events" "cycles(ns)" "p50" "p99";
+    List.iteri
+      (fun i e ->
+        if i > 0 then Format.fprintf fmt "@ ";
+        let opt = function Some v -> string_of_int v | None -> "-" in
+        Format.fprintf fmt "%-28s %12d %14d %10s %10s" e.label e.events e.cycles
+          (opt (p50 e)) (opt (p99 e)))
+      entries;
+    Format.fprintf fmt "@]@."
+  end
+
+let pp fmt s =
+  pp_entries fmt "contention sites (hottest first)" s.sites;
+  pp_entries fmt "operation phases (hottest first)" s.phases

@@ -39,6 +39,18 @@ let count name = unit_reply (perform (Op.Count name))
 let progress () = unit_reply (perform Op.Progress)
 let now () = int_reply (perform Op.Now)
 let self () = int_reply (perform Op.Self)
+let phase_begin label = unit_reply (perform (Op.Phase_begin label))
+let phase_end label = unit_reply (perform (Op.Phase_end label))
+
+let phase label f =
+  phase_begin label;
+  match f () with
+  | result ->
+      phase_end label;
+      result
+  | exception e ->
+      phase_end label;
+      raise e
 
 type step =
   | Done

@@ -49,6 +49,21 @@ val progress : unit -> unit
 val now : unit -> int
 val self : unit -> int
 
+(** {1 Phases}
+
+    Zero-cost span annotations splitting a logical operation into its
+    phases — snapshot-read, CAS-attempt, backoff, help-along, critical
+    section.  They only mark the trace (nested duration events in the
+    {!Trace.Chrome} export) and never affect timing or scheduling. *)
+
+val phase_begin : string -> unit
+val phase_end : string -> unit
+
+val phase : string -> (unit -> 'a) -> 'a
+(** [phase label f] brackets [f] in a begin/end pair, closing the phase
+    even when [f] raises — use this wherever control flow permits, so
+    traces stay well-bracketed. *)
+
 (** {1 Reification}
 
     Turning a process body into a stream of operations.  This is the

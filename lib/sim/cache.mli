@@ -21,6 +21,61 @@ type t
 
 val create : Config.t -> t
 
+(** {1 Per-line attribution (the heatmap backend)}
+
+    Aggregate totals prove {e that} an algorithm misses; per-line
+    statistics prove {e where}.  When enabled (off by default — the
+    common workloads pay nothing), every access additionally updates a
+    per-line record: hits, misses, invalidations, cycles paid on that
+    line, sharer churn, and per-processor read/write counts.  The sum of
+    per-line misses/invalidations always equals the aggregate totals
+    accumulated over the same window.  Lines can carry symbolic labels
+    ("Head", "Tail", "node[3]", "head_lock") registered by the queue
+    implementations at init time, so the hottest-lines table names the
+    paper's contended words directly. *)
+
+type line_stat = {
+  mutable l_hits : int;
+  mutable l_misses : int;
+  mutable l_invalidations : int;
+  mutable l_cycles : int;
+  mutable l_sharer_joins : int;
+  l_reads : int array;  (** per-processor load counts *)
+  l_writes : int array;  (** per-processor store/RMW counts *)
+}
+
+type line_report = {
+  line : int;
+  label : string option;
+  hits : int;
+  misses : int;
+  invalidations : int;
+  cycles : int;
+  sharer_joins : int;
+  reads : int;
+  writes : int;
+  top_reader : int option;  (** processor with the most loads, if any *)
+  top_writer : int option;
+}
+
+val enable_line_stats : t -> unit
+(** Idempotent; recording starts at the next access. *)
+
+val line_stats_enabled : t -> bool
+
+val label_range : t -> addr:int -> words:int -> string -> unit
+(** Name every line covered by [addr .. addr+words-1].  First label
+    wins on collision (allocations are line-exclusive by heap padding). *)
+
+val label_of_line : t -> int -> string option
+
+val line : t -> int -> int
+(** The line index an address falls in (exposed for tests/reports). *)
+
+val line_report : t -> line_report list
+(** Per-line statistics sorted hottest-first (by cycles paid); empty
+    when line stats are disabled. *)
+
 val read_cost : t -> proc:int -> addr:int -> int
 (** Cost in cycles of a load by [proc]; updates the sharer sets. *)
 
@@ -45,3 +100,4 @@ val invalidations : t -> int
 (** Number of remote copies invalidated by writes. *)
 
 val reset_stats : t -> unit
+(** Zero the aggregate and per-line statistics (labels are kept). *)

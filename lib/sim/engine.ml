@@ -98,9 +98,20 @@ let create (cfg : Config.t) =
 let memory t = t.mem
 let heap t = t.hp
 let config t = t.cfg
-let setup_alloc t n = Heap.alloc t.hp n
+
+let setup_alloc ?label t n =
+  let addr = Heap.alloc t.hp n in
+  (match label with
+  | Some l -> Cache.label_range t.cache ~addr ~words:n l
+  | None -> ());
+  addr
+
 let poke t addr v = Memory.poke t.mem addr v
 let peek t addr = Memory.peek t.mem addr
+let enable_line_stats t = Cache.enable_line_stats t.cache
+let label t ~addr ~words name = Cache.label_range t.cache ~addr ~words name
+let line_report t = Cache.line_report t.cache
+let line_of_addr t addr = Cache.line t.cache addr
 
 let spawn ?cpu t body =
   let cpu =
@@ -223,6 +234,7 @@ let exec_op t (cpu : processor) (p : process) (op : Op.t) : int * Op.reply =
       (0, Op.Unit)
   | Op.Now -> (0, Op.Int cpu.clock)
   | Op.Self -> (0, Op.Int p.pid)
+  | Op.Phase_begin _ | Op.Phase_end _ -> (0, Op.Unit)
 
 let context_switch t (cpu : processor) =
   cpu.clock <- cpu.clock + t.cfg.context_switch_cost;

@@ -15,6 +15,8 @@ type t =
   | Progress
   | Now
   | Self
+  | Phase_begin of string
+  | Phase_end of string
 
 type reply =
   | Unit
@@ -40,6 +42,8 @@ let pp fmt = function
   | Progress -> Format.fprintf fmt "progress"
   | Now -> Format.fprintf fmt "now"
   | Self -> Format.fprintf fmt "self"
+  | Phase_begin l -> Format.fprintf fmt "phase+ %s" l
+  | Phase_end l -> Format.fprintf fmt "phase- %s" l
 
 let pp_reply fmt = function
   | Unit -> Format.fprintf fmt "()"

@@ -29,6 +29,12 @@ type t =
           cycles. *)
   | Now  (** read the local processor clock *)
   | Self  (** the id of the running process *)
+  | Phase_begin of string
+      (** open a named phase of the current logical operation
+          (snapshot-read, cas-attempt, backoff, ...); free.  Pure trace
+          annotation: {!Trace.Chrome} renders begin/end pairs as nested
+          duration events inside the operation's swim lane. *)
+  | Phase_end of string  (** close the innermost phase of that name; free *)
 
 type reply =
   | Unit

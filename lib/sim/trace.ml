@@ -48,14 +48,15 @@ let op_addr (op : Op.t) =
   | Op.Load_linked a
   | Op.Store_conditional (a, _) -> Some a
   | Op.Free { addr = a; _ } -> Some a
-  | Op.Alloc _ | Op.Work _ | Op.Yield | Op.Count _ | Op.Progress | Op.Now | Op.Self -> None
+  | Op.Alloc _ | Op.Work _ | Op.Yield | Op.Count _ | Op.Progress | Op.Now | Op.Self
+  | Op.Phase_begin _ | Op.Phase_end _ -> None
 
 let is_memory_op (op : Op.t) =
   match op with
   | Op.Read _ | Op.Write _ | Op.Cas _ | Op.Fetch_and_add _ | Op.Swap _
   | Op.Test_and_set _ | Op.Load_linked _ | Op.Store_conditional _ -> true
   | Op.Alloc _ | Op.Free _ | Op.Work _ | Op.Yield | Op.Count _ | Op.Progress | Op.Now
-  | Op.Self ->
+  | Op.Self | Op.Phase_begin _ | Op.Phase_end _ ->
       false
 
 let op_kind (op : Op.t) =
@@ -76,6 +77,8 @@ let op_kind (op : Op.t) =
   | Op.Progress -> "progress"
   | Op.Now -> "now"
   | Op.Self -> "self"
+  | Op.Phase_begin _ -> "phase_begin"
+  | Op.Phase_end _ -> "phase_end"
 
 let touching t ~addr =
   List.filter (fun e -> op_addr e.op = Some addr) (events t)
@@ -141,6 +144,18 @@ module Chrome = struct
     | None -> ());
     List.iter
       (fun e ->
+        match e.op with
+        | Op.Phase_begin l | Op.Phase_end l ->
+            (* nested duration events: "B" opens at the phase mark's
+               cycle, "E" closes the innermost open phase of the thread —
+               Perfetto stacks them inside the operation lane *)
+            let ph = match e.op with Op.Phase_begin _ -> "B" | _ -> "E" in
+            emit w
+              (Printf.sprintf
+                 "{\"name\":\"%s\",\"cat\":\"phase\",\"ph\":\"%s\",\"ts\":%d,\
+                  \"pid\":%d,\"tid\":%d}"
+                 (escape l) ph e.start proc e.pid)
+        | _ ->
         let args = Buffer.create 64 in
         Buffer.add_string args (Printf.sprintf "\"cpu\":%d" e.cpu);
         (match op_addr e.op with

@@ -68,7 +68,10 @@ val pp : Format.formatter -> t -> unit
     added to a writer becomes one chrome {e process} (labelled via
     [?label]), and simulated processes map to chrome {e threads}.  The
     [args] pane carries the address, the cache hit/miss and the reply of
-    every operation. *)
+    every operation.  {!Op.Phase_begin}/{!Op.Phase_end} markers become
+    nested "ph":"B"/"E" duration events named after the phase label, so
+    each operation's snapshot-read / CAS-attempt / backoff phases stack
+    inside its swim lane. *)
 
 module Chrome : sig
   type writer

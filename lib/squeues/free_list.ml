@@ -3,7 +3,7 @@ open Sim
 type t = { top : int; link_offset : int }
 
 let init eng ~link_offset =
-  let top = Engine.setup_alloc eng 1 in
+  let top = Engine.setup_alloc ~label:"free_list" eng 1 in
   Engine.poke eng top (Word.null ~count:0);
   { top; link_offset }
 
@@ -13,8 +13,10 @@ let push_host eng t node =
   Engine.poke eng t.top (Word.Ptr { addr = node; count = old_top.Word.count })
 
 let prefill eng t ~node_size ~count =
-  for _ = 1 to count do
-    let node = Engine.setup_alloc eng node_size in
+  for i = 1 to count do
+    let node =
+      Engine.setup_alloc ~label:(Printf.sprintf "node[%d]" i) eng node_size
+    in
     push_host eng t node
   done
 

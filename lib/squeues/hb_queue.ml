@@ -14,8 +14,8 @@ let name = "hwang-briggs-incomplete"
 let null = Word.null ~count:0
 
 let init ?options:_ eng =
-  let head = Engine.setup_alloc eng 1 in
-  let tail = Engine.setup_alloc eng 1 in
+  let head = Engine.setup_alloc ~label:"Head" eng 1 in
+  let tail = Engine.setup_alloc ~label:"Tail" eng 1 in
   Engine.poke eng head null;
   Engine.poke eng tail null;
   { head; tail }

@@ -25,6 +25,26 @@ exception Out_of_nodes
 (** Raised inside a simulated process when a bounded node pool is
     exhausted — the failure mode of the Valois §1 experiment. *)
 
+(** {1 Phase spans}
+
+    When [phases] is on, the queue operations bracket their internal
+    phases — snapshot-read, CAS-attempt, backoff, help-along, critical
+    section — with zero-cost {!Sim.Api.phase_begin}/[phase_end] marks,
+    which the tracer renders as nested Chrome duration events.  Off by
+    default: every mark is one extra simulated operation (zero cycles,
+    but one more scheduling boundary), which would multiply the model
+    checker's interleaving space and shift [ops_executed] crash
+    indices.  Enable only for tracing/profiling runs. *)
+
+let phases = ref false
+
+let phase_begin l = if !phases then Sim.Api.phase_begin l
+let phase_end l = if !phases then Sim.Api.phase_end l
+
+(** [with_phase l f]: [f] bracketed by the marks when [phases] is on. *)
+let with_phase l f =
+  if !phases then Sim.Api.phase l f else f ()
+
 module type S = sig
   type t
 

@@ -12,9 +12,9 @@ type t = {
 
 let init ?(capacity = 1024) eng =
   if capacity < 1 then invalid_arg "Lamport_queue.init";
-  let head = Engine.setup_alloc eng 1 in
-  let tail = Engine.setup_alloc eng 1 in
-  let slots = Engine.setup_alloc eng capacity in
+  let head = Engine.setup_alloc ~label:"Head" eng 1 in
+  let tail = Engine.setup_alloc ~label:"Tail" eng 1 in
+  let slots = Engine.setup_alloc ~label:"slots" eng capacity in
   Engine.poke eng head (Word.Int 0);
   Engine.poke eng tail (Word.Int 0);
   { head; tail; slots; capacity }

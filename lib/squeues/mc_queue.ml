@@ -11,10 +11,10 @@ let name = "mc-lockfree"
 
 let init ?(options = Intf.default_options) eng =
   let pool = Node.make_pool eng options in
-  let dummy = Engine.setup_alloc eng Node.size in
+  let dummy = Engine.setup_alloc ~label:"node[dummy]" eng Node.size in
   Engine.poke eng (dummy + Node.next_offset) (Word.null ~count:0);
-  let head = Engine.setup_alloc eng 1 in
-  let tail = Engine.setup_alloc eng 1 in
+  let head = Engine.setup_alloc ~label:"Head" eng 1 in
+  let tail = Engine.setup_alloc ~label:"Tail" eng 1 in
   Engine.poke eng head (Word.ptr dummy);
   Engine.poke eng tail (Word.ptr dummy);
   { head; tail; pool; backoff = options.backoff }

@@ -13,10 +13,10 @@ let name = "ms-nonblocking"
 (* initialize(Q): a single dummy node, pointed to by both Head and Tail. *)
 let init ?(options = Intf.default_options) eng =
   let pool = Node.make_pool eng options in
-  let dummy = Engine.setup_alloc eng Node.size in
+  let dummy = Engine.setup_alloc ~label:"node[dummy]" eng Node.size in
   Engine.poke eng (dummy + Node.next_offset) (Word.null ~count:0);
-  let head = Engine.setup_alloc eng 1 in
-  let tail = Engine.setup_alloc eng 1 in
+  let head = Engine.setup_alloc ~label:"Head" eng 1 in
+  let tail = Engine.setup_alloc ~label:"Tail" eng 1 in
   Engine.poke eng head (Word.ptr dummy);
   Engine.poke eng tail (Word.ptr dummy);
   { head; tail; pool; backoff = options.backoff; eng }
@@ -37,72 +37,90 @@ let enqueue t v =
   let b = make_backoff t in
   let rec loop () =
     (* E4: repeat *)
+    Intf.phase_begin "enq.snapshot";
     let tail = Word.to_ptr (Api.read t.tail) in (* E5 *)
     let next = Node.next tail.Word.addr in (* E6 *)
-    if Word.equal (Api.read t.tail) (Word.Ptr tail) then (* E7 *)
+    let consistent = Word.equal (Api.read t.tail) (Word.Ptr tail) in (* E7 *)
+    Intf.phase_end "enq.snapshot";
+    if consistent then
       if Word.is_null next then begin
         (* E8 *)
-        if
+        Intf.phase_begin "enq.cas";
+        let linked =
           Api.cas
             (tail.Word.addr + Node.next_offset) (* E9 *)
             ~expected:(Word.Ptr next)
             ~desired:(Word.Ptr { addr = node; count = next.Word.count + 1 })
-        then tail (* E10: break *)
+        in
+        Intf.phase_end "enq.cas";
+        if linked then tail (* E10: break *)
         else begin
           Api.count "ms.enq_cas_fail";
-          maybe_backoff b;
+          Intf.with_phase "enq.backoff" (fun () -> maybe_backoff b);
           loop ()
         end
       end
       else begin
         (* E11: Tail was not pointing to the last node *)
+        Intf.phase_begin "enq.help";
         ignore
           (Api.cas t.tail (* E12: try to swing Tail to the next node *)
              ~expected:(Word.Ptr tail)
              ~desired:(Word.Ptr { addr = next.Word.addr; count = tail.Word.count + 1 }));
+        Intf.phase_end "enq.help";
         loop ()
       end
     else loop ()
   in
   let tail = loop () in
   (* E13: enqueue done; try to swing Tail to the inserted node *)
+  Intf.phase_begin "enq.swing";
   ignore
     (Api.cas t.tail ~expected:(Word.Ptr tail)
-       ~desired:(Word.Ptr { addr = node; count = tail.Word.count + 1 }))
+       ~desired:(Word.Ptr { addr = node; count = tail.Word.count + 1 }));
+  Intf.phase_end "enq.swing"
 
 let dequeue t =
   let b = make_backoff t in
   let rec loop () =
     (* D1: repeat *)
+    Intf.phase_begin "deq.snapshot";
     let head = Word.to_ptr (Api.read t.head) in (* D2 *)
     let tail = Word.to_ptr (Api.read t.tail) in (* D3 *)
     let next = Node.next head.Word.addr in (* D4 *)
-    if Word.equal (Api.read t.head) (Word.Ptr head) then (* D5 *)
+    let consistent = Word.equal (Api.read t.head) (Word.Ptr head) in (* D5 *)
+    Intf.phase_end "deq.snapshot";
+    if consistent then
       if head.Word.addr = tail.Word.addr then
         if Word.is_null next then None (* D6-D8: queue is empty *)
         else begin
           (* D9: Tail is falling behind; try to advance it *)
+          Intf.phase_begin "deq.help";
           ignore
             (Api.cas t.tail ~expected:(Word.Ptr tail)
                ~desired:
                  (Word.Ptr { addr = next.Word.addr; count = tail.Word.count + 1 }));
+          Intf.phase_end "deq.help";
           loop ()
         end
       else begin
         (* D10-D11: read value before the CAS; otherwise another dequeue
            might free the node holding it *)
         let value = Node.value next.Word.addr in
-        if
+        Intf.phase_begin "deq.cas";
+        let swung =
           Api.cas t.head (* D12 *)
             ~expected:(Word.Ptr head)
             ~desired:(Word.Ptr { addr = next.Word.addr; count = head.Word.count + 1 })
-        then begin
+        in
+        Intf.phase_end "deq.cas";
+        if swung then begin
           Node.free_node t.pool head.Word.addr; (* D14: free the old dummy *)
           Some value (* D15 *)
         end
         else begin
           Api.count "ms.deq_cas_fail";
-          maybe_backoff b;
+          Intf.with_phase "deq.backoff" (fun () -> maybe_backoff b);
           loop ()
         end
       end

@@ -17,7 +17,7 @@ let name = "single-lock"
    contention (that line is a single hotspot). *)
 let init ?(options = Intf.default_options) eng =
   let pool = Node.make_pool eng options in
-  let base = Engine.setup_alloc eng 3 in
+  let base = Engine.setup_alloc ~label:"Head+Tail+lock" eng 3 in
   let head = base and tail = base + 1 in
   Engine.poke eng head (Word.null ~count:0);
   Engine.poke eng tail (Word.null ~count:0);
@@ -30,28 +30,30 @@ let enqueue t v =
   Node.set_value node v;
   Node.set_next node (Word.null ~count:0);
   Slock.with_lock ~backoff:t.backoff t.lock (fun () ->
-      let last = Word.to_ptr (Api.read t.tail) in
-      if Word.is_null last then begin
-        Api.write t.head (Word.ptr node);
-        Api.write t.tail (Word.ptr node)
-      end
-      else begin
-        Node.set_next last.Word.addr (Word.ptr node);
-        Api.write t.tail (Word.ptr node)
-      end)
+      Intf.with_phase "enq.critical" (fun () ->
+          let last = Word.to_ptr (Api.read t.tail) in
+          if Word.is_null last then begin
+            Api.write t.head (Word.ptr node);
+            Api.write t.tail (Word.ptr node)
+          end
+          else begin
+            Node.set_next last.Word.addr (Word.ptr node);
+            Api.write t.tail (Word.ptr node)
+          end))
 
 let dequeue t =
   let dequeued =
     Slock.with_lock ~backoff:t.backoff t.lock (fun () ->
-        let first = Word.to_ptr (Api.read t.head) in
-        if Word.is_null first then None
-        else begin
-          let value = Node.value first.Word.addr in
-          let next = Node.next first.Word.addr in
-          Api.write t.head (Word.Ptr { next with Word.count = 0 });
-          if Word.is_null next then Api.write t.tail (Word.null ~count:0);
-          Some (value, first.Word.addr)
-        end)
+        Intf.with_phase "deq.critical" (fun () ->
+            let first = Word.to_ptr (Api.read t.head) in
+            if Word.is_null first then None
+            else begin
+              let value = Node.value first.Word.addr in
+              let next = Node.next first.Word.addr in
+              Api.write t.head (Word.Ptr { next with Word.count = 0 });
+              if Word.is_null next then Api.write t.tail (Word.null ~count:0);
+              Some (value, first.Word.addr)
+            end))
   in
   match dequeued with
   | None -> None

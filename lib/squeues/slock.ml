@@ -2,8 +2,8 @@ open Sim
 
 type t = { addr : int }
 
-let init eng =
-  let addr = Engine.setup_alloc eng 1 in
+let init ?(label = "lock") eng =
+  let addr = Engine.setup_alloc ~label eng 1 in
   Engine.poke eng addr Word.zero;
   { addr }
 

@@ -8,9 +8,10 @@
 
 type t
 
-val init : Sim.Engine.t -> t
+val init : ?label:string -> Sim.Engine.t -> t
 (** Host-side: allocate the lock word (its own cache line), initially
-    free. *)
+    free.  [label] (default ["lock"]) names the line in cache heatmaps
+    ({!Sim.Engine.label}). *)
 
 val at : Sim.Engine.t -> int -> t
 (** Host-side: place the lock in an already-allocated cell — used to

@@ -10,8 +10,8 @@ let node_size = 2
 type t = { tail : int (* plain pointer cell, swapped *) }
 type token = { node : int }
 
-let init eng =
-  let tail = Engine.setup_alloc eng 1 in
+let init ?(label = "mcs_lock") eng =
+  let tail = Engine.setup_alloc ~label eng 1 in
   Engine.poke eng tail (Word.null ~count:0);
   { tail }
 

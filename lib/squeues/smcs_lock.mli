@@ -11,7 +11,10 @@
 type t
 type token
 
-val init : Sim.Engine.t -> t
+val init : ?label:string -> Sim.Engine.t -> t
+(** [label] (default ["mcs_lock"]) names the tail cell's cache line in
+    heatmaps. *)
+
 val acquire : t -> token
 val release : t -> token -> unit
 val with_lock : t -> (unit -> 'a) -> 'a

@@ -4,8 +4,8 @@ open Sim
    together and a single hot line matches common implementations. *)
 type t = { next : int; serving : int }
 
-let init eng =
-  let base = Engine.setup_alloc eng 2 in
+let init ?(label = "ticket_lock") eng =
+  let base = Engine.setup_alloc ~label eng 2 in
   Engine.poke eng base (Word.Int 0);
   Engine.poke eng (base + 1) (Word.Int 0);
   { next = base; serving = base + 1 }

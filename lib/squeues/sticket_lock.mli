@@ -10,7 +10,11 @@
 
 type t
 
-val init : Sim.Engine.t -> t
+val init : ?label:string -> Sim.Engine.t -> t
+(** [label] (default ["ticket_lock"]) names the lock's cache line in
+    heatmaps. *)
+
+
 val acquire : t -> unit
 val release : t -> unit
 val with_lock : t -> (unit -> 'a) -> 'a

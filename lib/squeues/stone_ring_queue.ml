@@ -10,7 +10,7 @@ let name = "stone-ring-racy"
 let null = Word.null ~count:0
 
 let init ?options:_ eng =
-  let anchor = Engine.setup_alloc eng 1 in
+  let anchor = Engine.setup_alloc ~label:"anchor" eng 1 in
   Engine.poke eng anchor null;
   { anchor }
 

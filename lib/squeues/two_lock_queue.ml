@@ -18,30 +18,30 @@ type t = {
 
 let name = "two-lock"
 
-let make_locker eng ~backoff = function
+let make_locker eng ~backoff ~label = function
   | `Ttas ->
-      let l = Slock.init eng in
+      let l = Slock.init ~label eng in
       { with_lock = (fun f -> Slock.with_lock ~backoff l f) }
   | `Ticket ->
-      let l = Sticket_lock.init eng in
+      let l = Sticket_lock.init ~label eng in
       { with_lock = (fun f -> Sticket_lock.with_lock l f) }
   | `Mcs ->
-      let l = Smcs_lock.init eng in
+      let l = Smcs_lock.init ~label eng in
       { with_lock = (fun f -> Smcs_lock.with_lock l f) }
 
 let init_with_lock kind ?(options = Intf.default_options) eng =
   let pool = Node.make_pool eng options in
-  let dummy = Engine.setup_alloc eng Node.size in
+  let dummy = Engine.setup_alloc ~label:"node[dummy]" eng Node.size in
   Engine.poke eng (dummy + Node.next_offset) (Word.null ~count:0);
-  let head = Engine.setup_alloc eng 1 in
-  let tail = Engine.setup_alloc eng 1 in
+  let head = Engine.setup_alloc ~label:"Head" eng 1 in
+  let tail = Engine.setup_alloc ~label:"Tail" eng 1 in
   Engine.poke eng head (Word.ptr dummy);
   Engine.poke eng tail (Word.ptr dummy);
   {
     head;
     tail;
-    h_lock = make_locker eng ~backoff:options.backoff kind;
-    t_lock = make_locker eng ~backoff:options.backoff kind;
+    h_lock = make_locker eng ~backoff:options.backoff ~label:"head_lock" kind;
+    t_lock = make_locker eng ~backoff:options.backoff ~label:"tail_lock" kind;
     pool;
   }
 
@@ -52,23 +52,26 @@ let enqueue t v =
   Node.set_value node v;
   Node.set_next node (Word.null ~count:0);
   t.t_lock.with_lock (fun () ->
-      let last = Word.to_ptr (Api.read t.tail) in
-      Node.set_next last.Word.addr (Word.ptr node); (* link at the end *)
-      Api.write t.tail (Word.ptr node) (* swing Tail to node *))
+      Intf.with_phase "enq.critical" (fun () ->
+          let last = Word.to_ptr (Api.read t.tail) in
+          Node.set_next last.Word.addr (Word.ptr node); (* link at the end *)
+          Api.write t.tail (Word.ptr node) (* swing Tail to node *)))
 
 let dequeue t =
   let dequeued =
     t.h_lock.with_lock (fun () ->
-        let dummy = Word.to_ptr (Api.read t.head) in
-        let new_head = Node.next dummy.Word.addr in
-        if Word.is_null new_head then None
-        else begin
-          (* read the value before releasing: the node holding it becomes
-             the new dummy and may be freed by a later dequeue *)
-          let value = Node.value new_head.Word.addr in
-          Api.write t.head (Word.ptr new_head.Word.addr);
-          Some (value, dummy.Word.addr)
-        end)
+        Intf.with_phase "deq.critical" (fun () ->
+            let dummy = Word.to_ptr (Api.read t.head) in
+            let new_head = Node.next dummy.Word.addr in
+            if Word.is_null new_head then None
+            else begin
+              (* read the value before releasing: the node holding it
+                 becomes the new dummy and may be freed by a later
+                 dequeue *)
+              let value = Node.value new_head.Word.addr in
+              Api.write t.head (Word.ptr new_head.Word.addr);
+              Some (value, dummy.Word.addr)
+            end))
   in
   match dequeued with
   | None -> None

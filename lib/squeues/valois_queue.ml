@@ -22,17 +22,19 @@ let null = Word.null ~count:0
 
 let init ?(options = Intf.default_options) eng =
   let free = Free_list.init eng ~link_offset:next_offset in
-  for _ = 1 to options.pool do
-    let node = Engine.setup_alloc eng node_size in
+  for i = 1 to options.pool do
+    let node =
+      Engine.setup_alloc ~label:(Printf.sprintf "node[%d]" i) eng node_size
+    in
     (* a free node holds the free list's single reference *)
     Engine.poke eng (node + count_offset) (Word.Int 1);
     Free_list.push_host eng free node
   done;
-  let dummy = Engine.setup_alloc eng node_size in
+  let dummy = Engine.setup_alloc ~label:"node[dummy]" eng node_size in
   Engine.poke eng (dummy + next_offset) null;
   Engine.poke eng (dummy + count_offset) (Word.Int 2) (* Head + Tail *);
-  let head = Engine.setup_alloc eng 1 in
-  let tail = Engine.setup_alloc eng 1 in
+  let head = Engine.setup_alloc ~label:"Head" eng 1 in
+  let tail = Engine.setup_alloc ~label:"Tail" eng 1 in
   Engine.poke eng head (Word.ptr dummy);
   Engine.poke eng tail (Word.ptr dummy);
   { head; tail; free; bounded = options.bounded; backoff = options.backoff }

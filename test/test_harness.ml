@@ -300,6 +300,222 @@ let test_spsc_ablation () =
     (lam.Harness.Spsc_experiment.cycles_per_item
     < ms.Harness.Spsc_experiment.cycles_per_item)
 
+(* ------------------------------------------------------------------ *)
+(* Cycle attribution: cache-line heatmaps through the workload *)
+
+(* The acceptance gate for the heatmap subsystem: for the MS queue at
+   p >= 2, the Head and Tail lines must outrank every node line (the
+   paper's §4 contention story — the shared pointers ping-pong, the
+   nodes mostly pass through), and the per-line counts must sum to the
+   aggregate cache statistics accumulated over the same window. *)
+let heatmap_run ?(procs = 4) key =
+  Harness.Workload.run ~heatmap:true (Harness.Registry.find key)
+    {
+      Harness.Params.default with
+      processors = procs;
+      total_pairs = 2_000;
+      seed = 99L;
+    }
+
+let line_cycles label (m : Harness.Workload.measurement) =
+  List.find_map
+    (fun (l : Sim.Cache.line_report) ->
+      if l.Sim.Cache.label = Some label then Some l.Sim.Cache.cycles else None)
+    m.Harness.Workload.heatmap
+  |> Option.get
+
+let test_heatmap_msq_ranking () =
+  let m = heatmap_run "ms" in
+  let head = line_cycles "Head" m and tail = line_cycles "Tail" m in
+  List.iter
+    (fun (l : Sim.Cache.line_report) ->
+      match l.Sim.Cache.label with
+      | Some lbl when String.length lbl >= 4 && String.sub lbl 0 4 = "node" ->
+          Alcotest.(check bool)
+            (Printf.sprintf "Tail outranks %s" lbl)
+            true (tail > l.Sim.Cache.cycles);
+          Alcotest.(check bool)
+            (Printf.sprintf "Head outranks %s" lbl)
+            true (head > l.Sim.Cache.cycles)
+      | _ -> ())
+    m.Harness.Workload.heatmap;
+  (* and the report is sorted hottest-first *)
+  ignore
+    (List.fold_left
+       (fun prev (l : Sim.Cache.line_report) ->
+         Alcotest.(check bool) "sorted by cycles desc" true
+           (l.Sim.Cache.cycles <= prev);
+         l.Sim.Cache.cycles)
+       max_int m.Harness.Workload.heatmap)
+
+let test_heatmap_consistency () =
+  List.iter
+    (fun key ->
+      let m = heatmap_run key in
+      let sum f =
+        List.fold_left
+          (fun acc l -> acc + f l)
+          0 m.Harness.Workload.heatmap
+      in
+      Alcotest.(check int)
+        (key ^ ": per-line invalidations sum to the aggregate")
+        m.Harness.Workload.stats.Sim.Stats.invalidations
+        (sum (fun l -> l.Sim.Cache.invalidations));
+      Alcotest.(check int)
+        (key ^ ": per-line misses sum to the aggregate")
+        m.Harness.Workload.stats.Sim.Stats.cache_misses
+        (sum (fun l -> l.Sim.Cache.misses));
+      Alcotest.(check int)
+        (key ^ ": per-line hits sum to the aggregate")
+        m.Harness.Workload.stats.Sim.Stats.cache_hits
+        (sum (fun l -> l.Sim.Cache.hits)))
+    [ "ms"; "two-lock"; "single-lock" ]
+
+let test_heatmap_deterministic () =
+  let report (m : Harness.Workload.measurement) =
+    List.map
+      (fun (l : Sim.Cache.line_report) ->
+        (l.Sim.Cache.line, l.Sim.Cache.label, l.Sim.Cache.cycles))
+      m.Harness.Workload.heatmap
+  in
+  Alcotest.(check bool) "same seed, same heatmap" true
+    (report (heatmap_run "ms") = report (heatmap_run "ms"))
+
+let test_heatmap_off_by_default () =
+  let m =
+    Harness.Workload.run (Harness.Registry.find "ms")
+      { Harness.Params.default with processors = 2; total_pairs = 500 }
+  in
+  Alcotest.(check int) "no heatmap unless requested" 0
+    (List.length m.Harness.Workload.heatmap)
+
+(* ------------------------------------------------------------------ *)
+(* Bench_compare: the bench-diff / bench-summary core *)
+
+let bench_doc ?(schema = 4) ?(pairs = 2_000) ?(net = 100.) ?(pps = 1e6) () =
+  Printf.sprintf
+    {|{"schema_version": %d, "pairs": %d, "smoke": true,
+       "figures": [
+         {"figure": 3, "series": [
+           {"algorithm": "ms-nonblocking", "mpl": 1, "points": [
+             {"processors": 1, "net_per_pair": %f, "completed": true},
+             {"processors": 4, "net_per_pair": %f, "completed": true},
+             {"processors": 8, "net_per_pair": 50.0, "completed": false}]}]}],
+       "native": [{"name": "ms-nonblocking", "pairs_per_second": %f}]}|}
+    schema pairs net (2. *. net) pps
+
+let load s =
+  match Harness.Bench_compare.of_string s with
+  | Ok d -> d
+  | Error e -> Alcotest.failf "unexpected parse failure: %s" e
+
+let test_bench_compare_parse () =
+  let d = load (bench_doc ()) in
+  Alcotest.(check int) "schema" 4 d.Harness.Bench_compare.schema_version;
+  (* the incomplete p=8 point is excluded from the gated metrics *)
+  Alcotest.(check int) "two completed sim points" 2
+    (List.length d.Harness.Bench_compare.sim);
+  Alcotest.(check int) "one native point" 1
+    (List.length d.Harness.Bench_compare.native);
+  (match Harness.Bench_compare.of_string (bench_doc ~schema:2 ()) with
+  | Ok d -> Alcotest.(check int) "schema 2 accepted" 2 d.Harness.Bench_compare.schema_version
+  | Error e -> Alcotest.failf "schema 2 rejected: %s" e);
+  (match Harness.Bench_compare.of_string (bench_doc ~schema:5 ()) with
+  | Ok _ -> Alcotest.fail "schema 5 accepted"
+  | Error _ -> ());
+  match Harness.Bench_compare.of_string "{not json" with
+  | Ok _ -> Alcotest.fail "garbage accepted"
+  | Error _ -> ()
+
+let test_bench_compare_gate () =
+  let old_doc = load (bench_doc ()) in
+  (* identical -> ok *)
+  let same =
+    Harness.Bench_compare.diff ~max_regress:10. ~old_doc ~new_doc:old_doc ()
+  in
+  Alcotest.(check bool) "identical ok" true (Harness.Bench_compare.ok same);
+  (* +50% net_per_pair (higher = worse) -> regression *)
+  let worse = load (bench_doc ~net:150. ()) in
+  let c =
+    Harness.Bench_compare.diff ~max_regress:10. ~old_doc ~new_doc:worse ()
+  in
+  Alcotest.(check bool) "regression fails the gate" false
+    (Harness.Bench_compare.ok c);
+  Alcotest.(check int) "both completed points regress" 2
+    (List.length (Harness.Bench_compare.regressions c));
+  (* improvement (lower net) -> ok *)
+  let better = load (bench_doc ~net:50. ()) in
+  Alcotest.(check bool) "improvement passes" true
+    (Harness.Bench_compare.ok
+       (Harness.Bench_compare.diff ~max_regress:10. ~old_doc ~new_doc:better ()));
+  (* native throughput collapse: informational by default, gated on demand *)
+  let slow_native = load (bench_doc ~pps:1e5 ()) in
+  Alcotest.(check bool) "native not gated by default" true
+    (Harness.Bench_compare.ok
+       (Harness.Bench_compare.diff ~max_regress:10. ~old_doc
+          ~new_doc:slow_native ()));
+  Alcotest.(check bool) "native gated with --gate-native" false
+    (Harness.Bench_compare.ok
+       (Harness.Bench_compare.diff ~max_regress:10. ~gate_native:true ~old_doc
+          ~new_doc:slow_native ()))
+
+let test_bench_compare_scale_mismatch () =
+  let old_doc = load (bench_doc ()) in
+  (* different scale: deltas shown, nothing gates *)
+  let rescaled = load (bench_doc ~pairs:4_000 ~net:500. ()) in
+  let c =
+    Harness.Bench_compare.diff ~max_regress:10. ~old_doc ~new_doc:rescaled ()
+  in
+  Alcotest.(check bool) "not comparable" false c.Harness.Bench_compare.comparable;
+  Alcotest.(check bool) "scale mismatch never gates" true
+    (Harness.Bench_compare.ok c)
+
+let test_bench_compare_missing_gates () =
+  let old_doc = load (bench_doc ()) in
+  let gone =
+    load
+      {|{"schema_version": 4, "pairs": 2000, "smoke": true,
+         "figures": [], "native": []}|}
+  in
+  let c = Harness.Bench_compare.diff ~old_doc ~new_doc:gone () in
+  Alcotest.(check int) "old points reported missing" 2
+    (List.length c.Harness.Bench_compare.missing);
+  Alcotest.(check bool) "missing points fail the gate" false
+    (Harness.Bench_compare.ok c)
+
+let test_bench_summary_markdown () =
+  let doc =
+    load
+      {|{"schema_version": 4, "pairs": 2000, "smoke": false,
+         "figures": [],
+         "native": [{"name": "ms-nonblocking", "pairs_per_second": 123456.0}],
+         "profile": {"sim_heatmaps": [
+           {"queue": "ms", "processors": 8, "lines": [
+             {"line": 3, "label": "Tail", "cycles": 999, "misses": 7,
+              "invalidations": 5},
+             {"line": 2, "label": "Head", "cycles": 500, "misses": 3,
+              "invalidations": 2}]}]}}|}
+  in
+  let md =
+    Format.asprintf "%a"
+      (fun fmt d -> Harness.Bench_compare.markdown_summary fmt d)
+      doc
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "summary contains %S" needle)
+        true
+        (Str.string_match
+           (Str.regexp (".*" ^ Str.quote needle ^ ".*"))
+           (Str.global_replace (Str.regexp "\n") " " md)
+           0))
+    [
+      "| ms-nonblocking | 123456 |";
+      "| ms (p=8) | Tail | 999 | 7 | 5 |";
+      "Hottest cache lines";
+    ]
+
 let suites =
   [
     ( "harness.workload",
@@ -351,5 +567,26 @@ let suites =
       [
         Alcotest.test_case "non-blocking algorithms" `Slow test_liveness_nonblocking;
         Alcotest.test_case "blocking algorithms" `Slow test_liveness_blocking;
+      ] );
+    ( "harness.heatmap",
+      [
+        Alcotest.test_case "msq Head/Tail outrank nodes" `Quick
+          test_heatmap_msq_ranking;
+        Alcotest.test_case "per-line sums match aggregates" `Quick
+          test_heatmap_consistency;
+        Alcotest.test_case "deterministic per seed" `Quick
+          test_heatmap_deterministic;
+        Alcotest.test_case "off by default" `Quick test_heatmap_off_by_default;
+      ] );
+    ( "harness.bench_compare",
+      [
+        Alcotest.test_case "parse and schema range" `Quick
+          test_bench_compare_parse;
+        Alcotest.test_case "regression gate" `Quick test_bench_compare_gate;
+        Alcotest.test_case "scale mismatch never gates" `Quick
+          test_bench_compare_scale_mismatch;
+        Alcotest.test_case "missing points gate" `Quick
+          test_bench_compare_missing_gates;
+        Alcotest.test_case "markdown summary" `Quick test_bench_summary_markdown;
       ] );
   ]

@@ -98,6 +98,78 @@ let test_backoff_invalid () =
   Alcotest.check_raises "bad params" (Invalid_argument "Backoff.create") (fun () ->
       ignore (Locks.Backoff.create ~initial:8 ~limit:4 ()))
 
+(* The Probe disabled-path contract (see probe.mli): with no hook
+   installed, [site]/[phase_begin]/[phase_end] are a single [bool ref]
+   load and a branch, and [cas_retry] the same on [enabled] — no
+   allocation, no table lookups, no clock reads.  Functionally: nothing
+   is recorded.  Microbench-style: a disabled mark costs within noise
+   of an opaque no-op call; the bound is deliberately generous (the
+   point is catching an accidental hashtable or clock on the disabled
+   path, which costs 10-100x, not measuring nanoseconds exactly). *)
+let test_probe_disabled_functional () =
+  Locks.Probe.clear_site_hook ();
+  Locks.Probe.clear_profile_site_hook ();
+  Locks.Probe.clear_phase_hook ();
+  Locks.Probe.disable ();
+  Locks.Probe.reset ();
+  let before = Locks.Probe.totals () in
+  for _ = 1 to 1_000 do
+    Locks.Probe.site "t.disabled";
+    Locks.Probe.phase_begin "t.disabled";
+    Locks.Probe.phase_end "t.disabled";
+    Locks.Probe.cas_retry ();
+    Locks.Probe.backoff ();
+    Locks.Probe.help ()
+  done;
+  let d = Locks.Probe.diff (Locks.Probe.totals ()) before in
+  Alcotest.(check int) "no cas_retries recorded" 0 d.Locks.Probe.cas_retries;
+  Alcotest.(check int) "no backoffs recorded" 0 d.Locks.Probe.backoffs;
+  Alcotest.(check int) "no helps recorded" 0 d.Locks.Probe.helps
+
+let test_probe_disabled_cost () =
+  Locks.Probe.clear_site_hook ();
+  Locks.Probe.clear_profile_site_hook ();
+  Locks.Probe.clear_phase_hook ();
+  Locks.Probe.disable ();
+  let n = 2_000_000 in
+  let time f =
+    (* best of 3: absorb scheduler preemptions on a shared core *)
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      f ();
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let noop = Sys.opaque_identity (fun () -> ()) in
+  let baseline =
+    time (fun () ->
+        for _ = 1 to n do
+          noop ()
+        done)
+  in
+  let disabled =
+    time (fun () ->
+        for _ = 1 to n do
+          Locks.Probe.site "t.cost";
+          Locks.Probe.cas_retry ()
+        done)
+  in
+  (* two disabled marks per iteration vs one opaque call: anything
+     beyond ~20x baseline (or an absolute 100ns/iteration floor for
+     very fast machines where baseline underflows timer resolution)
+     means the disabled path grew real work *)
+  let budget = Float.max (20. *. baseline) (100e-9 *. float_of_int n) in
+  if disabled > budget then
+    Alcotest.failf
+      "disabled probe path too slow: %.1f ns/iter vs %.1f ns/iter baseline \
+       (budget %.1f ns/iter)"
+      (disabled *. 1e9 /. float_of_int n)
+      (baseline *. 1e9 /. float_of_int n)
+      (budget *. 1e9 /. float_of_int n)
+
 let suites =
   let per_lock f label =
     List.map
@@ -123,5 +195,12 @@ let suites =
         Alcotest.test_case "ticket all acquisitions" `Slow test_ticket_fifo;
         Alcotest.test_case "backoff bounds" `Quick test_backoff_bounds;
         Alcotest.test_case "backoff invalid" `Quick test_backoff_invalid;
+      ] );
+    ( "locks.probe",
+      [
+        Alcotest.test_case "disabled path records nothing" `Quick
+          test_probe_disabled_functional;
+        Alcotest.test_case "disabled path is a single load" `Slow
+          test_probe_disabled_cost;
       ] );
   ]

@@ -131,6 +131,34 @@ let test_histogram_percentile () =
   | Some ub -> Alcotest.(check bool) "p100 covers the outlier" true (ub >= 1_000_000)
   | None -> Alcotest.fail "p100 on a non-empty histogram")
 
+let test_histogram_sum_mean () =
+  let h = Obs.Histogram.create () in
+  Alcotest.(check int) "empty sum" 0 (Obs.Histogram.sum h);
+  Alcotest.(check bool) "empty mean" true (Obs.Histogram.mean h = None);
+  List.iter (Obs.Histogram.record h) [ 5; 7; 100 ];
+  (* the sum is exact even though buckets quantize: 5 and 7 share
+     bucket [4..7] yet contribute 12, not 2x upper_bound *)
+  Alcotest.(check int) "exact sum" 112 (Obs.Histogram.sum h);
+  (match Obs.Histogram.mean h with
+  | Some m ->
+      Alcotest.(check (float 1e-9)) "mean = sum/count" (112. /. 3.) m
+  | None -> Alcotest.fail "mean on a non-empty histogram");
+  let h2 = Obs.Histogram.create () in
+  Obs.Histogram.record h2 1_000;
+  Alcotest.(check int) "merge adds sums" 1_112
+    (Obs.Histogram.sum (Obs.Histogram.merge h h2));
+  Obs.Histogram.reset h;
+  Alcotest.(check int) "reset clears the sum" 0 (Obs.Histogram.sum h);
+  let j = roundtrip (Obs.Histogram.to_json h2) in
+  Alcotest.(check (option int)) "sum in json" (Some 1_000)
+    Obs.Json.(Option.bind (member "sum" j) to_int_opt);
+  Alcotest.(check bool) "mean in json" true
+    Obs.Json.(
+      match member "mean" j with Some (Float m) -> m = 1_000. | _ -> false);
+  let empty_j = Obs.Histogram.to_json (Obs.Histogram.create ()) in
+  Alcotest.(check bool) "empty mean is null in json" true
+    (Obs.Json.member "mean" empty_j = Some Obs.Json.Null)
+
 let test_histogram_json () =
   let h = Obs.Histogram.create () in
   List.iter (Obs.Histogram.record h) [ 5; 5; 9 ];
@@ -210,6 +238,216 @@ let test_chrome_trace_hit_annotations () =
         Alcotest.(check bool) "memory ops carry hit/miss" true
           (e.Sim.Trace.hit <> None))
     (Sim.Trace.events tr)
+
+(* The Chrome exporter's nested phase events: durations ("ph":"B"/"E")
+   emitted by Sim.Api.phase must parse, stay time-sorted per process,
+   and bracket properly (every E closes the most recent B of the same
+   name). *)
+let test_chrome_trace_phase_events () =
+  let eng = Sim.Engine.create (Sim.Config.with_processors 2) in
+  let tr = Sim.Engine.enable_trace eng in
+  let a = Sim.Engine.setup_alloc eng 1 in
+  for _ = 1 to 2 do
+    ignore
+      (Sim.Engine.spawn eng (fun () ->
+           Sim.Api.phase "op" (fun () ->
+               Sim.Api.phase "snapshot" (fun () -> ignore (Sim.Api.read a));
+               Sim.Api.phase "cas" (fun () ->
+                   ignore
+                     (Sim.Api.cas a ~expected:(Sim.Word.Int 0)
+                        ~desired:(Sim.Word.Int 1))))))
+  done;
+  ignore (Sim.Engine.run eng);
+  let j = Obs.Json.of_string (Sim.Trace.to_chrome_string ~label:"phases" tr) in
+  let events =
+    Obs.Json.(Option.bind (member "traceEvents" j) to_list_opt) |> Option.get
+  in
+  let by_tid = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      match Obs.Json.(Option.bind (member "ph" e) to_string_opt) with
+      | Some (("B" | "E" | "X") as ph) ->
+          let tid =
+            Option.get Obs.Json.(Option.bind (member "tid" e) to_int_opt)
+          in
+          let ts =
+            Option.get Obs.Json.(Option.bind (member "ts" e) to_int_opt)
+          in
+          let name = Obs.Json.(Option.bind (member "name" e) to_string_opt) in
+          let prev = Option.value ~default:[] (Hashtbl.find_opt by_tid tid) in
+          Hashtbl.replace by_tid tid ((ph, ts, name) :: prev)
+      | _ -> ())
+    events;
+  Alcotest.(check int) "one lane per simulated process" 2
+    (Hashtbl.length by_tid);
+  Hashtbl.iter
+    (fun _tid rev ->
+      let seq = List.rev rev in
+      ignore
+        (List.fold_left
+           (fun last (_, ts, _) ->
+             Alcotest.(check bool) "timestamps non-decreasing per process" true
+               (ts >= last);
+             ts)
+           min_int seq);
+      let open_at_end =
+        List.fold_left
+          (fun stack (ph, _, name) ->
+            match ph with
+            | "B" -> Option.get name :: stack
+            | "E" -> (
+                match stack with
+                | top :: rest ->
+                    Alcotest.(check string) "E closes the innermost open B" top
+                      (Option.get name);
+                    rest
+                | [] -> Alcotest.fail "E without an open B")
+            | _ -> stack)
+          [] seq
+      in
+      Alcotest.(check int) "every phase closed" 0 (List.length open_at_end))
+    by_tid;
+  let count ph =
+    List.length
+      (List.filter
+         (fun e ->
+           Obs.Json.(Option.bind (member "ph" e) to_string_opt) = Some ph)
+         events)
+  in
+  (* 3 nested phases per process, 2 processes *)
+  Alcotest.(check int) "B events" 6 (count "B");
+  Alcotest.(check int) "E events" 6 (count "E")
+
+(* ------------------------------------------------------------------ *)
+(* Profile: per-site contention and per-phase spans via the Probe hooks *)
+
+let spin n =
+  let x = ref 0 in
+  for i = 1 to n do
+    x := !x + i
+  done;
+  ignore (Sys.opaque_identity !x)
+
+let test_profile_sites () =
+  Obs.Profile.reset ();
+  Obs.Profile.enable ();
+  Alcotest.(check bool) "enabled" true (Obs.Profile.enabled ());
+  Locks.Probe.site "t.anchor";
+  for _ = 1 to 50 do
+    spin 200;
+    Locks.Probe.site "t.site_a"
+  done;
+  Obs.Profile.disable ();
+  Alcotest.(check bool) "disabled" false (Obs.Profile.enabled ());
+  let s = Obs.Profile.snapshot () in
+  let a = List.find (fun e -> e.Obs.Profile.label = "t.site_a") s.sites in
+  Alcotest.(check int) "all events counted" 50 a.Obs.Profile.events;
+  (* the first site after the anchor attributes the spin's span; exact
+     sum equals the histogram's *)
+  Alcotest.(check bool) "cycles attributed" true (a.Obs.Profile.cycles > 0);
+  Alcotest.(check int) "entry cycles = histogram sum" a.Obs.Profile.cycles
+    (Obs.Histogram.sum a.Obs.Profile.hist);
+  Alcotest.(check bool) "p50 available" true (Obs.Profile.p50 a <> None);
+  (* disabled: further marks record nothing *)
+  Locks.Probe.site "t.site_a";
+  let s' = Obs.Profile.snapshot () in
+  let a' = List.find (fun e -> e.Obs.Profile.label = "t.site_a") s'.sites in
+  Alcotest.(check int) "no recording when disabled" 50 a'.Obs.Profile.events
+
+let test_profile_phases () =
+  Obs.Profile.reset ();
+  Obs.Profile.enable ();
+  for _ = 1 to 20 do
+    Locks.Probe.phase_begin "t.outer";
+    Locks.Probe.phase_begin "t.inner";
+    spin 100;
+    Locks.Probe.phase_end "t.inner";
+    Locks.Probe.phase_end "t.outer"
+  done;
+  Obs.Profile.disable ();
+  let s = Obs.Profile.snapshot () in
+  let find l = List.find (fun e -> e.Obs.Profile.label = l) s.phases in
+  let outer = find "t.outer" and inner = find "t.inner" in
+  Alcotest.(check int) "outer spans" 20 outer.Obs.Profile.events;
+  Alcotest.(check int) "inner spans" 20 inner.Obs.Profile.events;
+  (* proper nesting: the outer span contains the inner one *)
+  Alcotest.(check bool) "outer >= inner cycles" true
+    (outer.Obs.Profile.cycles >= inner.Obs.Profile.cycles);
+  Alcotest.(check bool) "inner cycles positive" true
+    (inner.Obs.Profile.cycles > 0)
+
+let test_profile_diff_and_json () =
+  Obs.Profile.reset ();
+  Obs.Profile.enable ();
+  Locks.Probe.site "t.d";
+  for _ = 1 to 10 do
+    Locks.Probe.site "t.d"
+  done;
+  let before = Obs.Profile.snapshot () in
+  for _ = 1 to 7 do
+    Locks.Probe.site "t.d"
+  done;
+  Obs.Profile.disable ();
+  let after = Obs.Profile.snapshot () in
+  let d = Obs.Profile.diff after before in
+  let e = List.find (fun e -> e.Obs.Profile.label = "t.d") d.sites in
+  Alcotest.(check int) "diff counts only the window" 7 e.Obs.Profile.events;
+  let j = roundtrip (Obs.Profile.to_json after) in
+  let sites =
+    Obs.Json.(Option.bind (member "sites" j) to_list_opt) |> Option.get
+  in
+  let jd =
+    List.find
+      (fun s ->
+        Obs.Json.(Option.bind (member "label" s) to_string_opt)
+        = Some "t.d")
+      sites
+  in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) (k ^ " present") true (Obs.Json.member k jd <> None))
+    [ "events"; "cycles"; "p50"; "p99"; "latency" ];
+  Alcotest.(check (option int)) "json events" (Some 18)
+    Obs.Json.(Option.bind (member "events" jd) to_int_opt)
+
+let test_profile_multi_domain () =
+  Obs.Profile.reset ();
+  Obs.Profile.enable ();
+  let domains = 4 and per = 1_000 in
+  let ds =
+    List.init domains (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per do
+              Locks.Probe.site "t.md"
+            done))
+  in
+  List.iter Domain.join ds;
+  Obs.Profile.disable ();
+  let s = Obs.Profile.snapshot () in
+  let e = List.find (fun e -> e.Obs.Profile.label = "t.md") s.sites in
+  Alcotest.(check int) "events from every domain aggregated" (domains * per)
+    e.Obs.Profile.events
+
+(* The chaos layer and the profiler hook sites independently; both see
+   every mark, and removing one leaves the other active. *)
+let test_profile_composes_with_chaos_hook () =
+  Obs.Profile.reset ();
+  let chaos_seen = ref 0 in
+  Locks.Probe.set_site_hook (fun _ -> incr chaos_seen);
+  Obs.Profile.enable ();
+  for _ = 1 to 5 do
+    Locks.Probe.site "t.both"
+  done;
+  Alcotest.(check int) "chaos hook saw every mark" 5 !chaos_seen;
+  Obs.Profile.disable ();
+  for _ = 1 to 3 do
+    Locks.Probe.site "t.both"
+  done;
+  Alcotest.(check int) "chaos hook survives profiler removal" 8 !chaos_seen;
+  Locks.Probe.clear_site_hook ();
+  let s = Obs.Profile.snapshot () in
+  let e = List.find (fun e -> e.Obs.Profile.label = "t.both") s.sites in
+  Alcotest.(check int) "profiler saw its window" 5 e.Obs.Profile.events
 
 (* ------------------------------------------------------------------ *)
 (* Instrumented wrapper *)
@@ -374,6 +612,7 @@ let suites =
         Alcotest.test_case "record and merge" `Quick
           test_histogram_record_and_merge;
         Alcotest.test_case "percentile" `Quick test_histogram_percentile;
+        Alcotest.test_case "exact sum and mean" `Quick test_histogram_sum_mean;
         Alcotest.test_case "json" `Quick test_histogram_json;
       ] );
     ( "obs.chrome_trace",
@@ -382,6 +621,18 @@ let suites =
           test_chrome_trace_roundtrip;
         Alcotest.test_case "hit/miss annotations" `Quick
           test_chrome_trace_hit_annotations;
+        Alcotest.test_case "nested phase events bracket" `Quick
+          test_chrome_trace_phase_events;
+      ] );
+    ( "obs.profile",
+      [
+        Alcotest.test_case "site attribution" `Quick test_profile_sites;
+        Alcotest.test_case "phase spans" `Quick test_profile_phases;
+        Alcotest.test_case "diff and json" `Quick test_profile_diff_and_json;
+        Alcotest.test_case "multi-domain aggregation" `Quick
+          test_profile_multi_domain;
+        Alcotest.test_case "composes with chaos hook" `Quick
+          test_profile_composes_with_chaos_hook;
       ] );
     ( "obs.instrumented",
       [
