@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke bench-diff profile clean
+.PHONY: all build test bench bench-smoke bench-diff mcheck-native profile clean
 
 all: build
 
@@ -26,6 +26,15 @@ bench-smoke:
 bench-diff: bench-smoke
 	dune exec bin/msq_check.exe -- bench-diff bench/BASELINE_smoke.json BENCH_queues.json --max-regress 10
 
+# Exhaustive small-scope model checking of the NATIVE queues: the
+# shipping lib/core functors instantiated with a traced atomic, every
+# interleaving within the preemption budget checked for conservation
+# and linearizability.  --self-test also runs the deliberately broken
+# Michael-Scott variant and fails unless the checker catches it.
+mcheck-native:
+	dune exec bin/msq_check.exe -- mcheck-native --depth-limit 10000 \
+	  --self-test --trace-out mcheck-counterexample.txt
+
 # Where the cycles go: simulated cache-line heatmaps plus native
 # per-site/per-phase contention profiles, on the terminal.
 profile:
@@ -33,4 +42,4 @@ profile:
 
 clean:
 	dune clean
-	rm -f BENCH_queues.json profile.json
+	rm -f BENCH_queues.json profile.json mcheck-counterexample.txt

@@ -674,12 +674,163 @@ let bench_summary_cmd =
           for \\$GITHUB_STEP_SUMMARY.")
     Term.(const run $ path $ top)
 
+(* Exhaustive small-scope model checking of the NATIVE queues: the
+   shipping lib/core functors instantiated with Mcheck.Traced_atomic run
+   as coroutines under the preemption-bounded explorer, every complete
+   interleaving judged by the conservation + linearizability oracle.
+   This is the other half of what `explore` does for the simulated
+   algorithms — same explorer, real code. *)
+let mcheck_native_cmd =
+  let run queue scenario preemptions depth_limit self_test trace_out =
+    let module CE = Mcheck.Core_explore in
+    let resolve_queues () =
+      match queue with
+      | None -> Ok CE.queues
+      | Some name -> (
+          match CE.find_queue name with
+          | Some q -> Ok [ (name, q) ]
+          | None ->
+              Error
+                (Printf.sprintf "unknown queue %S (have: %s)" name
+                   (String.concat ", " (List.map fst CE.queues))))
+    in
+    let resolve_scenarios () =
+      match scenario with
+      | None -> Ok CE.scenarios
+      | Some name -> (
+          match CE.find_scenario name with
+          | Some s -> Ok [ s ]
+          | None ->
+              Error
+                (Printf.sprintf "unknown scenario %S (have: %s)" name
+                   (String.concat ", "
+                      (List.map (fun s -> s.CE.sname) CE.scenarios))))
+    in
+    match (resolve_queues (), resolve_scenarios ()) with
+    | Error e, _ | _, Error e ->
+        Format.eprintf "mcheck-native: %s@." e;
+        2
+    | Ok queues, Ok scenarios ->
+        let violations = ref 0 in
+        let first_failure = ref None in
+        let dump_failure qname sname f =
+          Format.printf "  %s under schedule %a@." f.Mcheck.Explore.message
+            Mcheck.Explore.pp_schedule f.Mcheck.Explore.schedule;
+          if !first_failure = None then first_failure := Some (qname, sname, f)
+        in
+        List.iter
+          (fun (qname, q) ->
+            List.iter
+              (fun s ->
+                let outcome =
+                  CE.check ~max_preemptions:preemptions ~max_steps:depth_limit
+                    q s
+                in
+                Format.printf "%s/%s: %d schedules explored, %d diverged, %d violations@."
+                  qname s.CE.sname outcome.Mcheck.Explore.runs
+                  outcome.Mcheck.Explore.diverged
+                  (List.length outcome.Mcheck.Explore.failures);
+                violations :=
+                  !violations + List.length outcome.Mcheck.Explore.failures;
+                List.iter (dump_failure qname s.CE.sname)
+                  outcome.Mcheck.Explore.failures)
+              scenarios)
+          queues;
+        (* The checker checking the checker: the planted broken-ms queue
+           (Head store instead of D12's CAS) must be caught, else the
+           whole run proves nothing. *)
+        let self_test_ok =
+          if not self_test then true
+          else begin
+            let s = CE.pairs ~procs:2 ~ops:1 in
+            let outcome =
+              CE.check ~max_preemptions:preemptions ~max_steps:depth_limit
+                CE.broken s
+            in
+            let caught = outcome.Mcheck.Explore.failures <> [] in
+            Format.printf "self-test broken-ms/%s: %d schedules explored, %s@."
+              s.CE.sname outcome.Mcheck.Explore.runs
+              (if caught then "planted bug caught" else "PLANTED BUG MISSED");
+            (match (caught, outcome.Mcheck.Explore.failures) with
+            | true, f :: _ ->
+                Format.printf "  %s under schedule %a@." f.Mcheck.Explore.message
+                  Mcheck.Explore.pp_schedule f.Mcheck.Explore.schedule
+            | _ -> ());
+            caught
+          end
+        in
+        (match (!first_failure, trace_out) with
+        | Some (qname, sname, f), Some path ->
+            let oc = open_out path in
+            Printf.fprintf oc "queue: %s\nscenario: %s\nmessage: %s\n" qname
+              sname f.Mcheck.Explore.message;
+            Printf.fprintf oc "schedule: %s\n"
+              (Format.asprintf "%a" Mcheck.Explore.pp_schedule
+                 f.Mcheck.Explore.schedule);
+            Printf.fprintf oc "trace:\n";
+            List.iter (fun l -> Printf.fprintf oc "  %s\n" l)
+              f.Mcheck.Explore.trace;
+            close_out oc;
+            Format.printf "first counterexample written to %s@." path
+        | Some (_, _, f), None ->
+            Format.printf "first counterexample trace:@.";
+            List.iter (fun l -> Format.printf "  %s@." l)
+              f.Mcheck.Explore.trace
+        | None, _ -> ());
+        if !violations = 0 && self_test_ok then 0 else 1
+  in
+  let queue =
+    Arg.(value & opt (some string) None
+         & info [ "q"; "queue" ] ~docv:"NAME"
+             ~doc:"Check one native queue (ms, ms-counted, ms-hp, two-lock, \
+                   segmented); all of them by default.")
+  in
+  let scenario =
+    Arg.(value & opt (some string) None
+         & info [ "scenario" ] ~docv:"NAME"
+             ~doc:"Run one scenario (enq-enq, deq-empty, tail-lag, \
+                   pairs-2x1, pairs-2x2, pairs-3x1); the whole battery by \
+                   default.")
+  in
+  let preemptions =
+    Arg.(value & opt int 2 & info [ "preemptions" ] ~doc:"Preemption budget.")
+  in
+  let depth_limit =
+    Arg.(value & opt int 10_000
+         & info [ "depth-limit" ] ~docv:"STEPS"
+             ~doc:"Maximum atomic operations per run; a schedule exceeding it \
+                   counts as diverged (evidence of unbounded blocking).")
+  in
+  let self_test =
+    Arg.(value & flag
+         & info [ "self-test" ]
+             ~doc:"Also run the deliberately broken Michael-Scott variant \
+                   (Head store instead of D12's compare-and-set) and fail \
+                   unless the checker catches it.")
+  in
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"Write the first counterexample (schedule and operation \
+                   trace) to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "mcheck-native"
+       ~doc:
+         "Exhaustively model-check the native queues: the shipping lib/core \
+          functors instantiated with a traced atomic run under the \
+          preemption-bounded explorer, and every complete interleaving is \
+          checked for value conservation and linearizability against the \
+          sequential FIFO queue.  Exit 1 on any violation.")
+    Term.(const run $ queue $ scenario $ preemptions $ depth_limit $ self_test
+          $ trace_out)
+
 let cmd =
   let doc = "Verification tools for the PODC 1996 queue reproduction" in
   Cmd.group (Cmd.info "msq_check" ~doc)
     [
-      explore_cmd; lin_cmd; native_lin_cmd; crash_cmd; chaos_cmd; profile_cmd;
-      bench_diff_cmd; bench_summary_cmd;
+      explore_cmd; lin_cmd; native_lin_cmd; mcheck_native_cmd; crash_cmd;
+      chaos_cmd; profile_cmd; bench_diff_cmd; bench_summary_cmd;
     ]
 
 let () = exit (Cmd.eval' cmd)

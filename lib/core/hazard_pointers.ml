@@ -1,83 +1,105 @@
-type 'a retired = { mutable nodes : 'a list; mutable count : int }
+module type S = sig
+  type 'a cell
+  type 'a t
 
-type 'a t = {
-  slots : 'a option Atomic.t array array;  (* slots.(domain).(slot) *)
-  retired : 'a retired array;  (* private to each domain *)
-  threshold : int;
-  free : 'a -> unit;
-  next_index : int Atomic.t;  (* registered domains: scan only these *)
-  index : int Domain.DLS.key;
-}
+  val create :
+    ?max_domains:int -> ?slots:int -> ?threshold:int -> free:('a -> unit) -> unit -> 'a t
 
-let create ?(max_domains = 64) ?(slots = 2) ?(threshold = 64) ~free () =
-  if max_domains <= 0 || slots <= 0 || threshold <= 0 then
-    invalid_arg "Hazard_pointers.create";
-  let next_index = Atomic.make 0 in
-  {
-    slots =
-      Array.init max_domains (fun _ -> Array.init slots (fun _ -> Atomic.make None));
-    retired = Array.init max_domains (fun _ -> { nodes = []; count = 0 });
-    threshold;
-    free;
-    next_index;
-    index =
-      Domain.DLS.new_key (fun () ->
-          let i = Atomic.fetch_and_add next_index 1 in
-          if i >= max_domains then
-            failwith "Hazard_pointers: more domains than max_domains";
-          i);
+  val protect : 'a t -> slot:int -> 'a option cell -> 'a option
+  val set : 'a t -> slot:int -> 'a -> unit
+  val clear : 'a t -> slot:int -> unit
+  val clear_all : 'a t -> unit
+  val retire : 'a t -> 'a -> unit
+  val scan : 'a t -> unit
+  val retired_count : 'a t -> int
+end
+
+module Make (A : Atomic_intf.ATOMIC) = struct
+  type 'a cell = 'a A.t
+
+  type 'a retired = { mutable nodes : 'a list; mutable count : int }
+
+  type 'a t = {
+    slots : 'a option A.t array array;  (* slots.(domain).(slot) *)
+    retired : 'a retired array;  (* private to each domain *)
+    threshold : int;
+    free : 'a -> unit;
+    next_index : int A.t;  (* registered domains: scan only these *)
+    index : int A.dls;
   }
 
-let my_index t = Domain.DLS.get t.index
+  let create ?(max_domains = 64) ?(slots = 2) ?(threshold = 64) ~free () =
+    if max_domains <= 0 || slots <= 0 || threshold <= 0 then
+      invalid_arg "Hazard_pointers.create";
+    let next_index = A.make 0 in
+    {
+      slots =
+        Array.init max_domains (fun _ -> Array.init slots (fun _ -> A.make None));
+      retired = Array.init max_domains (fun _ -> { nodes = []; count = 0 });
+      threshold;
+      free;
+      next_index;
+      index =
+        A.dls_new (fun () ->
+            let i = A.fetch_and_add next_index 1 in
+            if i >= max_domains then
+              failwith "Hazard_pointers: more domains than max_domains";
+            i);
+    }
 
-let protect t ~slot cell =
-  let hazard = t.slots.(my_index t).(slot) in
-  let rec loop () =
-    match Atomic.get cell with
-    | None ->
-        Atomic.set hazard None;
-        None
-    | Some _ as read ->
-        Atomic.set hazard read;
-        (* re-validate: the node cannot have been retired-and-freed
-           between the read and the publication if it is still what the
-           cell holds now *)
-        if Atomic.get cell == read then read
-        else loop ()
-  in
-  loop ()
+  let my_index t = A.dls_get t.index
 
-let set t ~slot v = Atomic.set t.slots.(my_index t).(slot) (Some v)
-let clear t ~slot = Atomic.set t.slots.(my_index t).(slot) None
+  let protect t ~slot cell =
+    let hazard = t.slots.(my_index t).(slot) in
+    let rec loop () =
+      match A.get cell with
+      | None ->
+          A.set hazard None;
+          None
+      | Some _ as read ->
+          A.set hazard read;
+          (* re-validate: the node cannot have been retired-and-freed
+             between the read and the publication if it is still what the
+             cell holds now *)
+          if A.get cell == read then read
+          else loop ()
+    in
+    loop ()
 
-let clear_all t =
-  Array.iter (fun s -> Atomic.set s None) t.slots.(my_index t)
+  let set t ~slot v = A.set t.slots.(my_index t).(slot) (Some v)
+  let clear t ~slot = A.set t.slots.(my_index t).(slot) None
 
-(* A node is reclaimable iff no registered domain's hazard slot holds
-   it; domains that never touched this manager have empty slots and are
-   skipped. *)
-let hazarded t v =
-  let registered = min (Atomic.get t.next_index) (Array.length t.slots) in
-  let rec scan_domain d =
-    d < registered
-    && (Array.exists
-          (fun s -> match Atomic.get s with Some h -> h == v | None -> false)
-          t.slots.(d)
-       || scan_domain (d + 1))
-  in
-  scan_domain 0
+  let clear_all t =
+    Array.iter (fun s -> A.set s None) t.slots.(my_index t)
 
-let scan t =
-  let mine = t.retired.(my_index t) in
-  let keep, reclaim = List.partition (hazarded t) mine.nodes in
-  mine.nodes <- keep;
-  mine.count <- List.length keep;
-  List.iter t.free reclaim
+  (* A node is reclaimable iff no registered domain's hazard slot holds
+     it; domains that never touched this manager have empty slots and are
+     skipped. *)
+  let hazarded t v =
+    let registered = min (A.get t.next_index) (Array.length t.slots) in
+    let rec scan_domain d =
+      d < registered
+      && (Array.exists
+            (fun s -> match A.get s with Some h -> h == v | None -> false)
+            t.slots.(d)
+         || scan_domain (d + 1))
+    in
+    scan_domain 0
 
-let retire t v =
-  let mine = t.retired.(my_index t) in
-  mine.nodes <- v :: mine.nodes;
-  mine.count <- mine.count + 1;
-  if mine.count >= t.threshold then scan t
+  let scan t =
+    let mine = t.retired.(my_index t) in
+    let keep, reclaim = List.partition (hazarded t) mine.nodes in
+    mine.nodes <- keep;
+    mine.count <- List.length keep;
+    List.iter t.free reclaim
 
-let retired_count t = t.retired.(my_index t).count
+  let retire t v =
+    let mine = t.retired.(my_index t) in
+    mine.nodes <- v :: mine.nodes;
+    mine.count <- mine.count + 1;
+    if mine.count >= t.threshold then scan t
+
+  let retired_count t = t.retired.(my_index t).count
+end
+
+include Make (Atomic_intf.Stdlib_atomic)

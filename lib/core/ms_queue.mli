@@ -12,6 +12,16 @@
     expected value can never match a recycled one — the ABA problem is
     structurally impossible and no modification counters are needed.
     See {!Ms_queue_counted} for the faithful counted-pointer/free-list
-    variant, and DESIGN.md for the trade-off discussion. *)
+    variant, and DESIGN.md for the trade-off discussion.
+
+    The algorithm is a functor over its atomic primitive: {!Make} over
+    any {!Atomic_intf.ATOMIC} yields the same code text running on that
+    substrate, and the module itself is [Make (Atomic_intf.Stdlib_atomic)]
+    — hardware atomics with padded Head/Tail cells.  The model checker
+    instantiates {!Make} with a traced atomic instead (see
+    [Mcheck.Core_explore]) to exhaustively explore interleavings of
+    this exact implementation. *)
+
+module Make (_ : Atomic_intf.ATOMIC) : Queue_intf.S
 
 include Queue_intf.S

@@ -16,15 +16,26 @@
     The free list keeps dequeued nodes available for reuse, bounding
     allocation: a queue that stays short allocates a bounded number of
     nodes no matter how many operations run — the property Valois's
-    reference-counted scheme lacks (paper §1). *)
+    reference-counted scheme lacks (paper §1).
 
-include Queue_intf.S
+    {!Make} abstracts the atomic primitive ({!Atomic_intf.ATOMIC});
+    the module itself is the [Stdlib_atomic] instantiation. *)
 
-val head_count : 'a t -> int
-(** Number of successful [Head] CASes (= completed dequeues). *)
+(** What the functor yields: the queue signature plus the counted
+    pointers' observable history. *)
+module type S = sig
+  include Queue_intf.S
 
-val tail_count : 'a t -> int
-(** Number of successful [Tail] swings. *)
+  val head_count : 'a t -> int
+  (** Number of successful [Head] CASes (= completed dequeues). *)
 
-val pool_size : 'a t -> int
-(** Nodes currently on the free list. *)
+  val tail_count : 'a t -> int
+  (** Number of successful [Tail] swings. *)
+
+  val pool_size : 'a t -> int
+  (** Nodes currently on the free list. *)
+end
+
+module Make (_ : Atomic_intf.ATOMIC) : S
+
+include S

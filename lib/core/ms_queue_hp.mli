@@ -15,12 +15,25 @@
     Operations protect the nodes they dereference in per-domain hazard
     slots; dequeued dummies are retired and return to the pool only when
     no domain still holds them.  Same API and progress guarantees as
-    {!Ms_queue}. *)
+    {!Ms_queue}.
 
-include Queue_intf.S
+    {!Make} threads one {!Atomic_intf.ATOMIC} through both the queue
+    and its embedded {!Hazard_pointers.Make} manager, so a traced
+    instantiation explores the protect/retire windows too; the module
+    itself is the [Stdlib_atomic] instantiation. *)
 
-val pool_size : 'a t -> int
-(** Nodes currently available for reuse (post-reclamation). *)
+(** What the functor yields: the queue signature plus the reclamation
+    observables. *)
+module type S = sig
+  include Queue_intf.S
 
-val pending_reclamation : 'a t -> int
-(** Retired nodes of the calling domain not yet proven unhazarded. *)
+  val pool_size : 'a t -> int
+  (** Nodes currently available for reuse (post-reclamation). *)
+
+  val pending_reclamation : 'a t -> int
+  (** Retired nodes of the calling domain not yet proven unhazarded. *)
+end
+
+module Make (_ : Atomic_intf.ATOMIC) : S
+
+include S

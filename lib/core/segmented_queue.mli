@@ -20,11 +20,23 @@
 
     Also provides {!Core.Queue_intf.BATCH}: [enqueue_batch] and
     [dequeue_batch] claim a whole index range with a single
-    fetch-and-add, amortizing the synchronization across the batch. *)
+    fetch-and-add, amortizing the synchronization across the batch.
 
-include Queue_intf.BATCH
+    {!Make} abstracts the atomic primitive ({!Atomic_intf.ATOMIC}) —
+    the FAA claim/publish windows become explorable scheduling points —
+    and the module itself is the [Stdlib_atomic] instantiation. *)
 
-val segment_capacity : int
-(** Slots per segment (the bound on per-cache-line contention, and the
-    granularity of allocation).  Exposed for tests that need to cross a
-    segment boundary deliberately. *)
+(** What the functor yields: the batch queue signature plus the
+    segment-size constant. *)
+module type S = sig
+  include Queue_intf.BATCH
+
+  val segment_capacity : int
+  (** Slots per segment (the bound on per-cache-line contention, and the
+      granularity of allocation).  Exposed for tests that need to cross
+      a segment boundary deliberately. *)
+end
+
+module Make (_ : Atomic_intf.ATOMIC) : S
+
+include S

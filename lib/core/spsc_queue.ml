@@ -1,49 +1,69 @@
-(* Indices grow without bound and are reduced modulo the ring size on
-   access, so full/empty are distinguishable without a spare slot:
-   empty is [head = tail], full is [tail - head = capacity]. *)
-type 'a t = {
-  buffer : 'a option array;
-  head : int Atomic.t;  (* written only by the consumer *)
-  tail : int Atomic.t;  (* written only by the producer *)
-}
+module type S = sig
+  type 'a t
 
-let create ~capacity =
-  if capacity < 1 then invalid_arg "Spsc_queue.create: capacity must be positive";
-  { buffer = Array.make capacity None; head = Atomic.make 0; tail = Atomic.make 0 }
+  val create : capacity:int -> 'a t
+  val capacity : 'a t -> int
+  val push : 'a t -> 'a -> bool
+  val pop : 'a t -> 'a option
+  val peek : 'a t -> 'a option
+  val length : 'a t -> int
+  val is_empty : 'a t -> bool
+end
 
-let capacity t = Array.length t.buffer
+module Make (A : Atomic_intf.ATOMIC) = struct
+  (* Indices grow without bound and are reduced modulo the ring size on
+     access, so full/empty are distinguishable without a spare slot:
+     empty is [head = tail], full is [tail - head = capacity]. *)
+  type 'a t = {
+    buffer : 'a option array;
+    head : int A.t;  (* written only by the consumer *)
+    tail : int A.t;  (* written only by the producer *)
+  }
 
-let push t v =
-  let tail = Atomic.get t.tail in
-  let head = Atomic.get t.head in
-  if tail - head >= Array.length t.buffer then false
-  else begin
-    t.buffer.(tail mod Array.length t.buffer) <- Some v;
-    (* the atomic store publishes the slot write to the consumer *)
-    Atomic.set t.tail (tail + 1);
-    true
-  end
+  let create ~capacity =
+    if capacity < 1 then invalid_arg "Spsc_queue.create: capacity must be positive";
+    {
+      buffer = Array.make capacity None;
+      head = A.make_contended 0;
+      tail = A.make_contended 0;
+    }
 
-let pop t =
-  let head = Atomic.get t.head in
-  let tail = Atomic.get t.tail in
-  if head = tail then None
-  else begin
-    let slot = head mod Array.length t.buffer in
-    let v = t.buffer.(slot) in
-    t.buffer.(slot) <- None;
-    Atomic.set t.head (head + 1);
-    v
-  end
+  let capacity t = Array.length t.buffer
 
-let peek t =
-  let head = Atomic.get t.head in
-  let tail = Atomic.get t.tail in
-  if head = tail then None else t.buffer.(head mod Array.length t.buffer)
+  let push t v =
+    let tail = A.get t.tail in
+    let head = A.get t.head in
+    if tail - head >= Array.length t.buffer then false
+    else begin
+      t.buffer.(tail mod Array.length t.buffer) <- Some v;
+      (* the atomic store publishes the slot write to the consumer *)
+      A.set t.tail (tail + 1);
+      true
+    end
 
-let length t =
-  let tail = Atomic.get t.tail in
-  let head = Atomic.get t.head in
-  max 0 (tail - head)
+  let pop t =
+    let head = A.get t.head in
+    let tail = A.get t.tail in
+    if head = tail then None
+    else begin
+      let slot = head mod Array.length t.buffer in
+      let v = t.buffer.(slot) in
+      t.buffer.(slot) <- None;
+      A.set t.head (head + 1);
+      v
+    end
 
-let is_empty t = length t = 0
+  let peek t =
+    let head = A.get t.head in
+    let tail = A.get t.tail in
+    if head = tail then None else t.buffer.(head mod Array.length t.buffer)
+
+  let length t =
+    let tail = A.get t.tail in
+    let head = A.get t.head in
+    max 0 (tail - head)
+
+  let is_empty t = length t = 0
+end
+
+include Make (Atomic_intf.Stdlib_atomic)

@@ -8,30 +8,41 @@
     [tail], the consumer the only writer of [head], and each operation
     completes in a bounded number of steps unconditionally.
 
-    The OCaml rendering keeps the two indices in [Atomic.t] cells purely
+    The OCaml rendering keeps the two indices in atomic cells purely
     for inter-domain publication ordering (release/acquire); there are
     no CAS loops and no retries.  Exactly one domain may call [push] and
     exactly one (possibly different) domain may call [pop]; concurrent
-    producers or consumers void the warranty. *)
+    producers or consumers void the warranty.
 
-type 'a t
+    {!Make} abstracts the atomic primitive ({!Atomic_intf.ATOMIC}) so
+    the index publications become explorable scheduling points; the
+    module itself is the [Stdlib_atomic] instantiation. *)
 
-val create : capacity:int -> 'a t
-(** A ring holding at most [capacity] items.
-    Raises [Invalid_argument] if [capacity < 1]. *)
+(** What the functor yields. *)
+module type S = sig
+  type 'a t
 
-val capacity : 'a t -> int
+  val create : capacity:int -> 'a t
+  (** A ring holding at most [capacity] items.
+      Raises [Invalid_argument] if [capacity < 1]. *)
 
-val push : 'a t -> 'a -> bool
-(** Producer side; [false] iff the queue is full.  Wait-free. *)
+  val capacity : 'a t -> int
 
-val pop : 'a t -> 'a option
-(** Consumer side; [None] iff the queue is empty.  Wait-free. *)
+  val push : 'a t -> 'a -> bool
+  (** Producer side; [false] iff the queue is full.  Wait-free. *)
 
-val peek : 'a t -> 'a option
-(** Consumer side. *)
+  val pop : 'a t -> 'a option
+  (** Consumer side; [None] iff the queue is empty.  Wait-free. *)
 
-val length : 'a t -> int
-(** Snapshot of the occupancy; exact when called by either endpoint. *)
+  val peek : 'a t -> 'a option
+  (** Consumer side. *)
 
-val is_empty : 'a t -> bool
+  val length : 'a t -> int
+  (** Snapshot of the occupancy; exact when called by either endpoint. *)
+
+  val is_empty : 'a t -> bool
+end
+
+module Make (_ : Atomic_intf.ATOMIC) : S
+
+include S

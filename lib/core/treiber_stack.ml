@@ -1,42 +1,58 @@
-(* The stack is an immutable list in a single atomic cell: CAS installs
-   a new head.  Physical comparison of the list spine makes ABA
-   impossible without counters. *)
-type 'a t = 'a list Atomic.t
+module type S = sig
+  type 'a t
 
-let name = "treiber"
-let create () = Atomic.make []
+  val name : string
+  val create : unit -> 'a t
+  val push : 'a t -> 'a -> unit
+  val pop : 'a t -> 'a option
+  val peek : 'a t -> 'a option
+  val is_empty : 'a t -> bool
+  val length : 'a t -> int
+end
 
-let push t v =
-  let b = Locks.Backoff.create () in
-  let rec loop () =
-    let old = Atomic.get t in
-    if Atomic.compare_and_set t old (v :: old) then ()
-    else begin
-      Locks.Backoff.once b;
-      loop ()
-    end
-  in
-  loop ()
+module Make (A : Atomic_intf.ATOMIC) = struct
+  (* The stack is an immutable list in a single atomic cell: CAS installs
+     a new head.  Physical comparison of the list spine makes ABA
+     impossible without counters. *)
+  type 'a t = 'a list A.t
 
-let pop t =
-  let b = Locks.Backoff.create () in
-  let rec loop () =
-    match Atomic.get t with
+  let name = "treiber"
+  let create () = A.make_contended []
+
+  let push t v =
+    let b = Locks.Backoff.create () in
+    let rec loop () =
+      let old = A.get t in
+      if A.compare_and_set t old (v :: old) then ()
+      else begin
+        Locks.Backoff.once b;
+        loop ()
+      end
+    in
+    loop ()
+
+  let pop t =
+    let b = Locks.Backoff.create () in
+    let rec loop () =
+      match A.get t with
+      | [] -> None
+      | v :: rest as old ->
+          if A.compare_and_set t old rest then Some v
+          else begin
+            Locks.Backoff.once b;
+            loop ()
+          end
+    in
+    loop ()
+
+  let peek t =
+    match A.get t with
     | [] -> None
-    | v :: rest as old ->
-        if Atomic.compare_and_set t old rest then Some v
-        else begin
-          Locks.Backoff.once b;
-          loop ()
-        end
-  in
-  loop ()
+    | v :: _ -> Some v
 
-let peek t =
-  match Atomic.get t with
-  | [] -> None
-  | v :: _ -> Some v
+  let is_empty t = A.get t = []
 
-let is_empty t = Atomic.get t = []
+  let length t = List.length (A.get t)
+end
 
-let length t = List.length (Atomic.get t)
+include Make (Atomic_intf.Stdlib_atomic)

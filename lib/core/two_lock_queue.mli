@@ -5,12 +5,24 @@
     dequeuers never touch [Tail], so there is no lock-ordering deadlock.
     Livelock-free given livelock-free locks (§3.3).
 
-    {!Make} builds the queue over any lock; the default instantiation
-    uses the paper's test-and-test&set lock with bounded exponential
-    backoff.  Node [next] links are atomic because they cross the two
-    critical sections: the tail-side write must be visible to head-side
-    readers without a common lock. *)
+    Two functors cover the two axes of variation:
 
-module Make (_ : Locks.Lock_intf.LOCK) : Queue_intf.S
+    - {!Make_lock} builds the queue over any {!Locks.Lock_intf.LOCK}
+      (hardware atomics for the node links) — the §3.3 lock-discipline
+      comparison.
+    - {!Make} builds it over any {!Atomic_intf.ATOMIC} with an internal
+      test-and-test&set lock expressed in the same primitive, so a
+      traced instantiation model-checks the lock acquisition windows
+      along with the critical sections.
+
+    Node [next] links are atomic because they cross the two critical
+    sections: the tail-side write must be visible to head-side readers
+    without a common lock.  The default instantiation (this module) is
+    {!Make} over [Stdlib_atomic] — the paper's test-and-test&set lock
+    with bounded exponential backoff. *)
+
+module Make_lock (_ : Locks.Lock_intf.LOCK) : Queue_intf.S
+
+module Make (_ : Atomic_intf.ATOMIC) : Queue_intf.S
 
 include Queue_intf.S

@@ -1,0 +1,243 @@
+(* The payoff of functorizing lib/core over ATOMIC: instantiate the
+   real native queues with {!Traced_atomic}, run small-scope scenarios
+   under {!Explore.Make (Native_machine)}, and judge every complete
+   interleaving against the sequential FIFO specification.
+
+   The oracle is two-layered.  First a conservation check: after the
+   scenario's processes finish, a driver drains the queue to [None];
+   the multiset of values dequeued (during the run and the drain) must
+   equal the multiset enqueued — catching lost and duplicated values,
+   which plain linearizability of the undrained history would excuse as
+   "still in the queue".  Second, {!Lincheck.Checker} verifies the full
+   history (operations with their interval order, drain included) is
+   linearizable against the sequential FIFO queue — catching reorderings
+   that conserve values. *)
+
+module N = Explore.Make (Native_machine)
+
+module type QUEUE = sig
+  type 'a t
+
+  val name : string
+  val create : unit -> 'a t
+  val enqueue : 'a t -> 'a -> unit
+  val dequeue : 'a t -> 'a option
+end
+
+(* ------------------------------------------------------------------ *)
+(* Scenarios: per-process operation scripts.  Values are made unique
+   per (process, position) so conservation is a multiset equality and
+   the checker can tell elements apart. *)
+
+type op = Enq of int | Deq
+
+type scenario = { sname : string; procs : op list array }
+
+let value ~proc k = (100 * (proc + 1)) + k
+
+(* [procs] processes, each enqueueing then dequeuing [ops] times — the
+   general contended workload. *)
+let pairs ~procs ~ops =
+  {
+    sname = Printf.sprintf "pairs-%dx%d" procs ops;
+    procs =
+      Array.init procs (fun p ->
+          List.concat (List.init ops (fun k -> [ Enq (value ~proc:p k); Deq ])));
+  }
+
+let scenarios =
+  [
+    (* two enqueuers racing on the tail: link-CAS vs link-CAS, and the
+       E9..E13 window (link done, tail not yet swung) against a second
+       enqueue that must help *)
+    {
+      sname = "enq-enq";
+      procs = [| [ Enq 101; Enq 102 ]; [ Enq 201; Enq 202 ] |];
+    };
+    (* dequeue-on-empty racing an enqueue: the D7-D8 empty verdict must
+       be a real linearization point, not a stale snapshot *)
+    {
+      sname = "deq-empty";
+      procs = [| [ Deq; Enq 101; Deq ]; [ Enq 201; Deq ] |];
+    };
+    (* a dequeuer driving through the mid-enqueue window: head==tail
+       with a linked-but-unswung successor forces the D9 help path *)
+    { sname = "tail-lag"; procs = [| [ Enq 101 ]; [ Deq; Deq ] |] };
+    pairs ~procs:2 ~ops:1;
+    pairs ~procs:2 ~ops:2;
+    pairs ~procs:3 ~ops:1;
+  ]
+
+let find_scenario name = List.find_opt (fun s -> s.sname = name) scenarios
+
+(* ------------------------------------------------------------------ *)
+(* Traced instantiations of the native queues. *)
+
+module T_ms = Core.Ms_queue.Make (Traced_atomic)
+module T_counted = Core.Ms_queue_counted.Make (Traced_atomic)
+module T_hp = Core.Ms_queue_hp.Make (Traced_atomic)
+module T_two_lock = Core.Two_lock_queue.Make (Traced_atomic)
+module T_segmented = Core.Segmented_queue.Make (Traced_atomic)
+
+let queues : (string * (module QUEUE)) list =
+  [
+    ("ms", (module T_ms));
+    ("ms-counted", (module T_counted));
+    ("ms-hp", (module T_hp));
+    ("two-lock", (module T_two_lock));
+    ("segmented", (module T_segmented));
+  ]
+
+let find_queue name = List.assoc_opt name queues
+
+(* ------------------------------------------------------------------ *)
+(* The planted bug: Figure 1 with D12's compare_and_set replaced by a
+   plain store.  Two dequeuers that both read the same Head then both
+   "win" return the same value — the lost-update race the checker must
+   find (it needs one preemption between D11 and D12).  Enqueue is the
+   correct algorithm, so single-process runs pass. *)
+module Broken_ms (A : Core.Atomic_intf.ATOMIC) = struct
+  type 'a node = { mutable value : 'a option; next : 'a node option A.t }
+
+  type 'a t = { head : 'a node A.t; tail : 'a node A.t }
+
+  let name = "broken-ms"
+
+  let create () =
+    let dummy = { value = None; next = A.make None } in
+    { head = A.make dummy; tail = A.make dummy }
+
+  let enqueue t v =
+    let node = { value = Some v; next = A.make None } in
+    let rec loop () =
+      let tail = A.get t.tail in
+      let next = A.get tail.next in
+      if A.get t.tail == tail then
+        match next with
+        | None -> if A.compare_and_set tail.next next (Some node) then tail else loop ()
+        | Some n ->
+            ignore (A.compare_and_set t.tail tail n);
+            loop ()
+      else loop ()
+    in
+    let tail = loop () in
+    ignore (A.compare_and_set t.tail tail node)
+
+  let dequeue t =
+    let rec loop () =
+      let head = A.get t.head in
+      let tail = A.get t.tail in
+      let next = A.get head.next in
+      if head == tail then
+        match next with
+        | None -> None
+        | Some n ->
+            ignore (A.compare_and_set t.tail tail n);
+            loop ()
+      else
+        match next with
+        | None -> loop ()
+        | Some n ->
+            let value = n.value in
+            A.set t.head n; (* the bug: D12 without the CAS *)
+            value
+    in
+    loop ()
+end
+
+module Broken = Broken_ms (Traced_atomic)
+
+let broken : (module QUEUE) = (module Broken)
+
+(* ------------------------------------------------------------------ *)
+(* Oracle and driver. *)
+
+(* [spec]'s context type mentions the unpacked [Q.t], which must not
+   escape — so consumers pass in a polymorphic continuation instead of
+   receiving the spec. *)
+type 'r runner = { go : 'ctx. 'ctx N.spec -> 'r }
+
+let with_spec (module Q : QUEUE) scenario { go } =
+  let make () =
+    Traced_atomic.reset_ids ();
+    let q : int Q.t = Q.create () in
+    let recorder = Lincheck.History.create_recorder () in
+    let bodies =
+      Array.mapi
+        (fun i steps () ->
+          List.iter
+            (fun op ->
+              match op with
+              | Enq v ->
+                  Lincheck.History.record recorder ~proc:i (fun () ->
+                      Q.enqueue q v;
+                      Lincheck.History.Enq v)
+              | Deq ->
+                  Lincheck.History.record recorder ~proc:i (fun () ->
+                      Lincheck.History.Deq (Q.dequeue q)))
+            steps)
+        scenario.procs
+    in
+    ((), (q, recorder), bodies)
+  in
+  let check_final () (q, recorder) =
+    (* Quiescent drain by a driver "process" (its operations run
+       untraced — the run is over).  The first None proves emptiness
+       sequentially, so conservation must hold exactly. *)
+    let driver = Array.length scenario.procs in
+    let rec drain () =
+      let got = ref None in
+      Lincheck.History.record recorder ~proc:driver (fun () ->
+          let r = Q.dequeue q in
+          got := r;
+          Lincheck.History.Deq r);
+      if !got <> None then drain ()
+    in
+    drain ();
+    let h = Lincheck.History.history recorder in
+    let enqueued =
+      List.filter_map
+        (fun e ->
+          match e.Lincheck.History.op with
+          | Lincheck.History.Enq v -> Some v
+          | Lincheck.History.Deq _ -> None)
+        h
+    in
+    let dequeued =
+      List.filter_map
+        (fun e ->
+          match e.Lincheck.History.op with
+          | Lincheck.History.Deq (Some v) -> Some v
+          | Lincheck.History.Deq None | Lincheck.History.Enq _ -> None)
+        h
+    in
+    let sorted = List.sort compare in
+    let render vs = String.concat "," (List.map string_of_int vs) in
+    if sorted enqueued <> sorted dequeued then
+      Error
+        (Printf.sprintf "conservation violated: enqueued {%s} but dequeued {%s}"
+           (render (sorted enqueued))
+           (render (sorted dequeued)))
+    else
+      match Lincheck.Checker.check h with
+      | Lincheck.Checker.Linearizable -> Ok ()
+      | Lincheck.Checker.Not_linearizable ->
+          Error "history is not linearizable against the sequential FIFO queue"
+      | Lincheck.Checker.Inconclusive ->
+          Error "linearizability check inconclusive (configuration budget exhausted)"
+  in
+  go { N.make; check_final; check_step = None }
+
+let check ?(max_preemptions = 2) ?(max_steps = 10_000) ?(max_runs = 1_000_000)
+    ?(max_failures = 5) q scenario =
+  with_spec q scenario
+    { go = (fun s -> N.explore ~max_preemptions ~max_steps ~max_runs ~max_failures s) }
+
+let check_random ?(max_preemptions = 3) ?(max_steps = 10_000) ?(runs = 1_000)
+    ?(max_failures = 5) ~seed q scenario =
+  with_spec q scenario
+    { go = (fun s -> N.explore_random ~max_preemptions ~max_steps ~runs ~max_failures ~seed s) }
+
+let replay ?(max_steps = 10_000) q scenario schedule =
+  with_spec q scenario
+    { go = (fun s -> (N.run s ~schedule ~budget:0 ~max_steps).N.status) }

@@ -1,15 +1,10 @@
 type schedule = (int * int) list
 
-type 'ctx spec = {
-  make : unit -> Sim.Engine.t * 'ctx * (unit -> unit) array;
-  check_final : Sim.Engine.t -> 'ctx -> (unit, string) result;
-  check_step : (Sim.Engine.t -> 'ctx -> (unit, string) result) option;
-}
-
 type failure = {
   schedule : schedule;
   message : string;
   at_step : int option;
+  trace : string list;
 }
 
 type outcome = {
@@ -18,159 +13,6 @@ type outcome = {
   diverged : int;
 }
 
-type run_result = {
-  status : [ `Completed | `Diverged | `Failed of failure ];
-  branches : schedule list;  (** fresh schedules discovered during the run *)
-}
-
-(* The next enabled process at or after [i], cyclically. *)
-let next_enabled m i =
-  match Machine.enabled m with
-  | [] -> None
-  | enabled -> (
-      match List.find_opt (fun j -> j >= i) enabled with
-      | Some j -> Some j
-      | None -> Some (List.hd enabled))
-
-let run spec ~schedule ~budget ~max_steps =
-  let eng, ctx, bodies = spec.make () in
-  let m = Machine.start eng bodies in
-  let last_scheduled = List.fold_left (fun acc (s, _) -> max acc s) (-1) schedule in
-  let pending = ref schedule in
-  let branches = ref [] in
-  let preemptions = List.length schedule in
-  let current = ref 0 in
-  let failed = ref None in
-  let diverged = ref false in
-  let rec loop () =
-    if Machine.all_done m then ()
-    else if Machine.steps_taken m >= max_steps then diverged := true
-    else begin
-      (match next_enabled m !current with
-      | None -> ()
-      | Some c -> current := c);
-      let step_idx = Machine.steps_taken m in
-      (* apply a scheduled preemption at this operation boundary *)
-      (match !pending with
-      | (s, target) :: rest when s = step_idx ->
-          pending := rest;
-          if List.mem target (Machine.enabled m) then current := target
-      | _ ->
-          (* past the prescribed prefix: this boundary is a branch point *)
-          if !pending = [] && preemptions < budget && step_idx > last_scheduled then
-            List.iter
-              (fun j ->
-                if j <> !current then
-                  branches := (schedule @ [ (step_idx, j) ]) :: !branches)
-              (Machine.enabled m));
-      let r = Machine.step m !current in
-      (match spec.check_step with
-      | Some check when !failed = None -> (
-          match check eng ctx with
-          | Ok () -> ()
-          | Error message ->
-              failed := Some { schedule; message; at_step = Some step_idx })
-      | _ -> ());
-      (match r with
-      | `Pause_hint | `Finished -> current := !current + 1 (* rotate *)
-      | `Ran -> ());
-      if !failed = None then loop ()
-    end
-  in
-  loop ();
-  let status =
-    match !failed with
-    | Some f -> `Failed f
-    | None ->
-        if !diverged then `Diverged
-        else begin
-          match Machine.failure m with
-          | Some (i, e) ->
-              `Failed
-                {
-                  schedule;
-                  message = Printf.sprintf "process %d raised %s" i (Printexc.to_string e);
-                  at_step = None;
-                }
-          | None -> (
-              match spec.check_final eng ctx with
-              | Ok () -> `Completed
-              | Error message -> `Failed { schedule; message; at_step = None })
-        end
-  in
-  { status; branches = !branches }
-
-let explore ?(max_preemptions = 2) ?(max_steps = 100_000) ?(max_runs = 1_000_000)
-    ?(max_failures = 5) spec =
-  let stack = ref [ [] ] in
-  let runs = ref 0 in
-  let diverged = ref 0 in
-  let failures = ref [] in
-  let n_failures = ref 0 in
-  while !stack <> [] && !runs < max_runs && !n_failures < max_failures do
-    match !stack with
-    | [] -> ()
-    | schedule :: rest ->
-        stack := rest;
-        incr runs;
-        let result = run spec ~schedule ~budget:max_preemptions ~max_steps in
-        (match result.status with
-        | `Completed -> ()
-        | `Diverged -> incr diverged
-        | `Failed f ->
-            failures := f :: !failures;
-            incr n_failures);
-        stack := result.branches @ !stack
-  done;
-  { runs = !runs; failures = List.rev !failures; diverged = !diverged }
-
-let explore_random ?(max_preemptions = 3) ?(max_steps = 100_000) ?(runs = 1_000)
-    ?(max_failures = 5) ~seed spec =
-  let rng = Sim.Rng.create seed in
-  let n_runs = ref 0 in
-  let diverged = ref 0 in
-  let failures = ref [] in
-  (* First, a plain run to estimate the schedule length. *)
-  let probe = run spec ~schedule:[] ~budget:0 ~max_steps in
-  (match probe.status with
-  | `Failed f -> failures := [ f ]
-  | `Diverged -> incr diverged
-  | `Completed -> ());
-  incr n_runs;
-  let horizon, n_procs =
-    (* length of the serial run, to place preemption points within it *)
-    let eng, _, bodies = spec.make () in
-    let m = Machine.start eng bodies in
-    let rec drain current steps =
-      if Machine.all_done m || steps > max_steps then steps
-      else
-        match next_enabled m current with
-        | None -> steps
-        | Some c -> (
-            match Machine.step m c with
-            | `Pause_hint | `Finished -> drain (c + 1) (steps + 1)
-            | `Ran -> drain c (steps + 1))
-    in
-    (max 4 (drain 0 0), Machine.n_procs m)
-  in
-  while !n_runs < runs && List.length !failures < max_failures do
-    let k = 1 + Sim.Rng.int rng max_preemptions in
-    let points =
-      List.init k (fun _ -> Sim.Rng.int rng horizon)
-      |> List.sort_uniq compare
-      (* switch targets are drawn over all processes; [run] ignores a
-         preemption whose target is not enabled at that boundary *)
-      |> List.map (fun s -> (s, Sim.Rng.int rng n_procs))
-    in
-    let result = run spec ~schedule:points ~budget:0 ~max_steps in
-    incr n_runs;
-    (match result.status with
-    | `Completed -> ()
-    | `Diverged -> incr diverged
-    | `Failed f -> failures := f :: !failures)
-  done;
-  { runs = !n_runs; failures = List.rev !failures; diverged = !diverged }
-
 let pp_schedule fmt = function
   | [] -> Format.fprintf fmt "(no preemptions)"
   | schedule ->
@@ -178,3 +20,240 @@ let pp_schedule fmt = function
         ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ")
         (fun fmt (s, p) -> Format.fprintf fmt "step %d -> p%d" s p)
         fmt schedule
+
+(* What the exploration algorithm needs from an execution substrate.
+   Two machines satisfy it: {!Machine} runs simulated processes against
+   {!Sim.Memory}, {!Native_machine} runs native OCaml code whose atomics
+   are {!Traced_atomic} effects.  The scheduling contract is identical:
+   [step m i] executes exactly one operation of process [i], and
+   [`Pause_hint] marks a spin-wait (backoff, lock spin), telling the
+   scheduler to rotate at no preemption cost. *)
+module type MACHINE = sig
+  type env
+  (** Whatever [spec.make] must produce besides the bodies (the sim
+      engine; unit for the native machine). *)
+
+  type t
+
+  val start : env -> (unit -> unit) array -> t
+  val n_procs : t -> int
+  val enabled : t -> int list
+  val all_done : t -> bool
+  val step : t -> int -> [ `Ran | `Finished | `Pause_hint ]
+  val failure : t -> (int * exn) option
+  val steps_taken : t -> int
+
+  val trace : t -> string list
+  (** Human-readable rendering of the operations executed so far, in
+      execution order; [[]] if the machine does not record one. *)
+end
+
+module type EXPLORER = sig
+  type env
+
+  type 'ctx spec = {
+    make : unit -> env * 'ctx * (unit -> unit) array;
+    check_final : env -> 'ctx -> (unit, string) result;
+    check_step : (env -> 'ctx -> (unit, string) result) option;
+  }
+
+  type run_result = {
+    status : [ `Completed | `Diverged | `Failed of failure ];
+    branches : schedule list;
+  }
+
+  val run : 'ctx spec -> schedule:schedule -> budget:int -> max_steps:int -> run_result
+
+  val explore :
+    ?max_preemptions:int ->
+    ?max_steps:int ->
+    ?max_runs:int ->
+    ?max_failures:int ->
+    'ctx spec ->
+    outcome
+
+  val explore_random :
+    ?max_preemptions:int ->
+    ?max_steps:int ->
+    ?runs:int ->
+    ?max_failures:int ->
+    seed:int64 ->
+    'ctx spec ->
+    outcome
+end
+
+module Make (M : MACHINE) = struct
+  type env = M.env
+
+  type 'ctx spec = {
+    make : unit -> env * 'ctx * (unit -> unit) array;
+    check_final : env -> 'ctx -> (unit, string) result;
+    check_step : (env -> 'ctx -> (unit, string) result) option;
+  }
+
+  type run_result = {
+    status : [ `Completed | `Diverged | `Failed of failure ];
+    branches : schedule list;  (** fresh schedules discovered during the run *)
+  }
+
+  (* The next enabled process at or after [i], cyclically. *)
+  let next_enabled m i =
+    match M.enabled m with
+    | [] -> None
+    | enabled -> (
+        match List.find_opt (fun j -> j >= i) enabled with
+        | Some j -> Some j
+        | None -> Some (List.hd enabled))
+
+  let run spec ~schedule ~budget ~max_steps =
+    let eng, ctx, bodies = spec.make () in
+    let m = M.start eng bodies in
+    let last_scheduled = List.fold_left (fun acc (s, _) -> max acc s) (-1) schedule in
+    let pending = ref schedule in
+    let branches = ref [] in
+    let preemptions = List.length schedule in
+    let current = ref 0 in
+    let failed = ref None in
+    let diverged = ref false in
+    let fail message at_step =
+      failed := Some { schedule; message; at_step; trace = M.trace m }
+    in
+    let rec loop () =
+      if M.all_done m then ()
+      else if M.steps_taken m >= max_steps then diverged := true
+      else begin
+        (match next_enabled m !current with
+        | None -> ()
+        | Some c -> current := c);
+        let step_idx = M.steps_taken m in
+        (* apply a scheduled preemption at this operation boundary *)
+        (match !pending with
+        | (s, target) :: rest when s = step_idx ->
+            pending := rest;
+            if List.mem target (M.enabled m) then current := target
+        | _ ->
+            (* past the prescribed prefix: this boundary is a branch point *)
+            if !pending = [] && preemptions < budget && step_idx > last_scheduled then
+              List.iter
+                (fun j ->
+                  if j <> !current then
+                    branches := (schedule @ [ (step_idx, j) ]) :: !branches)
+                (M.enabled m));
+        let r = M.step m !current in
+        (match spec.check_step with
+        | Some check when !failed = None -> (
+            match check eng ctx with
+            | Ok () -> ()
+            | Error message -> fail message (Some step_idx))
+        | _ -> ());
+        (match r with
+        | `Pause_hint | `Finished -> current := !current + 1 (* rotate *)
+        | `Ran -> ());
+        if !failed = None then loop ()
+      end
+    in
+    loop ();
+    let status =
+      match !failed with
+      | Some f -> `Failed f
+      | None ->
+          if !diverged then `Diverged
+          else begin
+            match M.failure m with
+            | Some (i, e) ->
+                fail
+                  (Printf.sprintf "process %d raised %s" i (Printexc.to_string e))
+                  None;
+                `Failed (Option.get !failed)
+            | None -> (
+                match spec.check_final eng ctx with
+                | Ok () -> `Completed
+                | Error message ->
+                    fail message None;
+                    `Failed (Option.get !failed))
+          end
+    in
+    { status; branches = !branches }
+
+  let explore ?(max_preemptions = 2) ?(max_steps = 100_000) ?(max_runs = 1_000_000)
+      ?(max_failures = 5) spec =
+    let stack = ref [ [] ] in
+    let runs = ref 0 in
+    let diverged = ref 0 in
+    let failures = ref [] in
+    let n_failures = ref 0 in
+    while !stack <> [] && !runs < max_runs && !n_failures < max_failures do
+      match !stack with
+      | [] -> ()
+      | schedule :: rest ->
+          stack := rest;
+          incr runs;
+          let result = run spec ~schedule ~budget:max_preemptions ~max_steps in
+          (match result.status with
+          | `Completed -> ()
+          | `Diverged -> incr diverged
+          | `Failed f ->
+              failures := f :: !failures;
+              incr n_failures);
+          stack := result.branches @ !stack
+    done;
+    { runs = !runs; failures = List.rev !failures; diverged = !diverged }
+
+  let explore_random ?(max_preemptions = 3) ?(max_steps = 100_000) ?(runs = 1_000)
+      ?(max_failures = 5) ~seed spec =
+    let rng = Sim.Rng.create seed in
+    let n_runs = ref 0 in
+    let diverged = ref 0 in
+    let failures = ref [] in
+    (* First, a plain run to estimate the schedule length. *)
+    let probe = run spec ~schedule:[] ~budget:0 ~max_steps in
+    (match probe.status with
+    | `Failed f -> failures := [ f ]
+    | `Diverged -> incr diverged
+    | `Completed -> ());
+    incr n_runs;
+    let horizon, n_procs =
+      (* length of the serial run, to place preemption points within it *)
+      let eng, _, bodies = spec.make () in
+      let m = M.start eng bodies in
+      let rec drain current steps =
+        if M.all_done m || steps > max_steps then steps
+        else
+          match next_enabled m current with
+          | None -> steps
+          | Some c -> (
+              match M.step m c with
+              | `Pause_hint | `Finished -> drain (c + 1) (steps + 1)
+              | `Ran -> drain c (steps + 1))
+      in
+      (max 4 (drain 0 0), M.n_procs m)
+    in
+    while !n_runs < runs && List.length !failures < max_failures do
+      let k = 1 + Sim.Rng.int rng max_preemptions in
+      let points =
+        List.init k (fun _ -> Sim.Rng.int rng horizon)
+        |> List.sort_uniq compare
+        (* switch targets are drawn over all processes; [run] ignores a
+           preemption whose target is not enabled at that boundary *)
+        |> List.map (fun s -> (s, Sim.Rng.int rng n_procs))
+      in
+      let result = run spec ~schedule:points ~budget:0 ~max_steps in
+      incr n_runs;
+      (match result.status with
+      | `Completed -> ()
+      | `Diverged -> incr diverged
+      | `Failed f -> failures := f :: !failures)
+    done;
+    { runs = !n_runs; failures = List.rev !failures; diverged = !diverged }
+end
+
+(* The historical interface: exploration over the simulated machine.
+   [include]d so existing callers ([Explore.explore spec] over sim
+   processes) keep working unchanged. *)
+include Make (struct
+  include Machine
+
+  type env = Sim.Engine.t
+
+  let trace _ = []
+end)

@@ -15,26 +15,26 @@
     scheduler to the next enabled process at no preemption cost, so
     blocking algorithms make progress; a schedule that still exceeds
     [max_steps] is reported as diverged (evidence of unbounded
-    blocking). *)
+    blocking).
+
+    The algorithm is generic in the execution substrate: {!Make} builds
+    an explorer over any {!MACHINE}.  Two substrates exist — the
+    simulated-memory {!Machine} (this module's own operations, kept at
+    the top level for the historical callers) and {!Native_machine},
+    which runs the real [lib/core] queue code instantiated with
+    {!Traced_atomic} (see {!Core_explore}).  Both worlds are therefore
+    checked by one exploration algorithm. *)
 
 type schedule = (int * int) list
 (** Preemption points: [(step_index, process)] pairs, in order. *)
-
-type 'ctx spec = {
-  make : unit -> Sim.Engine.t * 'ctx * (unit -> unit) array;
-      (** A fresh instance per schedule: engine, an inspection context
-          (typically the queue handle), and the process bodies. *)
-  check_final : Sim.Engine.t -> 'ctx -> (unit, string) result;
-      (** Validated after every complete run. *)
-  check_step : (Sim.Engine.t -> 'ctx -> (unit, string) result) option;
-      (** Optionally validated after every operation (e.g. structural
-          invariants); [None] to skip. *)
-}
 
 type failure = {
   schedule : schedule;  (** the preemptions that produced the failure *)
   message : string;
   at_step : int option;  (** step index for per-step check failures *)
+  trace : string list;
+      (** the machine's operation trace at the failure, in execution
+          order; [[]] for machines that do not record one *)
 }
 
 type outcome = {
@@ -43,30 +43,88 @@ type outcome = {
   diverged : int;  (** runs that exceeded [max_steps] *)
 }
 
-val explore :
-  ?max_preemptions:int ->
-  ?max_steps:int ->
-  ?max_runs:int ->
-  ?max_failures:int ->
-  'ctx spec ->
-  outcome
-(** Defaults: 2 preemptions, 100_000 steps per run, 1_000_000 runs,
-    stop after 5 failures. *)
-
-val explore_random :
-  ?max_preemptions:int ->
-  ?max_steps:int ->
-  ?runs:int ->
-  ?max_failures:int ->
-  seed:int64 ->
-  'ctx spec ->
-  outcome
-(** Probabilistic companion to {!explore} for configurations whose
-    systematic schedule space is too large: each run places up to
-    [max_preemptions] (default 3) preemptions at uniformly random
-    operation boundaries, switching to a uniformly random other enabled
-    process.  [runs] defaults to 1_000.  Deterministic in [seed].
-    Complements, never replaces, the exhaustive mode: use it to push
-    beyond 2 processes x 1 operation. *)
-
 val pp_schedule : Format.formatter -> schedule -> unit
+
+(** What the exploration algorithm needs from an execution substrate:
+    deterministic one-operation-at-a-time stepping of an array of
+    process bodies, with [`Pause_hint] marking spin-waits (the
+    scheduler rotates instead of spending a preemption). *)
+module type MACHINE = sig
+  type env
+  (** Whatever [spec.make] must produce besides the bodies (the sim
+      engine; unit for the native machine). *)
+
+  type t
+
+  val start : env -> (unit -> unit) array -> t
+  val n_procs : t -> int
+  val enabled : t -> int list
+  val all_done : t -> bool
+  val step : t -> int -> [ `Ran | `Finished | `Pause_hint ]
+  val failure : t -> (int * exn) option
+  val steps_taken : t -> int
+
+  val trace : t -> string list
+  (** Human-readable rendering of the operations executed so far, in
+      execution order; [[]] if the machine does not record one. *)
+end
+
+(** The explorer over a given machine. *)
+module type EXPLORER = sig
+  type env
+
+  type 'ctx spec = {
+    make : unit -> env * 'ctx * (unit -> unit) array;
+        (** A fresh instance per schedule: machine environment, an
+            inspection context (typically the queue handle), and the
+            process bodies. *)
+    check_final : env -> 'ctx -> (unit, string) result;
+        (** Validated after every complete run. *)
+    check_step : (env -> 'ctx -> (unit, string) result) option;
+        (** Optionally validated after every operation (e.g. structural
+            invariants); [None] to skip. *)
+  }
+
+  type run_result = {
+    status : [ `Completed | `Diverged | `Failed of failure ];
+    branches : schedule list;
+        (** fresh schedules discovered during the run *)
+  }
+
+  val run : 'ctx spec -> schedule:schedule -> budget:int -> max_steps:int -> run_result
+  (** One deterministic execution under [schedule].  Exposed for
+      replaying a {!failure}'s schedule (e.g. to re-render its trace);
+      {!explore} drives it through every schedule of interest. *)
+
+  val explore :
+    ?max_preemptions:int ->
+    ?max_steps:int ->
+    ?max_runs:int ->
+    ?max_failures:int ->
+    'ctx spec ->
+    outcome
+  (** Defaults: 2 preemptions, 100_000 steps per run, 1_000_000 runs,
+      stop after 5 failures. *)
+
+  val explore_random :
+    ?max_preemptions:int ->
+    ?max_steps:int ->
+    ?runs:int ->
+    ?max_failures:int ->
+    seed:int64 ->
+    'ctx spec ->
+    outcome
+  (** Probabilistic companion to {!explore} for configurations whose
+      systematic schedule space is too large: each run places up to
+      [max_preemptions] (default 3) preemptions at uniformly random
+      operation boundaries, switching to a uniformly random other
+      enabled process.  [runs] defaults to 1_000.  Deterministic in
+      [seed].  Complements, never replaces, the exhaustive mode: use it
+      to push beyond 2 processes x 1 operation. *)
+end
+
+module Make (M : MACHINE) : EXPLORER with type env = M.env
+
+include EXPLORER with type env = Sim.Engine.t
+(** The historical interface: exploration over the simulated
+    {!Machine}. *)

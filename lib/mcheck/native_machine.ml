@@ -1,0 +1,91 @@
+(* Deterministic one-operation stepping of native code: the bodies run
+   as effect-handler coroutines of the host thread, suspending at each
+   {!Traced_atomic} primitive.  A [step i] resume commits process [i]'s
+   pending operation and runs it to its next announce — so exactly one
+   atomic operation commits per step, the granularity the explorer's
+   preemption bound counts. *)
+
+type resumed =
+  | Done
+  | Suspended of (unit, resumed) Effect.Deep.continuation * Traced_atomic.op
+  | Raised of exn
+
+type proc =
+  | Ready of (unit -> unit)
+  | Paused of (unit, resumed) Effect.Deep.continuation * Traced_atomic.op
+  | Finished
+
+type t = {
+  procs : proc array;
+  mutable steps : int;
+  mutable failed : (int * exn) option;
+  mutable log : (int * Traced_atomic.op) list;  (* committed ops, newest first *)
+}
+
+type env = unit
+
+let handler : (unit, resumed) Effect.Deep.handler =
+  {
+    retc = (fun () -> Done);
+    exnc = (fun e -> Raised e);
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Traced_atomic.Step op ->
+            Some
+              (fun (k : (a, resumed) Effect.Deep.continuation) -> Suspended (k, op))
+        | _ -> None);
+  }
+
+let start () bodies =
+  { procs = Array.map (fun b -> Ready b) bodies; steps = 0; failed = None; log = [] }
+
+let n_procs t = Array.length t.procs
+
+let enabled t =
+  let out = ref [] in
+  Array.iteri (fun i p -> if p <> Finished then out := i :: !out) t.procs;
+  List.rev !out
+
+let all_done t = Array.for_all (fun p -> p = Finished) t.procs
+
+let step t i =
+  (match t.procs.(i) with
+  | Finished -> invalid_arg "Native_machine.step: process already finished"
+  | _ -> ());
+  t.steps <- t.steps + 1;
+  Traced_atomic.current := i;
+  let r =
+    match t.procs.(i) with
+    | Ready body ->
+        (* first activation: run the prefix up to the first announce *)
+        Effect.Deep.match_with body () handler
+    | Paused (k, op) ->
+        (* resuming commits the announced operation *)
+        t.log <- (i, op) :: t.log;
+        Effect.Deep.continue k ()
+    | Finished -> assert false
+  in
+  Traced_atomic.current := -1;
+  match r with
+  | Done ->
+      t.procs.(i) <- Finished;
+      `Finished
+  | Raised e ->
+      t.procs.(i) <- Finished;
+      if t.failed = None then t.failed <- Some (i, e);
+      `Finished
+  | Suspended (k, op) ->
+      t.procs.(i) <- Paused (k, op);
+      (* a process parked at a spin-wait asks the scheduler to rotate,
+         mirroring the sim machine's work/yield fairness contract *)
+      if op.kind = Traced_atomic.Relax then `Pause_hint else `Ran
+
+let failure t = t.failed
+
+let steps_taken t = t.steps
+
+let trace t =
+  List.rev_map
+    (fun (i, op) -> Printf.sprintf "p%d: %s" i (Traced_atomic.op_to_string op))
+    t.log

@@ -1,0 +1,15 @@
+(** Deterministic single-step execution of native OCaml processes whose
+    atomic operations are {!Traced_atomic} effects — the native-world
+    counterpart of {!Machine}, satisfying the same {!Explore.MACHINE}
+    contract.
+
+    The bodies run as coroutines of the calling thread: no domains are
+    spawned, every interleaving decision belongs to the scheduler, and
+    runs are exactly reproducible from a schedule.  [step t i] commits
+    process [i]'s announced atomic operation (if any) and advances it to
+    its next announce; [`Pause_hint] reports that the process parked at
+    an [A.relax] spin-wait, so schedulers should rotate.  Committed
+    operations are logged; {!trace} renders them in execution order for
+    counterexample dumps. *)
+
+include Explore.MACHINE with type env = unit

@@ -1,0 +1,108 @@
+(* An [ATOMIC] whose every primitive is a scheduling point, in the
+   dscheck style: before executing, the operation performs a [Step]
+   effect that suspends the calling process, handing the decision of
+   when it commits to {!Native_machine}'s scheduler.  All processes run
+   as coroutines of one host thread, so between effects the code is
+   sequential and the interleaving is exactly the schedule chosen.
+
+   The granularity is one atomic primitive = one step, matching the
+   paper's model (and the sim machine's): plain loads/stores of node
+   payloads between two atomics commit atomically with the preceding
+   resume, which only strengthens the adversary we check against for
+   data structures whose synchronization is entirely through atomics.
+
+   Outside a run (no process registered as current), operations execute
+   immediately: spec setup ([create] before the machine starts) and
+   post-run inspection ([length], the final drain) need no scheduling. *)
+
+type kind = Get | Set | Exchange | Cas | Faa | Relax
+
+type op = { kind : kind; cell : int }
+
+let op_to_string { kind; cell } =
+  match kind with
+  | Get -> Printf.sprintf "get c%d" cell
+  | Set -> Printf.sprintf "set c%d" cell
+  | Exchange -> Printf.sprintf "exchange c%d" cell
+  | Cas -> Printf.sprintf "cas c%d" cell
+  | Faa -> Printf.sprintf "fetch_and_add c%d" cell
+  | Relax -> "relax (spin-wait)"
+
+type _ Effect.t += Step : op -> unit Effect.t
+
+(* Index of the process currently executing under a machine; -1 when no
+   run is active.  Set by Native_machine around each resume. *)
+let current = ref (-1)
+
+(* Cells get small dense ids so traces are readable and stable; reset at
+   the start of each run ([Core_explore]'s spec.make) so identical
+   schedules render identical traces. *)
+let next_cell_id = ref 0
+
+let reset_ids () = next_cell_id := 0
+
+type 'a t = { mutable v : 'a; id : int }
+
+let announce kind cell = if !current >= 0 then Effect.perform (Step { kind; cell })
+
+let make v =
+  let id = !next_cell_id in
+  incr next_cell_id;
+  { v; id }
+
+let make_contended = make
+
+let get t =
+  announce Get t.id;
+  t.v
+
+let set t v =
+  announce Set t.id;
+  t.v <- v
+
+let exchange t v =
+  announce Exchange t.id;
+  let old = t.v in
+  t.v <- v;
+  old
+
+let compare_and_set t expected desired =
+  announce Cas t.id;
+  if t.v == expected then begin
+    t.v <- desired;
+    true
+  end
+  else false
+
+let fetch_and_add t n =
+  announce Faa t.id;
+  let old = t.v in
+  t.v <- old + n;
+  old
+
+let incr t = ignore (fetch_and_add t 1)
+let decr t = ignore (fetch_and_add t (-1))
+
+(* The spin-wait hint: a pure yield.  Native_machine maps it to
+   [`Pause_hint] so the explorer rotates to another process — the
+   analogue of the sim machine's [work]/[yield] fairness contract —
+   which is what lets lock spins and publish waits terminate under a
+   single-threaded exploration. *)
+let relax () = announce Relax (-1)
+
+(* "Domain-local" storage keyed by explored process: each model process
+   gets its own slot, exactly as each domain would natively.  Accessed
+   outside a run (e.g. by the final-check drain), it uses a dedicated
+   key, modelling the driver thread. *)
+type 'a dls = { tbl : (int, 'a) Hashtbl.t; init : unit -> 'a }
+
+let dls_new init = { tbl = Hashtbl.create 8; init }
+
+let dls_get d =
+  let who = !current in
+  match Hashtbl.find_opt d.tbl who with
+  | Some v -> v
+  | None ->
+      let v = d.init () in
+      Hashtbl.add d.tbl who v;
+      v

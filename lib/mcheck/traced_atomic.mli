@@ -1,0 +1,39 @@
+(** A {!Core.Atomic_intf.ATOMIC} whose primitives are effects: each
+    operation suspends the calling coroutine-process until the
+    scheduler ({!Native_machine}) decides it commits.  Instantiating a
+    [lib/core] queue functor with this module turns the real native
+    implementation into a model-checkable program — same code text,
+    scheduled one atomic operation at a time.
+
+    One atomic primitive is one scheduling step; [relax] (spin-wait) is
+    a step that additionally hints the scheduler to rotate, and [dls]
+    is keyed by explored process, so hazard-pointer slots are
+    per-process exactly as they are per-domain natively.
+
+    Operations performed while no run is active — during [spec.make]
+    setup or post-run inspection — execute immediately without an
+    effect. *)
+
+include Core.Atomic_intf.ATOMIC
+
+(** {2 Machinery used by {!Native_machine}} *)
+
+type kind = Get | Set | Exchange | Cas | Faa | Relax
+
+type op = { kind : kind; cell : int }
+(** [cell] is a small dense id assigned at [make] time; [-1] for
+    [relax], which touches no cell. *)
+
+type _ Effect.t += Step : op -> unit Effect.t
+(** Performed before each primitive executes; the operation commits
+    when the continuation is resumed. *)
+
+val current : int ref
+(** Index of the process the machine is currently resuming; [-1] when
+    no run is active (operations then execute unscheduled). *)
+
+val reset_ids : unit -> unit
+(** Restart cell numbering; call at the start of each run so identical
+    schedules produce identical traces. *)
+
+val op_to_string : op -> string

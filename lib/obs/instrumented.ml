@@ -36,7 +36,11 @@ let measured ~phase m latency f =
   if d.Locks.Probe.helps > 0 then Counter.add m.Metrics.helps d.Locks.Probe.helps;
   result
 
-module Make (Q : Core.Queue_intf.S) : S = struct
+(* The one application path shared by {!Make} and {!Make_batch} —
+   mirrors {!Chaos.Make_unsealed}.  The wrapper record stays visible
+   here so the batch extension can reach [t.q]/[t.m]; the exported
+   functors seal it. *)
+module Make_unsealed (Q : Core.Queue_intf.S) = struct
   type 'a t = { q : 'a Q.t; m : Metrics.t }
 
   let name = Q.name
@@ -72,6 +76,8 @@ module Make (Q : Core.Queue_intf.S) : S = struct
   let length t = Q.length t.q
 end
 
+module Make (Q : Core.Queue_intf.S) : S = Make_unsealed (Q)
+
 (* The batch wrapper: the per-element operations are instrumented
    exactly as in [Make]; each batch call is one latency sample in the
    corresponding histogram (a batch's sample covers all its elements)
@@ -80,37 +86,10 @@ end
    (segment-transition CAS retries, poisoned-slot races) are attributed
    to the batch exactly as to a single operation. *)
 module Make_batch (Q : Core.Queue_intf.BATCH) : BATCH_S = struct
-  type 'a t = { q : 'a Q.t; m : Metrics.t }
+  include Make_unsealed (Q) (* the wrapper record stays visible here *)
 
-  let name = Q.name
-  let enq_phase = Q.name ^ ".enq"
-  let deq_phase = Q.name ^ ".deq"
   let enq_batch_phase = Q.name ^ ".enq_batch"
   let deq_batch_phase = Q.name ^ ".deq_batch"
-
-  let create () = { q = Q.create (); m = Metrics.create Q.name }
-
-  let metrics t = t.m
-
-  let enqueue t v =
-    if not (Control.enabled ()) then Q.enqueue t.q v
-    else begin
-      Counter.incr t.m.Metrics.enqueues;
-      measured ~phase:enq_phase t.m t.m.Metrics.enq_latency (fun () ->
-          Q.enqueue t.q v)
-    end
-
-  let dequeue t =
-    if not (Control.enabled ()) then Q.dequeue t.q
-    else begin
-      Counter.incr t.m.Metrics.dequeues;
-      let r =
-        measured ~phase:deq_phase t.m t.m.Metrics.deq_latency (fun () ->
-            Q.dequeue t.q)
-      in
-      if r = None then Counter.incr t.m.Metrics.empty_dequeues;
-      r
-    end
 
   let enqueue_batch t vs =
     if not (Control.enabled ()) then Q.enqueue_batch t.q vs
@@ -132,8 +111,4 @@ module Make_batch (Q : Core.Queue_intf.BATCH) : BATCH_S = struct
       | _ :: _ -> Counter.add t.m.Metrics.dequeues (List.length r));
       r
     end
-
-  let peek t = Q.peek t.q
-  let is_empty t = Q.is_empty t.q
-  let length t = Q.length t.q
 end

@@ -234,8 +234,8 @@ let test_treiber_concurrent () =
   Alcotest.(check bool) "empty" true (Core.Treiber_stack.is_empty s)
 
 (* Two-lock queue over other locks: the functor works with any LOCK. *)
-module Two_lock_mcs = Core.Two_lock_queue.Make (Locks.Mcs_lock)
-module Two_lock_ticket = Core.Two_lock_queue.Make (Locks.Ticket_lock)
+module Two_lock_mcs = Core.Two_lock_queue.Make_lock (Locks.Mcs_lock)
+module Two_lock_ticket = Core.Two_lock_queue.Make_lock (Locks.Ticket_lock)
 
 let test_two_lock_functor () =
   let q = Two_lock_mcs.create () in

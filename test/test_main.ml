@@ -9,6 +9,7 @@ let () =
          Test_locks.suites;
          Test_lincheck.suites;
          Test_mcheck.suites;
+         Test_mcheck_native.suites;
          Test_harness.suites;
          Test_extensions.suites;
          Test_more.suites;

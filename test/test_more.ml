@@ -99,10 +99,10 @@ let test_native_linearizable name (module Q : Core.Queue_intf.S) () =
 (* ------------------------------------------------------------------ *)
 (* The native two-lock functor over every lock implementation. *)
 
-module TL_tas = Core.Two_lock_queue.Make (Locks.Tas_lock)
-module TL_ticket = Core.Two_lock_queue.Make (Locks.Ticket_lock)
-module TL_mcs = Core.Two_lock_queue.Make (Locks.Mcs_lock)
-module TL_clh = Core.Two_lock_queue.Make (Locks.Clh_lock)
+module TL_tas = Core.Two_lock_queue.Make_lock (Locks.Tas_lock)
+module TL_ticket = Core.Two_lock_queue.Make_lock (Locks.Ticket_lock)
+module TL_mcs = Core.Two_lock_queue.Make_lock (Locks.Mcs_lock)
+module TL_clh = Core.Two_lock_queue.Make_lock (Locks.Clh_lock)
 
 let functor_queues : (string * (module Core.Queue_intf.S)) list =
   [
