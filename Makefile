@@ -15,10 +15,11 @@ bench:
 # A minutes-scale subset for CI: figure 3 only, tiny pair counts, and
 # the instrumented native-queue metrics — still exercising every layer
 # that feeds BENCH_queues.json.  Also emits the cycle-attribution
-# profile section on its own as profile.json.
+# profile section on its own as profile.json and the live-memory axis
+# (bytes/element, reclamation lag) as memory.json.
 bench-smoke:
 	dune build bench/main.exe
-	MSQ_SMOKE=1 MSQ_JSON=BENCH_queues.json dune exec bench/main.exe -- --profile-out profile.json
+	MSQ_SMOKE=1 MSQ_JSON=BENCH_queues.json dune exec bench/main.exe -- --profile-out profile.json --memory-out memory.json
 
 # Gate a fresh smoke run against the committed baseline: the
 # deterministic simulator metric (net cycles/pair) must not regress by
@@ -42,4 +43,4 @@ profile:
 
 clean:
 	dune clean
-	rm -f BENCH_queues.json profile.json mcheck-counterexample.txt
+	rm -f BENCH_queues.json profile.json memory.json mcheck-counterexample.txt

@@ -19,14 +19,18 @@ let smoke = Sys.getenv_opt "MSQ_SMOKE" <> None
 let json_path = Sys.getenv_opt "MSQ_JSON"
 
 (* --profile-out FILE: additionally write the cycle-attribution
-   [profile] section alone (the CI artifact), independent of MSQ_JSON. *)
-let profile_path =
+   [profile] section alone (the CI artifact), independent of MSQ_JSON.
+   --memory-out FILE: same for the live-memory [memory] section. *)
+let flag_path name =
   let rec scan = function
-    | "--profile-out" :: path :: _ -> Some path
+    | flag :: path :: _ when flag = name -> Some path
     | _ :: rest -> scan rest
     | [] -> None
   in
   scan (Array.to_list Sys.argv)
+
+let profile_path = flag_path "--profile-out"
+let memory_path = flag_path "--memory-out"
 
 let pairs =
   match Sys.getenv_opt "MSQ_PAIRS" with
@@ -66,6 +70,66 @@ let memory () =
   show (Harness.Memory_experiment.run (module Squeues.Valois_queue) ());
   show (Harness.Memory_experiment.run (module Squeues.Ms_queue) ());
   show (Harness.Memory_experiment.run (module Squeues.Two_lock_queue) ())
+
+(* The live-memory axis — ROADMAP item 3's "run forever under a memory
+   budget" made measurable:
+   - bytes-per-element and steady-state allocation for every registered
+     native queue (unbounded and bounded), from the GC's own accounting;
+   - hazard-pointer reclamation lag under chaos-injected stalls;
+   - simulated free-list lag (heap fallbacks past a small prefill) with
+     a stalled victim, MS vs Valois vs two-lock — the §1 experiment as
+     a number instead of a verdict.
+   Runs in smoke too (reduced scale) so BENCH_queues.json always
+   carries the memory section. *)
+let memory_axis () =
+  heading "Memory: steady-state footprint, bytes per element, reclamation lag";
+  let elements = 1024 in
+  let footprints =
+    List.map
+      (fun { Harness.Registry.queue; _ } ->
+        let r = Harness.Memory_experiment.native_footprint queue ~elements () in
+        Format.printf "  %a@." Harness.Memory_experiment.pp_footprint r;
+        r)
+      Harness.Registry.native
+    @ List.map
+        (fun (e : Harness.Registry.bounded_entry) ->
+          let r =
+            Harness.Memory_experiment.bounded_footprint e.queue
+              ~capacity:elements ()
+          in
+          Format.printf "  %a@." Harness.Memory_experiment.pp_footprint r;
+          r)
+        Harness.Registry.native_bounded
+  in
+  let hp =
+    Harness.Memory_experiment.hp_reclamation_lag
+      ~ops:(if smoke then 5_000 else 20_000)
+      ()
+  in
+  Format.printf "  %a@." Harness.Memory_experiment.pp_hp_lag hp;
+  let sim_lags =
+    List.map
+      (fun key ->
+        let r =
+          Harness.Memory_experiment.sim_reclamation_lag
+            (Harness.Registry.find key)
+            ~pairs:(if smoke then 4_000 else 20_000)
+            ()
+        in
+        Format.printf "  %a@." Harness.Memory_experiment.pp_sim_lag r;
+        r)
+      [ "ms"; "valois"; "two-lock" ]
+  in
+  Obs.Json.Assoc
+    [
+      ( "native",
+        Obs.Json.List
+          (List.map Harness.Memory_experiment.footprint_json footprints) );
+      ("hp_reclamation", Harness.Memory_experiment.hp_lag_json hp);
+      ( "sim_reclamation",
+        Obs.Json.List
+          (List.map Harness.Memory_experiment.sim_lag_json sim_lags) );
+    ]
 
 (* Stall and crash injection over the whole registry.  Runs in smoke
    too (at a reduced scale) so BENCH_queues.json always carries the
@@ -437,6 +501,68 @@ let instrumented_batch_metrics () =
               ])))
     Harness.Registry.native_batch
 
+(* Bounded queues through [Obs.Instrumented.Make_bounded]: the same
+   two-domain shape over try_enqueue/try_dequeue at a capacity small
+   enough (64) that full verdicts actually occur and the full_enqueues
+   counter means something.  Throughput is separate and uninstrumented,
+   as above. *)
+let instrumented_bounded_metrics () =
+  let per = if smoke then 5_000 else 50_000 in
+  let throughput_per = if smoke then 50_000 else 100_000 in
+  List.map
+    (fun (e : Harness.Registry.bounded_entry) ->
+      let (module Q : Core.Queue_intf.BOUNDED) = e.queue in
+      let module I = Obs.Instrumented.Make_bounded (Q) in
+      let q = I.create ~capacity:64 () in
+      Obs.Control.with_enabled (fun () ->
+          let worker () =
+            for i = 1 to per do
+              ignore (I.try_enqueue q i);
+              ignore (I.try_dequeue q)
+            done
+          in
+          let d = Domain.spawn worker in
+          worker ();
+          Domain.join d;
+          let m = I.metrics q in
+          Format.printf "  [capacity=64] %a@." Obs.Metrics.pp m;
+          let raw () =
+            let q = Q.create ~capacity:64 () in
+            let worker () =
+              for i = 1 to throughput_per do
+                ignore (Q.try_enqueue q i);
+                ignore (Q.try_dequeue q)
+              done
+            in
+            let t0 = Unix.gettimeofday () in
+            let d = Domain.spawn worker in
+            worker ();
+            Domain.join d;
+            Unix.gettimeofday () -. t0
+          in
+          let best = ref (raw ()) in
+          for _ = 2 to 3 do
+            let dt = raw () in
+            if dt < !best then best := dt
+          done;
+          let total_pairs = 2 * throughput_per in
+          let pairs_per_second = float_of_int total_pairs /. !best in
+          Format.printf "  %-24s %10.0f pairs/s (uninstrumented best-of-3)@."
+            "" pairs_per_second;
+          let metric_fields =
+            match Obs.Metrics.to_json m with Obs.Json.Assoc kvs -> kvs | _ -> []
+          in
+          Obs.Json.Assoc
+            (metric_fields
+            @ [
+                ("capacity", Obs.Json.Int 64);
+                ("pairs", Obs.Json.Int total_pairs);
+                ( "ns_per_pair",
+                  Obs.Json.Float (!best *. 1e9 /. float_of_int total_pairs) );
+                ("pairs_per_second", Obs.Json.Float pairs_per_second);
+              ])))
+    Harness.Registry.native_bounded
+
 (* Cycle attribution — the "where the cycles go" section:
    - simulated cache-line heatmaps for the paper's three main queues at
      p = 1 and p = 8 (deterministic; small pair count, this is about
@@ -496,7 +622,8 @@ let profile_section () =
       ("native", Obs.Profile.to_json native_prof);
     ]
 
-let write_json figs native batched ~robustness:(liveness, crash) ~profile =
+let write_json figs native batched ~robustness:(liveness, crash) ~profile
+    ~memory =
   (match profile_path with
   | None -> ()
   | Some path ->
@@ -504,13 +631,20 @@ let write_json figs native batched ~robustness:(liveness, crash) ~profile =
           Out_channel.output_string oc (Obs.Json.to_string profile);
           Out_channel.output_char oc '\n');
       Format.printf "@.wrote profile to %s@." path);
+  (match memory_path with
+  | None -> ()
+  | Some path ->
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc (Obs.Json.to_string memory);
+          Out_channel.output_char oc '\n');
+      Format.printf "@.wrote memory section to %s@." path);
   match json_path with
   | None -> ()
   | Some path ->
       let doc =
         Obs.Json.Assoc
           [
-            ("schema_version", Obs.Json.Int 4);
+            ("schema_version", Obs.Json.Int 5);
             ("suite", Obs.Json.String "msqueue-bench");
             ("pairs", Obs.Json.Int pairs);
             ("quantum", Obs.Json.Int quantum);
@@ -520,6 +654,7 @@ let write_json figs native batched ~robustness:(liveness, crash) ~profile =
             ("batched", Obs.Json.List batched);
             ("robustness", Harness.Report.robustness_json ~liveness ~crash);
             ("profile", profile);
+            ("memory", memory);
           ]
       in
       Out_channel.with_open_text path (fun oc ->
@@ -545,7 +680,11 @@ let () =
   end;
   let robustness = robustness () in
   let batched = batched_sweep () in
-  let native = instrumented_metrics () @ instrumented_batch_metrics () in
+  let native =
+    instrumented_metrics () @ instrumented_batch_metrics ()
+    @ instrumented_bounded_metrics ()
+  in
   let profile = profile_section () in
-  write_json figs native batched ~robustness ~profile;
+  let memory = memory_axis () in
+  write_json figs native batched ~robustness ~profile ~memory;
   Format.printf "@.done.@."

@@ -8,7 +8,7 @@ open Cmdliner
 let algo_arg =
   Arg.(value & opt string "ms"
        & info [ "a"; "algo" ]
-           ~doc:"Algorithm key: single-lock, mc, valois, two-lock, plj, ms, stone, stone-ring, hb.")
+           ~doc:"Algorithm key: single-lock, mc, valois, two-lock, plj, ms, stone, stone-ring, hb, scq.")
 
 let seed_arg =
   Arg.(value & opt (some int64) None
@@ -134,8 +134,77 @@ let lin_cmd =
    sequential FIFO spec.  Batch-capable queues (Registry.native_batch)
    are additionally driven through enqueue_batch/dequeue_batch, each
    batch recorded as a multi-element event over one interval. *)
+(* The bounded variant of native-lin: try_enqueue/try_dequeue at a
+   small capacity so full verdicts actually occur, each recorded as
+   History.Try_enq with its boolean outcome and checked against the
+   bounded sequential spec (Checker.check ~capacity — full verdicts at
+   pending-reservation strength, empty verdicts strict). *)
+let native_lin_bounded key domains ops rounds chaos capacity seed =
+  let (module B0 : Core.Queue_intf.BOUNDED) =
+    Harness.Registry.find_native_bounded key
+  in
+  let (module B : Core.Queue_intf.BOUNDED) =
+    if chaos then (module Obs.Chaos.Make_bounded (B0)) else (module B0)
+  in
+  if chaos then begin
+    (match seed with Some s -> Obs.Chaos.configure ~seed:s () | None -> ());
+    Obs.Chaos.enable ()
+  end;
+  let failures = ref 0 in
+  let fulls = ref 0 in
+  let cap_used = ref capacity in
+  for round = 1 to rounds do
+    let q = B.create ~capacity () in
+    cap_used := B.capacity q;
+    let recorder = Lincheck.History.create_recorder () in
+    (* Two enqueues per dequeue: the net fill drives the queue into its
+       capacity so full verdicts actually occur and get checked. *)
+    let try_enq i v =
+      Lincheck.History.record recorder ~proc:i (fun () ->
+          let ok = B.try_enqueue q v in
+          if not ok then incr fulls;
+          Lincheck.History.Try_enq (v, ok))
+    in
+    let body i () =
+      for k = 1 to ops do
+        try_enq i ((i * 1000) + (2 * k) - 1);
+        try_enq i ((i * 1000) + (2 * k));
+        Lincheck.History.record recorder ~proc:i (fun () ->
+            Lincheck.History.Deq (B.try_dequeue q))
+      done
+    in
+    let ds = List.init domains (fun i -> Domain.spawn (body i)) in
+    List.iter Domain.join ds;
+    match
+      Lincheck.Checker.check ~capacity:(B.capacity q)
+        (Lincheck.History.history recorder)
+    with
+    | Lincheck.Checker.Linearizable -> ()
+    | Lincheck.Checker.Not_linearizable ->
+        incr failures;
+        Format.printf "round %d: NON-LINEARIZABLE@." round
+    | Lincheck.Checker.Inconclusive ->
+        Format.printf "round %d: inconclusive@." round
+  done;
+  if chaos then begin
+    Format.printf "%s: chaos on (seed %Ld), %d delays injected@." key
+      (Obs.Chaos.current ()).Obs.Chaos.seed
+      (Obs.Chaos.hits ());
+    Obs.Chaos.disable ()
+  end;
+  Format.printf
+    "%s: %d rounds x %d domains at capacity %d, %d full verdicts, %d \
+     linearizability failures@."
+    key rounds domains !cap_used !fulls !failures;
+  if !failures = 0 then 0 else 1
+
 let native_lin_cmd =
-  let run key domains ops rounds chaos seed =
+  let run key domains ops rounds chaos capacity seed =
+    if
+      List.mem key Harness.Registry.native_bounded_keys
+      && not (List.mem key Harness.Registry.native_keys)
+    then native_lin_bounded key domains ops rounds chaos capacity seed
+    else begin
     let (module Q0 : Core.Queue_intf.S) = Harness.Registry.find_native key in
     let (module Q : Core.Queue_intf.S) =
       if chaos then (module Obs.Chaos.Make (Q0)) else (module Q0)
@@ -214,12 +283,16 @@ let native_lin_cmd =
     Format.printf "%s: %d rounds x %d domains, %d linearizability failures@." key
       rounds domains !failures;
     if !failures = 0 then 0 else 1
+    end
   in
   let key =
     Arg.(
       value & opt string "segmented"
       & info [ "q"; "queue" ]
-          ~doc:"Native queue key (see Harness.Registry.native_keys).")
+          ~doc:"Native queue key (see Harness.Registry.native_keys), or a \
+                bounded queue key (Harness.Registry.native_bounded_keys, \
+                e.g. scq): bounded queues record try_enqueue verdicts and \
+                check against the bounded sequential spec.")
   in
   let domains = Arg.(value & opt int 2 & info [ "d"; "domains" ] ~doc:"Domains.") in
   let ops = Arg.(value & opt int 4 & info [ "ops" ] ~doc:"Pairs per domain.") in
@@ -230,13 +303,22 @@ let native_lin_cmd =
              ~doc:"Wrap the queue in the chaos layer (Obs.Chaos): seeded \
                    randomized delays at the algorithm's injection sites.")
   in
+  let capacity =
+    Arg.(value & opt int 2
+         & info [ "capacity" ]
+             ~doc:"Capacity for bounded queues (kept tiny so the runs \
+                   actually hit full verdicts); ignored for unbounded keys.")
+  in
   Cmd.v
     (Cmd.info "native-lin"
        ~doc:
          "Record concurrent histories of a NATIVE OCaml 5 queue across real \
           domains and check each against the sequential FIFO specification; \
-          batch-capable queues also exercise their batch operations.")
-    Term.(const run $ key $ domains $ ops $ rounds $ chaos $ seed_arg)
+          batch-capable queues also exercise their batch operations, and \
+          bounded queues (e.g. scq) are checked against the bounded \
+          sequential spec at a tiny capacity.")
+    Term.(const run $ key $ domains $ ops $ rounds $ chaos $ capacity
+          $ seed_arg)
 
 (* Fail-stop crash sweep over the simulated algorithms, with the
    paper's dichotomy as the exit-code gate: the non-blocking queues
@@ -683,34 +765,48 @@ let bench_summary_cmd =
 let mcheck_native_cmd =
   let run queue scenario preemptions depth_limit self_test trace_out =
     let module CE = Mcheck.Core_explore in
+    (* A queue name is valid in the unbounded table, the bounded table,
+       or both ("scq" is in both: an adapter for the shared battery plus
+       the real try_enqueue/try_dequeue battery); each battery runs the
+       entries the name resolves to in its own table. *)
     let resolve_queues () =
       match queue with
-      | None -> Ok CE.queues
+      | None -> Ok (CE.queues, CE.bqueues)
       | Some name -> (
-          match CE.find_queue name with
-          | Some q -> Ok [ (name, q) ]
-          | None ->
+          match (CE.find_queue name, CE.find_bqueue name) with
+          | None, None ->
               Error
                 (Printf.sprintf "unknown queue %S (have: %s)" name
-                   (String.concat ", " (List.map fst CE.queues))))
+                   (String.concat ", "
+                      (List.map fst CE.queues
+                      @ List.filter
+                          (fun k -> not (List.mem_assoc k CE.queues))
+                          (List.map fst CE.bqueues))))
+          | q, b ->
+              Ok
+                ( Option.to_list (Option.map (fun q -> (name, q)) q),
+                  Option.to_list (Option.map (fun b -> (name, b)) b) ))
     in
     let resolve_scenarios () =
       match scenario with
-      | None -> Ok CE.scenarios
+      | None -> Ok (CE.scenarios, CE.bounded_scenarios)
       | Some name -> (
-          match CE.find_scenario name with
-          | Some s -> Ok [ s ]
-          | None ->
+          match (CE.find_scenario name, CE.find_bounded_scenario name) with
+          | None, None ->
               Error
                 (Printf.sprintf "unknown scenario %S (have: %s)" name
                    (String.concat ", "
-                      (List.map (fun s -> s.CE.sname) CE.scenarios))))
+                      (List.map (fun s -> s.CE.sname) CE.scenarios
+                      @ List.map
+                          (fun b -> b.CE.bname)
+                          CE.bounded_scenarios)))
+          | s, b -> Ok (Option.to_list s, Option.to_list b))
     in
     match (resolve_queues (), resolve_scenarios ()) with
     | Error e, _ | _, Error e ->
         Format.eprintf "mcheck-native: %s@." e;
         2
-    | Ok queues, Ok scenarios ->
+    | Ok (queues, bqueues), Ok (scenarios, bounded_scenarios) ->
         let violations = ref 0 in
         let first_failure = ref None in
         let dump_failure qname sname f =
@@ -718,27 +814,36 @@ let mcheck_native_cmd =
             Mcheck.Explore.pp_schedule f.Mcheck.Explore.schedule;
           if !first_failure = None then first_failure := Some (qname, sname, f)
         in
+        let report qname sname (outcome : Mcheck.Explore.outcome) =
+          Format.printf "%s/%s: %d schedules explored, %d diverged, %d violations@."
+            qname sname outcome.Mcheck.Explore.runs
+            outcome.Mcheck.Explore.diverged
+            (List.length outcome.Mcheck.Explore.failures);
+          violations := !violations + List.length outcome.Mcheck.Explore.failures;
+          List.iter (dump_failure qname sname) outcome.Mcheck.Explore.failures
+        in
         List.iter
           (fun (qname, q) ->
             List.iter
               (fun s ->
-                let outcome =
-                  CE.check ~max_preemptions:preemptions ~max_steps:depth_limit
-                    q s
-                in
-                Format.printf "%s/%s: %d schedules explored, %d diverged, %d violations@."
-                  qname s.CE.sname outcome.Mcheck.Explore.runs
-                  outcome.Mcheck.Explore.diverged
-                  (List.length outcome.Mcheck.Explore.failures);
-                violations :=
-                  !violations + List.length outcome.Mcheck.Explore.failures;
-                List.iter (dump_failure qname s.CE.sname)
-                  outcome.Mcheck.Explore.failures)
+                report qname s.CE.sname
+                  (CE.check ~max_preemptions:preemptions
+                     ~max_steps:depth_limit q s))
               scenarios)
           queues;
+        List.iter
+          (fun (qname, q) ->
+            List.iter
+              (fun b ->
+                report qname b.CE.bname
+                  (CE.check_bounded ~max_preemptions:preemptions
+                     ~max_steps:depth_limit q b))
+              bounded_scenarios)
+          bqueues;
         (* The checker checking the checker: the planted broken-ms queue
-           (Head store instead of D12's CAS) must be caught, else the
-           whole run proves nothing. *)
+           (Head store instead of D12's CAS) and the planted broken-scq
+           (cycle comparison dropped from the slot claim) must both be
+           caught, else the whole run proves nothing. *)
         let self_test_ok =
           if not self_test then true
           else begin
@@ -756,7 +861,29 @@ let mcheck_native_cmd =
                 Format.printf "  %s under schedule %a@." f.Mcheck.Explore.message
                   Mcheck.Explore.pp_schedule f.Mcheck.Explore.schedule
             | _ -> ());
-            caught
+            let bcaught =
+              match CE.find_bounded_scenario "b-empty-race" with
+              | None -> false
+              | Some b ->
+                  let outcome =
+                    CE.check_bounded ~max_preemptions:preemptions
+                      ~max_steps:depth_limit CE.broken_bounded b
+                  in
+                  let caught = outcome.Mcheck.Explore.failures <> [] in
+                  Format.printf
+                    "self-test broken-scq/%s: %d schedules explored, %s@."
+                    b.CE.bname outcome.Mcheck.Explore.runs
+                    (if caught then "planted bug caught"
+                     else "PLANTED BUG MISSED");
+                  (match (caught, outcome.Mcheck.Explore.failures) with
+                  | true, f :: _ ->
+                      Format.printf "  %s under schedule %a@."
+                        f.Mcheck.Explore.message Mcheck.Explore.pp_schedule
+                        f.Mcheck.Explore.schedule
+                  | _ -> ());
+                  caught
+            in
+            caught && bcaught
           end
         in
         (match (!first_failure, trace_out) with
@@ -783,13 +910,14 @@ let mcheck_native_cmd =
     Arg.(value & opt (some string) None
          & info [ "q"; "queue" ] ~docv:"NAME"
              ~doc:"Check one native queue (ms, ms-counted, ms-hp, two-lock, \
-                   segmented); all of them by default.")
+                   segmented, scq); all of them by default.")
   in
   let scenario =
     Arg.(value & opt (some string) None
          & info [ "scenario" ] ~docv:"NAME"
              ~doc:"Run one scenario (enq-enq, deq-empty, tail-lag, \
-                   pairs-2x1, pairs-2x2, pairs-3x1); the whole battery by \
+                   pairs-2x1, pairs-2x2, pairs-3x1, or the bounded \
+                   b-full-race, b-empty-race, b-wrap); the whole battery by \
                    default.")
   in
   let preemptions =
@@ -804,9 +932,10 @@ let mcheck_native_cmd =
   let self_test =
     Arg.(value & flag
          & info [ "self-test" ]
-             ~doc:"Also run the deliberately broken Michael-Scott variant \
-                   (Head store instead of D12's compare-and-set) and fail \
-                   unless the checker catches it.")
+             ~doc:"Also run the deliberately broken variants — Michael-Scott \
+                   with a Head store instead of D12's compare-and-set, and \
+                   SCQ with the cycle comparison dropped from the slot claim \
+                   — and fail unless the checker catches both.")
   in
   let trace_out =
     Arg.(value & opt (some string) None

@@ -72,3 +72,63 @@ module type BATCH = sig
       slots were still being filled by in-flight enqueuers.  [[]] does
       not linearizably prove emptiness — use {!S.dequeue} for that. *)
 end
+
+(** Bounded queues trade unbounded growth for a fixed memory footprint:
+    the backing store is allocated once at {!BOUNDED.create} and never
+    grows, so a full queue must be able to {e refuse} an enqueue instead
+    of blocking or allocating.  The signature therefore replaces
+    [enqueue]/[dequeue] with [try_enqueue]/[try_dequeue] whose
+    full/empty verdicts are linearization points (checkable against a
+    bounded sequential specification — see [Lincheck.Checker.check]'s
+    [?capacity]).
+
+    There is deliberately no [peek]: ring-based implementations (SCQ)
+    have no stable head slot to read without claiming it, and a peek
+    that may spuriously fail is worse than no peek. *)
+module type BOUNDED = sig
+  type 'a t
+
+  val name : string
+  (** Identifier used by the benchmark harness and reports. *)
+
+  val create : ?capacity:int -> unit -> 'a t
+  (** A fresh, empty queue holding at most [capacity] items (default
+      1024).  Implementations may round the capacity up (e.g. to a
+      power of two); {!capacity} reports the rounded value actually
+      enforced. *)
+
+  val capacity : 'a t -> int
+  (** The maximum number of items the queue can hold — fixed for the
+      queue's lifetime. *)
+
+  val try_enqueue : 'a t -> 'a -> bool
+  (** Add at the tail; [false] when the queue was observed full.  A
+      [false] result leaves the queue unchanged.
+
+      The full verdict has {e pending-reservation} strength: it proves
+      [capacity] slots were held at some point during the call, where
+      an enqueue holds its slot from invocation and a dequeue releases
+      its slot only at its response.  In particular, a [false] can race
+      with in-flight operations on a queue that is logically below
+      capacity — but never occurs without such concurrent cover.  (In
+      a reserve-then-publish ring an in-flight enqueue is visible to
+      the full verdict before it is visible to dequeuers, so the
+      strict verdict is unattainable; see [Lincheck.Checker.check]'s
+      [?capacity], which checks exactly this contract.)  The empty
+      verdict of {!try_dequeue} is strict, as in {!S.dequeue}. *)
+
+  val try_dequeue : 'a t -> 'a option
+  (** Remove from the head; [None] iff the queue was (linearizably)
+      observed empty. *)
+
+  val is_empty : 'a t -> bool
+  (** [is_empty q] is [length q = 0]; same racy-snapshot caveats as
+      {!length}. *)
+
+  val length : 'a t -> int
+  (** Number of items.  Exact at quiescence; under concurrent updates a
+      racy snapshot with the bounds [0 <= length q <= capacity q] —
+      stronger than {!S.length}'s contract because a bounded queue's
+      backing store physically cannot hold more than [capacity]
+      items. *)
+end

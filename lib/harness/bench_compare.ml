@@ -17,6 +17,9 @@ type doc = {
   smoke : bool;
   sim : (string * float) list;  (** key -> net_per_pair, lower better *)
   native : (string * float) list;  (** key -> pairs_per_second, higher better *)
+  memory : (string * float) list;
+      (** key -> bytes_per_element, lower better (schema 5+; empty
+          before) *)
   raw : Json.t;  (** the whole document, for the summary renderer *)
 }
 
@@ -73,8 +76,20 @@ let native_points json =
       | None -> None)
     (list_of json "native")
 
+let memory_points json =
+  match opt_member "memory" json with
+  | None -> []
+  | Some memory ->
+      List.filter_map
+        (fun entry ->
+          let name = str_or ~default:"?" entry "queue" in
+          match float_of entry "bytes_per_element" with
+          | Some v -> Some (name, v)
+          | None -> None)
+        (list_of memory "native")
+
 let min_schema = 2
-let max_schema = 4
+let max_schema = 5
 
 let of_json json =
   match Option.bind (opt_member "schema_version" json) Json.to_int_opt with
@@ -93,6 +108,7 @@ let of_json json =
             |> Option.value ~default:false;
           sim = sim_points json;
           native = native_points json;
+          memory = memory_points json;
           raw = json;
         }
 
@@ -128,6 +144,7 @@ type comparison = {
           different scales are still shown but never gate *)
   sim_deltas : delta list;  (** sorted worst-first *)
   native_deltas : delta list;
+  memory_deltas : delta list;  (** bytes/element; informational, never gated *)
   missing : string list;  (** sim keys in OLD absent from NEW *)
   added : string list;
 }
@@ -156,6 +173,7 @@ let diff ?(max_regress = 10.) ?(gate_native = false) ~old_doc ~new_doc () =
   in
   let sim_deltas = join true `Higher old_doc.sim new_doc.sim in
   let native_deltas = join gate_native `Lower old_doc.native new_doc.native in
+  let memory_deltas = join false `Higher old_doc.memory new_doc.memory in
   let missing =
     List.filter_map
       (fun (k, _) ->
@@ -169,7 +187,7 @@ let diff ?(max_regress = 10.) ?(gate_native = false) ~old_doc ~new_doc () =
       new_doc.sim
   in
   { max_regress; gate_native; comparable; sim_deltas; native_deltas;
-    missing; added }
+    memory_deltas; missing; added }
 
 let regressions c =
   List.filter (fun d -> d.regressed) (c.sim_deltas @ c.native_deltas)
@@ -195,6 +213,10 @@ let pp fmt c =
     fprintf fmt "native pairs/second (higher is better%s):@ "
       (if c.gate_native then ", gated" else ", informational");
     List.iter row c.native_deltas
+  end;
+  if c.memory_deltas <> [] then begin
+    fprintf fmt "memory bytes/element (lower is better, informational):@ ";
+    List.iter row c.memory_deltas
   end;
   List.iter (fun k -> fprintf fmt "  MISSING %s (in OLD, absent from NEW)@ " k)
     c.missing;
@@ -225,6 +247,11 @@ let heatmap_entries doc =
           | lines -> Some (queue, procs, lines))
         (list_of profile "sim_heatmaps")
 
+let memory_entries doc =
+  match opt_member "memory" doc.raw with
+  | None -> []
+  | Some memory -> list_of memory "native"
+
 let markdown_summary ?(top = 3) fmt doc =
   let open Format in
   fprintf fmt "## Benchmark summary@.@.";
@@ -241,6 +268,24 @@ let markdown_summary ?(top = 3) fmt doc =
          doc.native);
     fprintf fmt "@."
   end;
+  (match memory_entries doc with
+  | [] -> ()
+  | entries ->
+      fprintf fmt "### Memory footprint (live heap, single domain)@.@.";
+      fprintf fmt
+        "| queue | bytes/element | steady alloc (words/pair) |@.|---|---:|---:|@.";
+      List.iter
+        (fun e ->
+          let name = str_or ~default:"?" e "queue" in
+          let bpe =
+            Option.value ~default:0. (float_of e "bytes_per_element")
+          in
+          let wpp =
+            Option.value ~default:0. (float_of e "steady_words_per_pair")
+          in
+          fprintf fmt "| %s | %.1f | %.1f |@." name bpe wpp)
+        entries;
+      fprintf fmt "@.");
   (match heatmap_entries doc with
   | [] -> ()
   | entries ->

@@ -2,9 +2,9 @@
 
     The testable core behind [msq_check bench-diff OLD NEW] (regression
     gate) and [msq_check bench-summary NEW] (GitHub step-summary
-    markdown).  Accepts schema versions 2 through 4 — older documents
+    markdown).  Accepts schema versions 2 through 5 — older documents
     simply lack the sections added later ([robustness], [batched],
-    [profile]) and compare on what they have.
+    [profile], [memory]) and compare on what they have.
 
     The gate runs on the deterministic simulator metric
     ([net_per_pair], net cycles per enqueue/dequeue pair, lower is
@@ -22,6 +22,9 @@ type doc = {
           completed figure point; lower is better *)
   native : (string * float) list;
       (** [queue name -> pairs_per_second]; higher is better *)
+  memory : (string * float) list;
+      (** [queue name -> bytes_per_element] from the schema-5 [memory]
+          section; lower is better.  Empty for older documents. *)
   raw : Obs.Json.t;  (** the whole parsed document *)
 }
 
@@ -46,6 +49,9 @@ type comparison = {
           every delta is shown but none gates. *)
   sim_deltas : delta list;  (** worst first *)
   native_deltas : delta list;  (** worst first *)
+  memory_deltas : delta list;
+      (** bytes/element drift; informational — memory cost is a design
+          property worth eyeballing, not a noisy metric to gate on *)
   missing : string list;  (** sim keys in OLD absent from NEW — gates *)
   added : string list;
 }
@@ -68,6 +74,7 @@ val pp : Format.formatter -> comparison -> unit
 
 val markdown_summary : ?top:int -> Format.formatter -> doc -> unit
 (** GitHub-flavoured markdown for [$GITHUB_STEP_SUMMARY]: headline
-    native pairs/second table plus, when the document carries the
-    schema-4 [profile] section, the [top] (default 3) hottest
-    simulated cache lines per queue. *)
+    native pairs/second table; the bytes-per-element and steady-state
+    allocation table when the document carries the schema-5 [memory]
+    section; and the [top] (default 3) hottest simulated cache lines
+    per queue when it carries the schema-4 [profile] section. *)

@@ -15,6 +15,7 @@ let extras =
     { key = "stone"; algo = (module Squeues.Stone_queue) };
     { key = "stone-ring"; algo = (module Squeues.Stone_ring_queue) };
     { key = "hb"; algo = (module Squeues.Hb_queue) };
+    { key = "scq"; algo = (module Squeues.Scq_queue) };
   ]
 
 let keys = List.map (fun e -> e.key) all
@@ -51,6 +52,29 @@ let find_native_batch key =
         (Invalid_argument
            (Printf.sprintf "unknown batch queue %S (available: %s)" key
               (String.concat ", " native_batch_keys)))
+
+(* Bounded native queues: fixed capacity, try_enqueue/try_dequeue with
+   full/empty verdicts.  Disjoint from [native] — the generic unbounded
+   property suites assume enqueue cannot refuse.  Declared before
+   [native_entry] for the same reason as [batch_entry] above. *)
+
+type bounded_entry = { key : string; queue : (module Core.Queue_intf.BOUNDED) }
+
+let native_bounded = [ { key = "scq"; queue = (module Core.Scq_queue) } ]
+
+let native_bounded_keys =
+  List.map (fun (e : bounded_entry) -> e.key) native_bounded
+
+let find_native_bounded key =
+  match
+    List.find_opt (fun (e : bounded_entry) -> e.key = key) native_bounded
+  with
+  | Some e -> e.queue
+  | None ->
+      raise
+        (Invalid_argument
+           (Printf.sprintf "unknown bounded queue %S (available: %s)" key
+              (String.concat ", " native_bounded_keys)))
 
 type native_entry = { key : string; queue : (module Core.Queue_intf.S) }
 

@@ -14,9 +14,9 @@ val all : entry list
     non-blocking, new non-blocking. *)
 
 val extras : entry list
-(** Simulated algorithms outside the figures — Stone's flawed queues
-    and Herlihy–Wing ("stone", "stone-ring", "hb") — used by the
-    verification tools. *)
+(** Simulated algorithms outside the figures — Stone's flawed queues,
+    Herlihy–Wing, and the bounded SCQ ring ("stone", "stone-ring",
+    "hb", "scq") — used by the verification and profiling tools. *)
 
 val find : string -> (module Squeues.Intf.S)
 (** Look up over {!all} and {!extras}; raises [Invalid_argument] with
@@ -47,6 +47,24 @@ val find_native_batch : string -> (module Core.Queue_intf.BATCH)
 (** Raises [Invalid_argument] with the available keys listed. *)
 
 val native_batch_keys : string list
+
+(** {2 Bounded native queues}
+
+    Fixed-capacity queues satisfying {!Core.Queue_intf.BOUNDED}
+    ([try_enqueue]/[try_dequeue] with full/empty verdicts).  A table
+    disjoint from {!native}: the generic unbounded property suites
+    assume enqueue cannot refuse.  (Also declared before
+    {!native_entry} so unannotated [{ key; queue }] patterns keep
+    resolving to the native entry type.) *)
+
+type bounded_entry = { key : string; queue : (module Core.Queue_intf.BOUNDED) }
+
+val native_bounded : bounded_entry list
+
+val find_native_bounded : string -> (module Core.Queue_intf.BOUNDED)
+(** Raises [Invalid_argument] with the available keys listed. *)
+
+val native_bounded_keys : string list
 
 (** {2 The native table} *)
 

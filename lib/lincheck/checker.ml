@@ -4,7 +4,12 @@ type verdict =
   | Inconclusive
 
 (* The sequential specification: a functional FIFO queue as a pair of
-   lists (front, reversed back). *)
+   lists (front, reversed back).  With [?capacity] it is the bounded
+   queue under {e pending-reservation} semantics: successful enqueues
+   linearize below capacity and empty verdicts are strict, but a
+   refused try_enqueue may account for capacity held by operations
+   whose hold spans the verdict without a linearization point there —
+   see [legal_full] in [check] and the .mli. *)
 module Spec = struct
   let empty = ([], [])
 
@@ -18,12 +23,22 @@ module Spec = struct
         | v :: front -> Some (v, (front, []))
         | [] -> assert false)
 
+  let size (front, back) = List.length front + List.length back
+
   (* Canonical form for memoization: the split point must not matter. *)
   let canonical (front, back) = front @ List.rev back
 
-  let apply t (op : History.op) =
+  let apply ?capacity t (op : History.op) =
+    let full t =
+      match capacity with Some c -> size t >= c | None -> false
+    in
     match op with
-    | Enq v -> Some (push t v)
+    | Enq v -> if full t then None else Some (push t v)
+    | Try_enq (v, true) -> if full t then None else Some (push t v)
+    | Try_enq (_, false) ->
+        (* handled by [legal_full] in the search loop, which needs the
+           other operations' intervals and done-state *)
+        None
     | Deq None -> if t = ([], []) then Some t else None
     | Deq (Some v) -> (
         match pop t with
@@ -31,7 +46,7 @@ module Spec = struct
         | Some _ | None -> None)
 end
 
-let check ?(max_configs = 2_000_000) (history : History.t) =
+let check ?(max_configs = 2_000_000) ?capacity (history : History.t) =
   let ops = Array.of_list history in
   let n = Array.length ops in
   if n = 0 then Linearizable
@@ -56,6 +71,40 @@ let check ?(max_configs = 2_000_000) (history : History.t) =
       done;
       !m
     in
+    (* A refused try_enqueue under pending-reservation semantics: the
+       verdict is justified by capacity that is {e held} across it,
+       even though no single linearization point exhibits it —
+       - items in the spec queue here;
+       - "late releases": dequeues already linearized whose response
+         comes after this verdict's invocation (a dequeue frees its
+         slot at its response, when the implementation returns the
+         index, not at its linearization point);
+       - "pending reservations": accepted enqueues not yet linearized
+         whose invocation precedes this verdict's response (an enqueue
+         holds its slot from its invocation, when the implementation
+         may already have claimed the index, to its linearization).
+       A full verdict with no such cover — queue below capacity, no
+       overlapping churn — remains a violation. *)
+    let legal_full i spec =
+      match capacity with
+      | None -> false
+      | Some c ->
+          let f = ops.(i) in
+          let cover = ref (Spec.size spec) in
+          for k = 0 to n - 1 do
+            if k <> i then
+              match ops.(k).History.op with
+              | History.Deq (Some _)
+                when is_done k && ops.(k).History.finish > f.History.start ->
+                  incr cover
+              | History.Enq _ | History.Try_enq (_, true)
+                when (not (is_done k)) && ops.(k).History.start < f.History.finish
+                ->
+                  incr cover
+              | _ -> ()
+          done;
+          !cover >= c
+    in
     let rec search remaining spec =
       if remaining = 0 then true
       else begin
@@ -69,7 +118,13 @@ let check ?(max_configs = 2_000_000) (history : History.t) =
           let rec try_ops i =
             if i >= n then false
             else if (not (is_done i)) && ops.(i).History.start <= horizon then begin
-              match Spec.apply spec ops.(i).History.op with
+              let next =
+                match ops.(i).History.op with
+                | History.Try_enq (_, false) ->
+                    if legal_full i spec then Some spec else None
+                | op -> Spec.apply ?capacity spec op
+              in
+              match next with
               | Some spec' ->
                   set_done i true;
                   let ok = search (remaining - 1) spec' in
@@ -89,8 +144,8 @@ let check ?(max_configs = 2_000_000) (history : History.t) =
     | exception Out_of_budget -> Inconclusive
   end
 
-let check_exn ?max_configs history =
-  match check ?max_configs history with
+let check_exn ?max_configs ?capacity history =
+  match check ?max_configs ?capacity history with
   | Linearizable -> ()
   | (Not_linearizable | Inconclusive) as v ->
       let sorted =

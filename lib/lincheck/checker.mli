@@ -19,9 +19,28 @@ type verdict =
   | Not_linearizable
   | Inconclusive  (** the configuration budget was exhausted *)
 
-val check : ?max_configs:int -> History.t -> verdict
-(** [max_configs] defaults to 2_000_000 explored configurations. *)
+val check : ?max_configs:int -> ?capacity:int -> History.t -> verdict
+(** [max_configs] defaults to 2_000_000 explored configurations.
 
-val check_exn : ?max_configs:int -> History.t -> unit
+    [capacity] switches the specification to the bounded FIFO queue of
+    that capacity under {e pending-reservation} semantics:
+    [Enq]/[Try_enq (_, true)] linearize only when the spec queue holds
+    fewer than [capacity] items, and empty verdicts ([Deq None]) stay
+    strict; a refused [Try_enq (_, false)] linearizes when capacity is
+    {e held} across the verdict — by queue items, by dequeues already
+    linearized but not yet responded when the verdict was invoked, or
+    by accepted enqueues invoked before the verdict's response but not
+    yet linearized.  The relaxation is forced: in any
+    reserve-then-publish ring (SCQ, and bounded rings generally — cf.
+    Aksenov et al., arXiv 2104.15003) an in-flight enqueue reserves
+    capacity before it publishes, so a full and an empty verdict can
+    both truthfully complete inside one enqueue's interval, which no
+    single enqueue linearization point can explain.  A full verdict
+    with no covering churn — queue below capacity and no overlapping
+    enqueue/dequeue — is still a violation.  Without [capacity] the
+    queue is unbounded and a history containing [Try_enq (_, false)]
+    can never linearize. *)
+
+val check_exn : ?max_configs:int -> ?capacity:int -> History.t -> unit
 (** Raises [Failure] with a readable rendering of the history unless
     the verdict is [Linearizable]. *)

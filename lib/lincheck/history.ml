@@ -1,6 +1,7 @@
 type op =
   | Enq of int
   | Deq of int option
+  | Try_enq of int * bool
 
 type entry = { proc : int; op : op; start : int; finish : int }
 
@@ -54,6 +55,8 @@ let pp_op fmt = function
   | Enq v -> Format.fprintf fmt "enq %d" v
   | Deq None -> Format.fprintf fmt "deq -> empty"
   | Deq (Some v) -> Format.fprintf fmt "deq -> %d" v
+  | Try_enq (v, true) -> Format.fprintf fmt "try_enq %d -> ok" v
+  | Try_enq (v, false) -> Format.fprintf fmt "try_enq %d -> full" v
 
 let pp_entry fmt e =
   Format.fprintf fmt "p%d [%d,%d] %a" e.proc e.start e.finish pp_op e.op

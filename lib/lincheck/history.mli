@@ -17,6 +17,12 @@
 type op =
   | Enq of int
   | Deq of int option  (** the result observed *)
+  | Try_enq of int * bool
+      (** a bounded queue's {!Core.Queue_intf.BOUNDED.try_enqueue}: the
+          value offered and whether it was accepted ([false] = the
+          queue was observed full).  A bounded [try_dequeue] records as
+          [Deq] — its [None] is the same empty verdict.  Checkable only
+          with {!Checker.check}'s [?capacity]. *)
 
 type entry = { proc : int; op : op; start : int; finish : int }
 

@@ -78,6 +78,25 @@ module T_counted = Core.Ms_queue_counted.Make (Traced_atomic)
 module T_hp = Core.Ms_queue_hp.Make (Traced_atomic)
 module T_two_lock = Core.Two_lock_queue.Make (Traced_atomic)
 module T_segmented = Core.Segmented_queue.Make (Traced_atomic)
+module T_scq = Core.Scq_queue.Make (Traced_atomic)
+
+(* The bounded SCQ joins the unbounded battery through an adapter:
+   capacity 4 covers the largest scenario's live-item count (enq-enq's
+   four unanswered enqueues), so try_enqueue can never refuse and the
+   unbounded FIFO spec applies unchanged.  The full/empty verdicts get
+   their own bounded battery below. *)
+module T_scq_unbounded = struct
+  type 'a t = 'a T_scq.t
+
+  let name = "scq"
+  let create () = T_scq.create ~capacity:4 ()
+
+  let enqueue q v =
+    if not (T_scq.try_enqueue q v) then
+      failwith "scq refused an enqueue below capacity"
+
+  let dequeue = T_scq.try_dequeue
+end
 
 let queues : (string * (module QUEUE)) list =
   [
@@ -86,6 +105,7 @@ let queues : (string * (module QUEUE)) list =
     ("ms-hp", (module T_hp));
     ("two-lock", (module T_two_lock));
     ("segmented", (module T_segmented));
+    ("scq", (module T_scq_unbounded));
   ]
 
 let find_queue name = List.assoc_opt name queues
@@ -152,6 +172,38 @@ let broken : (module QUEUE) = (module Broken)
 (* ------------------------------------------------------------------ *)
 (* Oracle and driver. *)
 
+(* Multiset equality of accepted enqueues vs. dequeued values —
+   refused try_enqueues put nothing in the queue and count for
+   neither side. *)
+let conservation h =
+  let enqueued =
+    List.filter_map
+      (fun e ->
+        match e.Lincheck.History.op with
+        | Lincheck.History.Enq v | Lincheck.History.Try_enq (v, true) -> Some v
+        | Lincheck.History.Try_enq (_, false) | Lincheck.History.Deq _ -> None)
+      h
+  in
+  let dequeued =
+    List.filter_map
+      (fun e ->
+        match e.Lincheck.History.op with
+        | Lincheck.History.Deq (Some v) -> Some v
+        | Lincheck.History.Deq None
+        | Lincheck.History.Enq _
+        | Lincheck.History.Try_enq _ ->
+            None)
+      h
+  in
+  let sorted = List.sort compare in
+  let render vs = String.concat "," (List.map string_of_int vs) in
+  if sorted enqueued <> sorted dequeued then
+    Error
+      (Printf.sprintf "conservation violated: enqueued {%s} but dequeued {%s}"
+         (render (sorted enqueued))
+         (render (sorted dequeued)))
+  else Ok ()
+
 (* [spec]'s context type mentions the unpacked [Q.t], which must not
    escape — so consumers pass in a polymorphic continuation instead of
    receiving the spec. *)
@@ -195,36 +247,15 @@ let with_spec (module Q : QUEUE) scenario { go } =
     in
     drain ();
     let h = Lincheck.History.history recorder in
-    let enqueued =
-      List.filter_map
-        (fun e ->
-          match e.Lincheck.History.op with
-          | Lincheck.History.Enq v -> Some v
-          | Lincheck.History.Deq _ -> None)
-        h
-    in
-    let dequeued =
-      List.filter_map
-        (fun e ->
-          match e.Lincheck.History.op with
-          | Lincheck.History.Deq (Some v) -> Some v
-          | Lincheck.History.Deq None | Lincheck.History.Enq _ -> None)
-        h
-    in
-    let sorted = List.sort compare in
-    let render vs = String.concat "," (List.map string_of_int vs) in
-    if sorted enqueued <> sorted dequeued then
-      Error
-        (Printf.sprintf "conservation violated: enqueued {%s} but dequeued {%s}"
-           (render (sorted enqueued))
-           (render (sorted dequeued)))
-    else
-      match Lincheck.Checker.check h with
-      | Lincheck.Checker.Linearizable -> Ok ()
-      | Lincheck.Checker.Not_linearizable ->
-          Error "history is not linearizable against the sequential FIFO queue"
-      | Lincheck.Checker.Inconclusive ->
-          Error "linearizability check inconclusive (configuration budget exhausted)"
+    match conservation h with
+    | Error _ as e -> e
+    | Ok () -> (
+        match Lincheck.Checker.check h with
+        | Lincheck.Checker.Linearizable -> Ok ()
+        | Lincheck.Checker.Not_linearizable ->
+            Error "history is not linearizable against the sequential FIFO queue"
+        | Lincheck.Checker.Inconclusive ->
+            Error "linearizability check inconclusive (configuration budget exhausted)")
   in
   go { N.make; check_final; check_step = None }
 
@@ -240,4 +271,276 @@ let check_random ?(max_preemptions = 3) ?(max_steps = 10_000) ?(runs = 1_000)
 
 let replay ?(max_steps = 10_000) q scenario schedule =
   with_spec q scenario
+    { go = (fun s -> (N.run s ~schedule ~budget:0 ~max_steps).N.status) }
+
+(* ------------------------------------------------------------------ *)
+(* Bounded battery: the same explorer over try_enqueue/try_dequeue
+   scripts at tiny capacities, judged against the BOUNDED sequential
+   spec — a spurious full verdict (or one that loses the element) is a
+   failure exactly like a spurious empty. *)
+
+module type BQUEUE = Core.Queue_intf.BOUNDED
+
+type bop = Try_enq of int | Try_deq
+
+type bounded_scenario = {
+  bname : string;
+  capacity : int;
+  bprocs : bop list array;
+}
+
+let bounded_scenarios =
+  [
+    (* two enqueuers racing for the last free slot of a capacity-1
+       queue against a dequeuer: exactly one of the competing full
+       verdicts may be spurious-free *)
+    {
+      bname = "b-full-race";
+      capacity = 1;
+      bprocs = [| [ Try_enq 101; Try_enq 102 ]; [ Try_enq 201; Try_deq ] |];
+    };
+    (* a dequeuer burning tickets past an in-flight enqueue: the
+       enqueuer must abandon its overrun ticket, not deposit into a
+       slot whose dequeue ticket already passed (the planted-bug
+       scenario) *)
+    {
+      bname = "b-empty-race";
+      capacity = 2;
+      bprocs = [| [ Try_enq 101; Try_deq; Try_deq ]; [ Try_enq 201 ] |];
+    };
+    (* capacity-1 ring wrapping twice under contention: cycle tags and
+       catchup under both full and empty verdicts *)
+    {
+      bname = "b-wrap";
+      capacity = 1;
+      bprocs =
+        [|
+          [ Try_enq 101; Try_deq; Try_enq 102; Try_deq ];
+          [ Try_enq 201; Try_deq ];
+        |];
+    };
+  ]
+
+let find_bounded_scenario name =
+  List.find_opt (fun s -> s.bname = name) bounded_scenarios
+
+let bqueues : (string * (module BQUEUE)) list = [ ("scq", (module T_scq)) ]
+
+let find_bqueue name = List.assoc_opt name bqueues
+
+(* The planted bug for the bounded checker's self-test: SCQ with the
+   cycle comparison dropped from the ring-enqueue slot claim.  An
+   enqueuer whose ticket was overrun by a dequeuer (which advanced the
+   slot to the current cycle and moved on) then deposits into a slot
+   whose dequeue ticket has already passed, stranding the value — one
+   preemption in [b-empty-race] exposes it as a conservation
+   violation.  Dequeue is the correct algorithm. *)
+module Broken_scq (A : Core.Atomic_intf.ATOMIC) = struct
+  type ring = {
+    entries : int A.t array;
+    head : int A.t;
+    tail : int A.t;
+    threshold : int A.t;
+    order : int;
+  }
+
+  type 'a t = { aq : ring; fq : ring; data : 'a option array; cap : int }
+
+  let name = "broken-scq"
+  let imask r = (1 lsl r.order) - 1
+  let safe_bit r = 1 lsl r.order
+
+  let pack r ~cycle ~safe ~idx =
+    (cycle lsl (r.order + 1)) lor (if safe then safe_bit r else 0) lor idx
+
+  let entry_cycle r e = e asr (r.order + 1)
+  let entry_idx r e = e land imask r
+  let entry_safe r e = e land safe_bit r <> 0
+  let threshold3 r = (1 lsl r.order) + (1 lsl (r.order - 1)) - 1
+
+  let make_ring ~order ~prefill =
+    let n2 = 1 lsl order in
+    let entries =
+      Array.init n2 (fun j ->
+          if j < prefill then A.make ((1 lsl order) lor j)
+          else A.make (((-1) lsl (order + 1)) lor (1 lsl order) lor (n2 - 1)))
+    in
+    {
+      entries;
+      head = A.make 0;
+      tail = A.make prefill;
+      threshold = A.make (if prefill > 0 then n2 + (n2 / 2) - 1 else -1);
+      order;
+    }
+
+  let rec enq_ring r idx =
+    let t = A.fetch_and_add r.tail 1 in
+    let tcycle = t lsr r.order in
+    let j = t land imask r in
+    deposit r idx ~t ~tcycle ~j (A.get r.entries.(j))
+
+  and deposit r idx ~t ~tcycle ~j e =
+    (* the bug: no [entry_cycle r e < tcycle] guard *)
+    if entry_idx r e = imask r && (entry_safe r e || A.get r.head <= t) then begin
+      if A.compare_and_set r.entries.(j) e (pack r ~cycle:tcycle ~safe:true ~idx)
+      then begin
+        let thr = threshold3 r in
+        if A.get r.threshold <> thr then A.set r.threshold thr
+      end
+      else deposit r idx ~t ~tcycle ~j (A.get r.entries.(j))
+    end
+    else enq_ring r idx
+
+  let rec catchup r ~tail ~head =
+    if not (A.compare_and_set r.tail tail head) then begin
+      let head = A.get r.head in
+      let tail = A.get r.tail in
+      if tail < head then catchup r ~tail ~head
+    end
+
+  let rec deq_ring r =
+    if A.get r.threshold < 0 then None
+    else begin
+      let h = A.fetch_and_add r.head 1 in
+      let hcycle = h lsr r.order in
+      let j = h land imask r in
+      consume r ~h ~hcycle ~j (A.get r.entries.(j))
+    end
+
+  and consume r ~h ~hcycle ~j e =
+    let ecycle = entry_cycle r e in
+    if ecycle = hcycle && entry_idx r e <> imask r then begin
+      if A.compare_and_set r.entries.(j) e (e lor imask r) then
+        Some (entry_idx r e)
+      else consume r ~h ~hcycle ~j (A.get r.entries.(j))
+    end
+    else begin
+      let advanced =
+        if ecycle < hcycle then begin
+          let desired =
+            if entry_idx r e = imask r then
+              pack r ~cycle:hcycle ~safe:(entry_safe r e) ~idx:(imask r)
+            else e land lnot (safe_bit r)
+          in
+          desired = e || A.compare_and_set r.entries.(j) e desired
+        end
+        else true
+      in
+      if not advanced then consume r ~h ~hcycle ~j (A.get r.entries.(j))
+      else begin
+        let t = A.get r.tail in
+        if t <= h + 1 then begin
+          catchup r ~tail:t ~head:(h + 1);
+          ignore (A.fetch_and_add r.threshold (-1));
+          None
+        end
+        else if A.fetch_and_add r.threshold (-1) <= 0 then None
+        else deq_ring r
+      end
+    end
+
+  let create ?(capacity = 1024) () =
+    let rec order_for k = if 1 lsl k >= capacity then k else order_for (k + 1) in
+    let cap_order = order_for 0 in
+    let cap = 1 lsl cap_order in
+    let order = cap_order + 1 in
+    {
+      aq = make_ring ~order ~prefill:0;
+      fq = make_ring ~order ~prefill:cap;
+      data = Array.make cap None;
+      cap;
+    }
+
+  let capacity t = t.cap
+
+  let try_enqueue t v =
+    match deq_ring t.fq with
+    | None -> false
+    | Some i ->
+        t.data.(i) <- Some v;
+        enq_ring t.aq i;
+        true
+
+  let try_dequeue t =
+    match deq_ring t.aq with
+    | None -> None
+    | Some i ->
+        let v = t.data.(i) in
+        t.data.(i) <- None;
+        enq_ring t.fq i;
+        v
+
+  let length t =
+    Array.fold_left
+      (fun acc e -> if entry_idx t.aq (A.get e) <> imask t.aq then acc + 1 else acc)
+      0 t.aq.entries
+
+  let is_empty t = length t = 0
+end
+
+module Broken_b = Broken_scq (Traced_atomic)
+
+let broken_bounded : (module BQUEUE) = (module Broken_b)
+
+let with_bounded_spec (module Q : BQUEUE) scenario { go } =
+  let make () =
+    Traced_atomic.reset_ids ();
+    let q : int Q.t = Q.create ~capacity:scenario.capacity () in
+    let recorder = Lincheck.History.create_recorder () in
+    let bodies =
+      Array.mapi
+        (fun i steps () ->
+          List.iter
+            (fun op ->
+              match op with
+              | Try_enq v ->
+                  Lincheck.History.record recorder ~proc:i (fun () ->
+                      Lincheck.History.Try_enq (v, Q.try_enqueue q v))
+              | Try_deq ->
+                  Lincheck.History.record recorder ~proc:i (fun () ->
+                      Lincheck.History.Deq (Q.try_dequeue q)))
+            steps)
+        scenario.bprocs
+    in
+    ((), (q, recorder), bodies)
+  in
+  let check_final () (q, recorder) =
+    let driver = Array.length scenario.bprocs in
+    let rec drain () =
+      let got = ref None in
+      Lincheck.History.record recorder ~proc:driver (fun () ->
+          let r = Q.try_dequeue q in
+          got := r;
+          Lincheck.History.Deq r);
+      if !got <> None then drain ()
+    in
+    drain ();
+    let h = Lincheck.History.history recorder in
+    match conservation h with
+    | Error _ as e -> e
+    | Ok () -> (
+        (* Q.capacity, not scenario.capacity: the spec must match the
+           rounding the implementation actually enforces *)
+        match Lincheck.Checker.check ~capacity:(Q.capacity q) h with
+        | Lincheck.Checker.Linearizable -> Ok ()
+        | Lincheck.Checker.Not_linearizable ->
+            Error
+              "history is not linearizable against the bounded sequential queue"
+        | Lincheck.Checker.Inconclusive ->
+            Error "linearizability check inconclusive (configuration budget exhausted)")
+  in
+  go { N.make; check_final; check_step = None }
+
+let check_bounded ?(max_preemptions = 2) ?(max_steps = 10_000)
+    ?(max_runs = 1_000_000) ?(max_failures = 5) q scenario =
+  with_bounded_spec q scenario
+    { go = (fun s -> N.explore ~max_preemptions ~max_steps ~max_runs ~max_failures s) }
+
+let check_bounded_random ?(max_preemptions = 3) ?(max_steps = 10_000)
+    ?(runs = 1_000) ?(max_failures = 5) ~seed q scenario =
+  with_bounded_spec q scenario
+    { go = (fun s -> N.explore_random ~max_preemptions ~max_steps ~runs ~max_failures ~seed s) }
+
+let replay_bounded ?(max_steps = 10_000) q scenario schedule =
+  with_bounded_spec q scenario
     { go = (fun s -> (N.run s ~schedule ~budget:0 ~max_steps).N.status) }

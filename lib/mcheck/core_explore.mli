@@ -52,7 +52,9 @@ val find_scenario : string -> scenario option
 
 val queues : (string * (module QUEUE)) list
 (** Traced instantiations of the native queues: ms, ms-counted, ms-hp,
-    two-lock, segmented. *)
+    two-lock, segmented, and the bounded scq behind an unbounded
+    adapter (capacity 4, above any scenario's live-item count, so
+    [try_enqueue] cannot refuse and the FIFO spec applies). *)
 
 val find_queue : string -> (module QUEUE) option
 
@@ -97,3 +99,68 @@ val replay :
 (** Re-execute one schedule (e.g. a reported counterexample) and
     return its verdict — deterministic, so a failure's schedule
     reproduces its trace exactly. *)
+
+(** {2 Bounded battery}
+
+    The same explorer over [try_enqueue]/[try_dequeue] scripts at tiny
+    capacities, judged by conservation (refused enqueues count for
+    neither side) plus {!Lincheck.Checker.check} with [~capacity] — so
+    a spurious full verdict, or one that loses the element, fails
+    exactly like a spurious empty. *)
+
+module type BQUEUE = Core.Queue_intf.BOUNDED
+
+type bop = Try_enq of int | Try_deq
+
+type bounded_scenario = {
+  bname : string;
+  capacity : int;
+  bprocs : bop list array;
+}
+
+val bounded_scenarios : bounded_scenario list
+(** Full-verdict race at capacity 1, dequeuer-overrun vs. in-flight
+    enqueue (the planted-bug scenario), and a capacity-1 double wrap. *)
+
+val find_bounded_scenario : string -> bounded_scenario option
+
+val bqueues : (string * (module BQUEUE)) list
+(** Traced bounded queues: scq. *)
+
+val find_bqueue : string -> (module BQUEUE) option
+
+(** The planted bug for the bounded self-test: SCQ with the cycle
+    comparison dropped from the ring-enqueue slot claim, so an
+    enqueuer overrun by a dequeuer deposits into a slot whose dequeue
+    ticket already passed and strands the value.  One preemption in
+    the [b-empty-race] scenario exposes it. *)
+module Broken_scq (_ : Core.Atomic_intf.ATOMIC) : BQUEUE
+
+val broken_bounded : (module BQUEUE)
+(** [Broken_scq] over {!Traced_atomic}. *)
+
+val check_bounded :
+  ?max_preemptions:int ->
+  ?max_steps:int ->
+  ?max_runs:int ->
+  ?max_failures:int ->
+  (module BQUEUE) ->
+  bounded_scenario ->
+  Explore.outcome
+
+val check_bounded_random :
+  ?max_preemptions:int ->
+  ?max_steps:int ->
+  ?runs:int ->
+  ?max_failures:int ->
+  seed:int64 ->
+  (module BQUEUE) ->
+  bounded_scenario ->
+  Explore.outcome
+
+val replay_bounded :
+  ?max_steps:int ->
+  (module BQUEUE) ->
+  bounded_scenario ->
+  Explore.schedule ->
+  [ `Completed | `Diverged | `Failed of Explore.failure ]

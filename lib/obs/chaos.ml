@@ -114,6 +114,30 @@ end
 
 module Make (Q : Core.Queue_intf.S) : Core.Queue_intf.S = Make_unsealed (Q)
 
+module Make_bounded (Q : Core.Queue_intf.BOUNDED) : Core.Queue_intf.BOUNDED =
+struct
+  type 'a t = 'a Q.t
+
+  let name = Q.name ^ "+chaos"
+  let create = Q.create
+  let capacity = Q.capacity
+
+  let try_enqueue q v =
+    maybe_delay "wrap.try_enqueue.pre";
+    let r = Q.try_enqueue q v in
+    maybe_delay "wrap.try_enqueue.post";
+    r
+
+  let try_dequeue q =
+    maybe_delay "wrap.try_dequeue.pre";
+    let r = Q.try_dequeue q in
+    maybe_delay "wrap.try_dequeue.post";
+    r
+
+  let is_empty = Q.is_empty
+  let length = Q.length
+end
+
 module Make_batch (Q : Core.Queue_intf.BATCH) : Core.Queue_intf.BATCH = struct
   include Make_unsealed (Q) (* 'a t = 'a Q.t stays visible here *)
 

@@ -66,3 +66,4 @@ val maybe_delay : string -> unit
 
 module Make (Q : Core.Queue_intf.S) : Core.Queue_intf.S
 module Make_batch (Q : Core.Queue_intf.BATCH) : Core.Queue_intf.BATCH
+module Make_bounded (Q : Core.Queue_intf.BOUNDED) : Core.Queue_intf.BOUNDED

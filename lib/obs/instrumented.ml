@@ -10,6 +10,12 @@ module type BATCH_S = sig
   val metrics : 'a t -> Metrics.t
 end
 
+module type BOUNDED_S = sig
+  include Core.Queue_intf.BOUNDED
+
+  val metrics : 'a t -> Metrics.t
+end
+
 let now_ns () = Int64.to_int (Monotonic_clock.now ())
 
 (* Run [f], attributing its latency and its per-domain probe deltas
@@ -77,6 +83,51 @@ module Make_unsealed (Q : Core.Queue_intf.S) = struct
 end
 
 module Make (Q : Core.Queue_intf.S) : S = Make_unsealed (Q)
+
+(* The bounded wrapper: same latency/probe attribution as [Make], with
+   the verdicts counted — a refused try_enqueue is a [full_enqueues],
+   a [None] try_dequeue an [empty_dequeues].  Refusals still record a
+   latency sample: on a full ring the fq dequeue's ticket burns are
+   exactly the cost a caller pays to learn "full". *)
+module Make_bounded (Q : Core.Queue_intf.BOUNDED) : BOUNDED_S = struct
+  type 'a t = { q : 'a Q.t; m : Metrics.t }
+
+  let name = Q.name
+  let enq_phase = Q.name ^ ".enq"
+  let deq_phase = Q.name ^ ".deq"
+
+  let create ?capacity () = { q = Q.create ?capacity (); m = Metrics.create Q.name }
+
+  let metrics t = t.m
+  let capacity t = Q.capacity t.q
+
+  let try_enqueue t v =
+    if not (Control.enabled ()) then Q.try_enqueue t.q v
+    else begin
+      Counter.incr t.m.Metrics.enqueues;
+      let ok =
+        measured ~phase:enq_phase t.m t.m.Metrics.enq_latency (fun () ->
+            Q.try_enqueue t.q v)
+      in
+      if not ok then Counter.incr t.m.Metrics.full_enqueues;
+      ok
+    end
+
+  let try_dequeue t =
+    if not (Control.enabled ()) then Q.try_dequeue t.q
+    else begin
+      Counter.incr t.m.Metrics.dequeues;
+      let r =
+        measured ~phase:deq_phase t.m t.m.Metrics.deq_latency (fun () ->
+            Q.try_dequeue t.q)
+      in
+      if r = None then Counter.incr t.m.Metrics.empty_dequeues;
+      r
+    end
+
+  let is_empty t = Q.is_empty t.q
+  let length t = Q.length t.q
+end
 
 (* The batch wrapper: the per-element operations are instrumented
    exactly as in [Make]; each batch call is one latency sample in the

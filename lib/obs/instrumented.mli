@@ -39,3 +39,20 @@ module type BATCH_S = sig
 end
 
 module Make_batch (Q : Core.Queue_intf.BATCH) : BATCH_S
+
+(** {1 Bounded queues}
+
+    [Make_bounded (Q)] instruments a {!Core.Queue_intf.BOUNDED} queue:
+    latency and probe attribution as in [Make], with the verdicts
+    counted — a refused [try_enqueue] increments
+    {!Metrics.t.full_enqueues} (and still records a latency sample: the
+    cost of learning "full" is real work), a [None] [try_dequeue]
+    increments [empty_dequeues]. *)
+
+module type BOUNDED_S = sig
+  include Core.Queue_intf.BOUNDED
+
+  val metrics : 'a t -> Metrics.t
+end
+
+module Make_bounded (Q : Core.Queue_intf.BOUNDED) : BOUNDED_S

@@ -3,6 +3,7 @@ type t = {
   enqueues : Counter.t;
   dequeues : Counter.t;
   empty_dequeues : Counter.t;
+  full_enqueues : Counter.t;
   enq_latency : Histogram.t;
   deq_latency : Histogram.t;
   cas_retries : Counter.t;
@@ -17,6 +18,7 @@ let create name =
     enqueues = Counter.create ();
     dequeues = Counter.create ();
     empty_dequeues = Counter.create ();
+    full_enqueues = Counter.create ();
     enq_latency = Histogram.create ();
     deq_latency = Histogram.create ();
     cas_retries = Counter.create ();
@@ -29,6 +31,7 @@ let reset t =
   Counter.reset t.enqueues;
   Counter.reset t.dequeues;
   Counter.reset t.empty_dequeues;
+  Counter.reset t.full_enqueues;
   Histogram.reset t.enq_latency;
   Histogram.reset t.deq_latency;
   Counter.reset t.cas_retries;
@@ -43,6 +46,7 @@ let to_json t =
       ("enqueues", Json.Int (Counter.value t.enqueues));
       ("dequeues", Json.Int (Counter.value t.dequeues));
       ("empty_dequeues", Json.Int (Counter.value t.empty_dequeues));
+      ("full_enqueues", Json.Int (Counter.value t.full_enqueues));
       ("cas_retries", Json.Int (Counter.value t.cas_retries));
       ("backoffs", Json.Int (Counter.value t.backoffs));
       ("helps", Json.Int (Counter.value t.helps));
@@ -55,11 +59,12 @@ let pp fmt t =
   let p50 h = match Histogram.percentile h 50. with Some v -> v | None -> 0 in
   let p99 h = match Histogram.percentile h 99. with Some v -> v | None -> 0 in
   Format.fprintf fmt
-    "@[<v>%s: enq=%d deq=%d (empty %d)@ \
+    "@[<v>%s: enq=%d (full %d) deq=%d (empty %d)@ \
      latency ns (p50/p99): enq %d/%d deq %d/%d@ \
      cas retries=%d backoffs=%d helps=%d@]"
     t.name
     (Counter.value t.enqueues)
+    (Counter.value t.full_enqueues)
     (Counter.value t.dequeues)
     (Counter.value t.empty_dequeues)
     (p50 t.enq_latency) (p99 t.enq_latency) (p50 t.deq_latency) (p99 t.deq_latency)

@@ -12,6 +12,9 @@ type t = {
   enqueues : Counter.t;
   dequeues : Counter.t;
   empty_dequeues : Counter.t;  (** dequeues that returned [None] *)
+  full_enqueues : Counter.t;
+      (** bounded [try_enqueue]s that returned [false]; always 0 for
+          unbounded queues *)
   enq_latency : Histogram.t;  (** ns per enqueue *)
   deq_latency : Histogram.t;  (** ns per dequeue *)
   cas_retries : Counter.t;
@@ -25,7 +28,8 @@ val reset : t -> unit
 
 val to_json : t -> Json.t
 (** Counters flat, histograms via {!Histogram.to_json}; keys:
-    name, enqueues, dequeues, empty_dequeues, cas_retries, backoffs,
-    helps, enq_latency_ns, deq_latency_ns, retries_per_op. *)
+    name, enqueues, dequeues, empty_dequeues, full_enqueues,
+    cas_retries, backoffs, helps, enq_latency_ns, deq_latency_ns,
+    retries_per_op. *)
 
 val pp : Format.formatter -> t -> unit

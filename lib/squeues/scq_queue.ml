@@ -1,0 +1,211 @@
+open Sim
+
+(* Simulated SCQ — the same two-ring bounded construction as
+   [Core.Scq_queue] (Nikolaev, arXiv 1908.04511), over simulated words
+   so the cache model prices its contention and the cycle counts are
+   deterministic.  See the native module for the algorithm commentary;
+   this file mirrors its structure line for line.
+
+   Entries pack ⟨cycle, safe, index⟩ into one [Word.Int]; the
+   simulator's CAS compares [Int] words by value (see [Word.equal]),
+   exactly the immediate-int CAS the native code relies on.  There is
+   no node pool: [options.pool] is reused as the {e capacity} (rounded
+   up to a power of two), since both express "how much memory the queue
+   may ever hold".  [Intf.S.enqueue] spins (with [Api.yield]) when
+   full — the blocking adapter over [try_enqueue], for harness
+   workloads that assume unbounded enqueue. *)
+
+type ring = {
+  entries : int; (* base address of 2^order packed-entry cells *)
+  head : int;
+  tail : int;
+  threshold : int;
+  order : int;
+}
+
+type t = { aq : ring; fq : ring; data : int; cap : int }
+
+let name = "scq-ring"
+
+let imask r = (1 lsl r.order) - 1
+let safe_bit r = 1 lsl r.order
+
+let pack r ~cycle ~safe ~idx =
+  (cycle lsl (r.order + 1)) lor (if safe then safe_bit r else 0) lor idx
+
+let entry_cycle r e = e asr (r.order + 1)
+let entry_idx r e = e land imask r
+let entry_safe r e = e land safe_bit r <> 0
+let threshold3 r = (1 lsl r.order) + (1 lsl (r.order - 1)) - 1
+
+let make_ring ~prefix eng ~order ~prefill =
+  let n2 = 1 lsl order in
+  let entries =
+    Engine.setup_alloc ~label:(prefix ^ ".entries") eng n2
+  in
+  for j = 0 to n2 - 1 do
+    let e =
+      if j < prefill then (1 lsl order) lor j (* cycle 0, safe, idx j *)
+      else ((-1) lsl (order + 1)) lor (1 lsl order) lor (n2 - 1)
+      (* cycle −1, safe, ⊥ *)
+    in
+    Engine.poke eng (entries + j) (Word.Int e)
+  done;
+  let head = Engine.setup_alloc ~label:(prefix ^ ".Head") eng 1 in
+  let tail = Engine.setup_alloc ~label:(prefix ^ ".Tail") eng 1 in
+  let threshold = Engine.setup_alloc ~label:(prefix ^ ".Threshold") eng 1 in
+  Engine.poke eng head (Word.Int 0);
+  Engine.poke eng tail (Word.Int prefill);
+  Engine.poke eng threshold
+    (Word.Int (if prefill > 0 then n2 + (n2 / 2) - 1 else -1));
+  { entries; head; tail; threshold; order }
+
+let init ?(options = Intf.default_options) eng =
+  let want = max 1 options.Intf.pool in
+  let rec order_for k = if 1 lsl k >= want then k else order_for (k + 1) in
+  let cap_order = order_for 0 in
+  let cap = 1 lsl cap_order in
+  let order = cap_order + 1 in
+  let aq = make_ring ~prefix:"scq.aq" eng ~order ~prefill:0 in
+  let fq = make_ring ~prefix:"scq.fq" eng ~order ~prefill:cap in
+  let data = Engine.setup_alloc ~label:"scq.data" eng cap in
+  { aq; fq; data; cap }
+
+let capacity t = t.cap
+
+let rec enq_ring r idx =
+  let t = Api.fetch_and_add r.tail 1 in
+  let tcycle = t lsr r.order in
+  let j = t land imask r in
+  deposit r idx ~t ~tcycle ~j (Word.to_int (Api.read (r.entries + j)))
+
+and deposit r idx ~t ~tcycle ~j e =
+  if
+    entry_cycle r e < tcycle
+    && entry_idx r e = imask r
+    && (entry_safe r e || Word.to_int (Api.read r.head) <= t)
+  then begin
+    if
+      Api.cas (r.entries + j) ~expected:(Word.Int e)
+        ~desired:(Word.Int (pack r ~cycle:tcycle ~safe:true ~idx))
+    then begin
+      let thr = threshold3 r in
+      if Word.to_int (Api.read r.threshold) <> thr then
+        Api.write r.threshold (Word.Int thr)
+    end
+    else begin
+      Api.count "scq.cas_retry";
+      deposit r idx ~t ~tcycle ~j (Word.to_int (Api.read (r.entries + j)))
+    end
+  end
+  else begin
+    Api.count "scq.ticket_abandoned";
+    enq_ring r idx
+  end
+
+let rec catchup r ~tail ~head =
+  if not (Api.cas r.tail ~expected:(Word.Int tail) ~desired:(Word.Int head))
+  then begin
+    let head = Word.to_int (Api.read r.head) in
+    let tail = Word.to_int (Api.read r.tail) in
+    if tail < head then catchup r ~tail ~head
+  end
+
+let rec deq_ring r =
+  if Word.to_int (Api.read r.threshold) < 0 then None
+  else begin
+    let h = Api.fetch_and_add r.head 1 in
+    let hcycle = h lsr r.order in
+    let j = h land imask r in
+    consume r ~h ~hcycle ~j (Word.to_int (Api.read (r.entries + j)))
+  end
+
+and consume r ~h ~hcycle ~j e =
+  let ecycle = entry_cycle r e in
+  if ecycle = hcycle && entry_idx r e <> imask r then begin
+    if
+      Api.cas (r.entries + j) ~expected:(Word.Int e)
+        ~desired:(Word.Int (e lor imask r))
+    then Some (entry_idx r e)
+    else begin
+      Api.count "scq.cas_retry";
+      consume r ~h ~hcycle ~j (Word.to_int (Api.read (r.entries + j)))
+    end
+  end
+  else begin
+    let advanced =
+      if ecycle < hcycle then begin
+        let desired =
+          if entry_idx r e = imask r then
+            pack r ~cycle:hcycle ~safe:(entry_safe r e) ~idx:(imask r)
+          else e land lnot (safe_bit r)
+        in
+        desired = e
+        || Api.cas (r.entries + j) ~expected:(Word.Int e)
+             ~desired:(Word.Int desired)
+      end
+      else true
+    in
+    if not advanced then begin
+      Api.count "scq.cas_retry";
+      consume r ~h ~hcycle ~j (Word.to_int (Api.read (r.entries + j)))
+    end
+    else begin
+      let t = Word.to_int (Api.read r.tail) in
+      if t <= h + 1 then begin
+        Api.count "scq.catchup";
+        catchup r ~tail:t ~head:(h + 1);
+        ignore (Api.fetch_and_add r.threshold (-1));
+        None
+      end
+      else if Api.fetch_and_add r.threshold (-1) <= 0 then None
+      else deq_ring r
+    end
+  end
+
+let try_enqueue t v =
+  Intf.phase_begin "scq.enq";
+  let ok =
+    match deq_ring t.fq with
+    | None -> false
+    | Some i ->
+        Api.write (t.data + i) (Word.Int v);
+        enq_ring t.aq i;
+        true
+  in
+  Intf.phase_end "scq.enq";
+  ok
+
+let try_dequeue t =
+  Intf.phase_begin "scq.deq";
+  let r =
+    match deq_ring t.aq with
+    | None -> None
+    | Some i ->
+        let v = Word.to_int (Api.read (t.data + i)) in
+        enq_ring t.fq i;
+        Some v
+  in
+  Intf.phase_end "scq.deq";
+  r
+
+let enqueue t v =
+  let rec spin () =
+    if not (try_enqueue t v) then begin
+      Api.count "scq.full_spin";
+      Api.yield ();
+      spin ()
+    end
+  in
+  spin ()
+
+let dequeue = try_dequeue
+
+let length t eng =
+  let n2 = 1 lsl t.aq.order in
+  let c = ref 0 in
+  for j = 0 to n2 - 1 do
+    let e = Word.to_int (Engine.peek eng (t.aq.entries + j)) in
+    if entry_idx t.aq e <> imask t.aq then incr c
+  done;
+  !c

@@ -1,0 +1,26 @@
+(** Nikolaev's bounded SCQ (arXiv 1908.04511), simulated — the twin of
+    [Core.Scq_queue], run under the cache model for deterministic cycle
+    counts and per-line heatmaps (rings labeled [scq.aq.*]/[scq.fq.*]).
+
+    Two fetch-and-add-claimed index rings move the data array's slot
+    indices between free and allocated; no node pool and no per-element
+    allocation, so [options.pool] is reused as the {e capacity}
+    (rounded up to a power of two).  {!Intf.S.enqueue} blocks (spins
+    with [Api.yield]) while full; the bounded verdicts are exposed as
+    {!try_enqueue}/{!try_dequeue}. *)
+
+include Intf.S
+
+val try_enqueue : t -> int -> bool
+(** [false] when the queue was observed full (pending-reservation
+    strength — see [Core.Queue_intf.BOUNDED.try_enqueue]). *)
+
+val try_dequeue : t -> int option
+(** Same as {!Intf.S.dequeue}: [None] iff observed empty. *)
+
+val capacity : t -> int
+(** The enforced (power-of-two rounded) capacity. *)
+
+val length : t -> Sim.Engine.t -> int
+(** Host-side: allocated-ring entries holding an index.  Exact while no
+    simulated process is mid-operation. *)

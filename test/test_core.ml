@@ -233,6 +233,83 @@ let test_treiber_concurrent () =
     (List.length (List.sort_uniq compare all));
   Alcotest.(check bool) "empty" true (Core.Treiber_stack.is_empty s)
 
+(* ------------------------------------------------------------------ *)
+(* Segmented queue batch claims at the segment rim.
+
+   A batch claim is one fetch-and-add on the tail segment's [enq]
+   index, so a claim issued near a full segment reaches past the rim.
+   The contract is a PARTIAL claim: the in-segment slots [i ..
+   capacity-1] take the batch's prefix and the overflow re-claims in a
+   fresh segment — never a write past the rim, never a dropped or
+   reordered element.  Exercised at every distance from the boundary,
+   then raced against a single enqueuer parked on the same segment. *)
+
+let test_segmented_batch_rim () =
+  let module Q = Core.Segmented_queue in
+  let cap = Q.segment_capacity in
+  for prefill = max 0 (cap - 5) to cap - 1 do
+    let q = Q.create () in
+    for i = 1 to prefill do
+      Q.enqueue q i
+    done;
+    (* straddles the rim: [room] slots fit, the rest must spill *)
+    let room = cap - prefill in
+    let batch = List.init (room + 7) (fun i -> 1000 + i) in
+    Q.enqueue_batch q batch;
+    let expect = List.init prefill (fun i -> i + 1) @ batch in
+    Alcotest.(check int)
+      (Printf.sprintf "length at prefill %d" prefill)
+      (List.length expect) (Q.length q);
+    List.iter
+      (fun want ->
+        match Q.dequeue q with
+        | Some got when got = want -> ()
+        | Some got ->
+            Alcotest.failf "prefill %d: dequeued %d, wanted %d" prefill got want
+        | None -> Alcotest.failf "prefill %d: queue short" prefill)
+      expect;
+    Alcotest.(check bool)
+      (Printf.sprintf "empty at prefill %d" prefill)
+      true (Q.is_empty q)
+  done
+
+let test_segmented_batch_rim_race () =
+  let module Q = Core.Segmented_queue in
+  let cap = Q.segment_capacity in
+  let q = Q.create () in
+  let rounds = 200 in
+  let batch_len = cap - 1 in
+  (* two batchers issuing near-segment-sized claims force every round
+     through the rim path while racing each other's fetch-and-adds *)
+  let mk tag =
+    Domain.spawn (fun () ->
+        for r = 0 to rounds - 1 do
+          Q.enqueue_batch q
+            (List.init batch_len (fun i -> tag + (r * batch_len) + i))
+        done)
+  in
+  let a = mk 0 and b = mk 10_000_000 in
+  Domain.join a;
+  Domain.join b;
+  let total = 2 * rounds * batch_len in
+  Alcotest.(check int) "conservation" total (Q.length q);
+  (* each producer's elements drain in its own order, nothing lost *)
+  let last = [| -1; -1 |] and seen = ref 0 in
+  let rec drain () =
+    match Q.dequeue q with
+    | None -> ()
+    | Some v ->
+        incr seen;
+        let p = if v >= 10_000_000 then 1 else 0 in
+        let s = v mod 10_000_000 in
+        if s <= last.(p) then
+          Alcotest.failf "producer %d order violated: %d after %d" p s last.(p);
+        last.(p) <- s;
+        drain ()
+  in
+  drain ();
+  Alcotest.(check int) "drained everything" total !seen
+
 (* Two-lock queue over other locks: the functor works with any LOCK. *)
 module Two_lock_mcs = Core.Two_lock_queue.Make_lock (Locks.Mcs_lock)
 module Two_lock_ticket = Core.Two_lock_queue.Make_lock (Locks.Ticket_lock)
@@ -279,6 +356,13 @@ let suites =
         Alcotest.test_case "lifo" `Quick test_treiber_lifo;
         QCheck_alcotest.to_alcotest qcheck_treiber_model;
         Alcotest.test_case "concurrent" `Slow test_treiber_concurrent;
+      ] );
+    ( "core.segmented_batch_rim",
+      [
+        Alcotest.test_case "partial claim at every rim distance" `Quick
+          test_segmented_batch_rim;
+        Alcotest.test_case "racing near-segment batches" `Slow
+          test_segmented_batch_rim_race;
       ] );
     ("core.two_lock_functor", [ Alcotest.test_case "other locks" `Quick test_two_lock_functor ]);
   ]

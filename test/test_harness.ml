@@ -87,8 +87,12 @@ let test_registry () =
   Alcotest.check_raises "unknown key"
     (Invalid_argument
        "unknown algorithm \"nope\" (available: single-lock, mc, valois, two-lock, \
-        plj, ms, stone, stone-ring, hb)")
-    (fun () -> ignore (Harness.Registry.find "nope"))
+        plj, ms, stone, stone-ring, hb, scq)")
+    (fun () -> ignore (Harness.Registry.find "nope"));
+  let (module B) = Harness.Registry.find_native_bounded "scq" in
+  Alcotest.(check string) "bounded lookup" "scq" B.name;
+  Alcotest.(check (list string)) "bounded keys" [ "scq" ]
+    Harness.Registry.native_bounded_keys
 
 (* ------------------------------------------------------------------ *)
 (* Figures *)
@@ -421,7 +425,14 @@ let test_bench_compare_parse () =
   | Ok d -> Alcotest.(check int) "schema 2 accepted" 2 d.Harness.Bench_compare.schema_version
   | Error e -> Alcotest.failf "schema 2 rejected: %s" e);
   (match Harness.Bench_compare.of_string (bench_doc ~schema:5 ()) with
-  | Ok _ -> Alcotest.fail "schema 5 accepted"
+  | Ok d ->
+      Alcotest.(check int) "schema 5 accepted" 5 d.Harness.Bench_compare.schema_version;
+      Alcotest.(check (list (pair string (float 0.))))
+        "no memory section -> no memory points" []
+        d.Harness.Bench_compare.memory
+  | Error e -> Alcotest.failf "schema 5 rejected: %s" e);
+  (match Harness.Bench_compare.of_string (bench_doc ~schema:6 ()) with
+  | Ok _ -> Alcotest.fail "schema 6 accepted"
   | Error _ -> ());
   match Harness.Bench_compare.of_string "{not json" with
   | Ok _ -> Alcotest.fail "garbage accepted"
@@ -516,6 +527,129 @@ let test_bench_summary_markdown () =
       "Hottest cache lines";
     ]
 
+let memory_bench_doc ~bpe =
+  Printf.sprintf
+    {|{"schema_version": 5, "pairs": 2000, "smoke": true,
+       "figures": [],
+       "native": [{"name": "scq", "pairs_per_second": 1e6}],
+       "memory": {"native": [
+         {"queue": "scq", "elements": 1024, "baseline_bytes": 100000,
+          "footprint_bytes": 116000, "bytes_per_element": %f,
+          "steady_words_per_pair": 0.5}]}}|}
+    bpe
+
+let test_bench_compare_memory_informational () =
+  let old_doc = load (memory_bench_doc ~bpe:16.0) in
+  Alcotest.(check (list (pair string (float 0.0001))))
+    "memory points parsed"
+    [ ("scq", 16.0) ]
+    old_doc.Harness.Bench_compare.memory;
+  (* bytes/element tripling is reported but never fails the gate *)
+  let worse = load (memory_bench_doc ~bpe:48.0) in
+  let c = Harness.Bench_compare.diff ~max_regress:10. ~old_doc ~new_doc:worse () in
+  (match c.Harness.Bench_compare.memory_deltas with
+  | [ d ] ->
+      Alcotest.(check string) "delta key" "scq" d.Harness.Bench_compare.key;
+      Alcotest.(check bool) "delta visible" true
+        (d.Harness.Bench_compare.worse_pct > 100.);
+      Alcotest.(check bool) "delta never regresses" false
+        d.Harness.Bench_compare.regressed
+  | l -> Alcotest.failf "expected 1 memory delta, got %d" (List.length l));
+  Alcotest.(check bool) "memory drift passes the gate" true
+    (Harness.Bench_compare.ok c);
+  (* and the step summary renders the footprint table *)
+  let md =
+    Format.asprintf "%a"
+      (fun fmt d -> Harness.Bench_compare.markdown_summary fmt d)
+      old_doc
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "summary contains %S" needle)
+        true
+        (Str.string_match
+           (Str.regexp (".*" ^ Str.quote needle ^ ".*"))
+           (Str.global_replace (Str.regexp "\n") " " md)
+           0))
+    [ "Memory footprint"; "| scq | 16.0 | 0.5 |" ]
+
+(* ------------------------------------------------------------------ *)
+(* Live-memory measurements (Memory_experiment footprint/lag) *)
+
+(* the ISSUE acceptance bound: SCQ's full-ring live footprint stays
+   within 2x its empty footprint — there is no per-element allocation,
+   only the slot array bought at create.  (The mli points here.) *)
+let test_scq_footprint_within_2x () =
+  let f =
+    Harness.Memory_experiment.bounded_footprint
+      (module Core.Scq_queue)
+      ~capacity:1024 ()
+  in
+  let open Harness.Memory_experiment in
+  Alcotest.(check int) "filled to capacity" 1024 f.elements;
+  Alcotest.(check bool)
+    (Printf.sprintf "full %dB within 2x empty %dB" f.footprint_bytes
+       f.baseline_bytes)
+    true
+    (f.footprint_bytes <= 2 * f.baseline_bytes);
+  (* churn on a full ring must not allocate nodes: well under a word
+     per pair (boxing noise aside) *)
+  Alcotest.(check bool)
+    (Printf.sprintf "steady churn %.2f words/pair is node-free"
+       f.steady_words_per_pair)
+    true
+    (f.steady_words_per_pair < 4.)
+
+let test_native_footprint_sane () =
+  let f =
+    Harness.Memory_experiment.native_footprint
+      (module Core.Ms_queue)
+      ~elements:512 ()
+  in
+  let open Harness.Memory_experiment in
+  Alcotest.(check int) "elements recorded" 512 f.elements;
+  (* a linked queue pays at least a 3-word node (header, value, next)
+     per resident element, and footprint grows monotonically *)
+  Alcotest.(check bool)
+    (Printf.sprintf "%.1f B/element >= 3 words" f.bytes_per_element)
+    true
+    (f.bytes_per_element >= float_of_int (3 * (Sys.word_size / 8)));
+  Alcotest.(check bool) "full costs more than empty" true
+    (f.footprint_bytes > f.baseline_bytes)
+
+let test_sim_reclamation_contrast () =
+  (* the s1 exhaustion experiment, quantitatively: a stalled Valois
+     victim pins nodes and overflows the free list; MS keeps recycling
+     and never touches the heap *)
+  let ms =
+    Harness.Memory_experiment.sim_reclamation_lag
+      (module Squeues.Ms_queue)
+      ~pairs:4_000 ()
+  in
+  let valois =
+    Harness.Memory_experiment.sim_reclamation_lag
+      (module Squeues.Valois_queue)
+      ~pairs:4_000 ()
+  in
+  let open Harness.Memory_experiment in
+  Alcotest.(check int) "ms never falls past the free list" 0 ms.heap_allocs;
+  Alcotest.(check bool)
+    (Printf.sprintf "valois lags (%d heap fallbacks)" valois.heap_allocs)
+    true
+    (valois.heap_allocs > 100)
+
+let test_hp_reclamation_bounded () =
+  let r = Harness.Memory_experiment.hp_reclamation_lag ~ops:4_000 () in
+  let open Harness.Memory_experiment in
+  Alcotest.(check bool) "chaos injected delays" true (r.delays > 0);
+  (* HP caps the retired list at scan threshold + in-flight hazards:
+     the lag never grows with the op count *)
+  Alcotest.(check bool)
+    (Printf.sprintf "max %d retired-unreclaimed stays bounded" r.max_pending)
+    true
+    (r.max_pending > 0 && r.max_pending < 256)
+
 let suites =
   [
     ( "harness.workload",
@@ -588,5 +722,17 @@ let suites =
         Alcotest.test_case "missing points gate" `Quick
           test_bench_compare_missing_gates;
         Alcotest.test_case "markdown summary" `Quick test_bench_summary_markdown;
+        Alcotest.test_case "memory section informational" `Quick
+          test_bench_compare_memory_informational;
+      ] );
+    ( "harness.live_memory",
+      [
+        Alcotest.test_case "scq footprint within 2x" `Quick
+          test_scq_footprint_within_2x;
+        Alcotest.test_case "ms footprint sane" `Quick test_native_footprint_sane;
+        Alcotest.test_case "sim reclamation contrast" `Quick
+          test_sim_reclamation_contrast;
+        Alcotest.test_case "hp reclamation bounded" `Slow
+          test_hp_reclamation_bounded;
       ] );
   ]

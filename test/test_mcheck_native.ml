@@ -90,6 +90,22 @@ let exhaustive_clean qname sname () =
     (List.length o.Explore.failures)
 
 (* ------------------------------------------------------------------ *)
+(* The bounded battery: SCQ's try_enqueue/try_dequeue at tiny
+   capacities, judged by conservation plus the bounded sequential
+   spec (Checker.check ~capacity). *)
+
+let bounded_clean sname () =
+  let q = Option.get (Core_explore.find_bqueue "scq") in
+  let b = Option.get (Core_explore.find_bounded_scenario sname) in
+  let o = Core_explore.check_bounded q b in
+  Alcotest.(check bool) "explored schedules" true (o.Explore.runs > 0);
+  Alcotest.(check int) "no divergence" 0 o.Explore.diverged;
+  Alcotest.(check int)
+    (Printf.sprintf "scq/%s violations" sname)
+    0
+    (List.length o.Explore.failures)
+
+(* ------------------------------------------------------------------ *)
 (* The checker checks: the planted D12 bug is caught, and its
    counterexample schedule replays to the same failure. *)
 
@@ -103,6 +119,28 @@ let test_broken_caught_and_replayable () =
   Alcotest.(check bool) "operation trace recorded" true
     (f.Explore.trace <> []);
   match Core_explore.replay Core_explore.broken s f.Explore.schedule with
+  | `Failed f' ->
+      Alcotest.(check string) "replay reproduces the failure"
+        f.Explore.message f'.Explore.message
+  | `Completed | `Diverged ->
+      Alcotest.fail "counterexample schedule did not reproduce the failure"
+
+(* Same property for the bounded planted bug: SCQ without the cycle
+   comparison on the slot claim deposits into an already-overrun slot
+   and strands the value; one preemption in b-empty-race exposes it. *)
+let test_broken_scq_caught_and_replayable () =
+  let b = Option.get (Core_explore.find_bounded_scenario "b-empty-race") in
+  let o = Core_explore.check_bounded Core_explore.broken_bounded b in
+  Alcotest.(check bool) "planted bug caught" true (o.Explore.failures <> []);
+  let f = List.hd o.Explore.failures in
+  Alcotest.(check bool) "oracle message non-empty" true
+    (String.length f.Explore.message > 0);
+  Alcotest.(check bool) "operation trace recorded" true
+    (f.Explore.trace <> []);
+  match
+    Core_explore.replay_bounded Core_explore.broken_bounded b
+      f.Explore.schedule
+  with
   | `Failed f' ->
       Alcotest.(check string) "replay reproduces the failure"
         f.Explore.message f'.Explore.message
@@ -169,6 +207,16 @@ let suites =
         Alcotest.test_case "relax pause hint" `Quick test_machine_pause_hint;
       ] );
     ("mcheck_native.ms", battery "ms");
+    ("mcheck_native.scq", battery "scq");
+    ( "mcheck_native.scq_bounded",
+      List.map
+        (fun b ->
+          let sname = b.Core_explore.bname in
+          Alcotest.test_case
+            (Printf.sprintf "scq clean under %s (exhaustive, bounded spec)"
+               sname)
+            `Quick (bounded_clean sname))
+        Core_explore.bounded_scenarios );
     ("mcheck_native.ms_counted", battery "ms-counted");
     ("mcheck_native.ms_hp", battery "ms-hp");
     ("mcheck_native.two_lock", battery "two-lock");
@@ -177,6 +225,8 @@ let suites =
       [
         Alcotest.test_case "planted D12 bug caught and replayable" `Quick
           test_broken_caught_and_replayable;
+        Alcotest.test_case "planted SCQ cycle bug caught and replayable"
+          `Quick test_broken_scq_caught_and_replayable;
         Alcotest.test_case "exploration deterministic" `Quick
           test_exploration_deterministic;
         Alcotest.test_case "random mode deterministic" `Quick

@@ -21,6 +21,11 @@ let batch_natives =
     (fun (e : Harness.Registry.batch_entry) -> (e.key, e.queue))
     Harness.Registry.native_batch
 
+let bounded_natives =
+  List.map
+    (fun (e : Harness.Registry.bounded_entry) -> (e.key, e.queue))
+    Harness.Registry.native_bounded
+
 (* ------------------------------------------------------------------ *)
 (* Sequential properties *)
 
@@ -243,6 +248,146 @@ let prop_batch_two_domain key (module Q : Core.Queue_intf.BATCH) =
       List.rev !consumed = l && Q.is_empty q)
 
 (* ------------------------------------------------------------------ *)
+(* Bounded properties (Registry.native_bounded) *)
+
+(* feed a stream through a small ring: every accepted element comes out
+   exactly once in FIFO order, every refused element is simply absent —
+   a [false] from try_enqueue must lose nothing *)
+let prop_bounded_lossless key (module Q : Core.Queue_intf.BOUNDED) =
+  QCheck2.Test.make ~count:100
+    ~name:(key ^ ": refused enqueues lose nothing")
+    QCheck2.Gen.(
+      pair (int_range 1 16)
+        (list_size (int_range 1 120)
+           (oneof [ map (fun v -> `Enq v) int; return `Deq ])))
+    (fun (capacity, ops) ->
+      let q = Q.create ~capacity () in
+      let model = Queue.create () in
+      let cap = Q.capacity q in
+      List.for_all
+        (fun op ->
+          (match op with
+          | `Enq v ->
+              let accepted = Q.try_enqueue q v in
+              (* sequentially the full verdict is exact: accepted iff
+                 there was room *)
+              if accepted <> (Queue.length model < cap) then
+                failwith "full verdict diverged from model";
+              if accepted then Queue.push v model
+          | `Deq ->
+              if Q.try_dequeue q <> Queue.take_opt model then
+                failwith "dequeue diverged from model");
+          Q.length q = Queue.length model)
+        ops
+      &&
+      (* drain: exactly the accepted elements, in acceptance order *)
+      let rec drain () =
+        match (Q.try_dequeue q, Queue.take_opt model) with
+        | None, None -> true
+        | got, want -> got = want && drain ()
+      in
+      drain ())
+
+(* fill to refusal, drain to empty, fill again: both generations come
+   out complete and in order, and length tracks exactly *)
+let prop_bounded_refill key (module Q : Core.Queue_intf.BOUNDED) =
+  QCheck2.Test.make ~count:100
+    ~name:(key ^ ": full -> drain -> full round-trips")
+    QCheck2.Gen.(int_range 1 64)
+    (fun capacity ->
+      let q = Q.create ~capacity () in
+      let fill tag =
+        let n = ref 0 in
+        while Q.try_enqueue q (tag + !n) do
+          incr n
+        done;
+        !n
+      in
+      let drain tag n =
+        List.for_all
+          (fun i -> Q.try_dequeue q = Some (tag + i))
+          (List.init n (fun i -> i))
+        && Q.try_dequeue q = None
+        && Q.is_empty q
+      in
+      let n1 = fill 0 in
+      n1 = Q.capacity q
+      && Q.length q = n1
+      && (not (Q.try_enqueue q (-1)))
+      (* a refused enqueue perturbs nothing *)
+      && Q.length q = n1
+      && drain 0 n1
+      &&
+      let n2 = fill 1000 in
+      n2 = n1 && drain 1000 n2)
+
+(* under 2-domain contention the physical bound holds at every sample:
+   0 <= length <= capacity, and try_enqueue false never drops data.
+   The consumer counts what it sees; producer acceptances minus
+   consumer receipts must balance to zero once drained. *)
+let test_bounded_contention key (module Q : Core.Queue_intf.BOUNDED) () =
+  let capacity = 8 in
+  let q = Q.create ~capacity () in
+  let cap = Q.capacity q in
+  let per = 20_000 in
+  let accepted = Atomic.make 0 in
+  let produced_done = Atomic.make false in
+  let producer =
+    Domain.spawn (fun () ->
+        for i = 1 to per do
+          if Q.try_enqueue q i then Atomic.incr accepted
+        done;
+        Atomic.set produced_done true)
+  in
+  let received = ref 0 in
+  let last = ref 0 in
+  let rec consume () =
+    match Q.try_dequeue q with
+    | Some v ->
+        (* single producer: FIFO means the consumer sees an increasing
+           sequence even though refusals punch holes in it *)
+        if v <= !last then
+          Alcotest.failf "%s: out of order: %d after %d" key v !last;
+        last := v;
+        incr received;
+        consume ()
+    | None ->
+        if not (Atomic.get produced_done) then begin
+          Domain.cpu_relax ();
+          consume ()
+        end
+  in
+  let sampler =
+    Domain.spawn (fun () ->
+        let samples = ref 0 in
+        while not (Atomic.get produced_done) do
+          let len = Q.length q in
+          if len < 0 || len > cap then
+            Alcotest.failf "%s: length %d outside [0, %d]" key len cap;
+          incr samples
+        done;
+        !samples)
+  in
+  consume ();
+  (* the producer may have raced one last acceptance past the final
+     None; sweep the remainder *)
+  Domain.join producer;
+  let rec sweep () =
+    match Q.try_dequeue q with
+    | Some _ ->
+        incr received;
+        sweep ()
+    | None -> ()
+  in
+  sweep ();
+  let samples = Domain.join sampler in
+  Alcotest.(check bool) (key ^ " sampled while racing") true (samples > 0);
+  Alcotest.(check int)
+    (key ^ " conservation: received = accepted")
+    (Atomic.get accepted) !received;
+  Alcotest.(check int) (key ^ " settles to empty") 0 (Q.length q)
+
+(* ------------------------------------------------------------------ *)
 (* Chaos-wrapped runs (Obs.Chaos): the same concurrent ordering
    property with seeded randomized delays injected at each algorithm's
    marked CAS/FAA windows and critical sections, stretching exactly the
@@ -283,6 +428,51 @@ let prop_chaos_batch_conservation key (module Q : Core.Queue_intf.BATCH) =
           Domain.join producer;
           List.rev !consumed = l && C.is_empty q))
 
+let prop_chaos_bounded_conservation key (module Q : Core.Queue_intf.BOUNDED) =
+  let module C = Obs.Chaos.Make_bounded (Q) in
+  QCheck2.Test.make ~count:6
+    ~name:(key ^ ": 2-domain bounded conservation under chaos delays")
+    QCheck2.Gen.(pair (int_range 1 8) (int_range 1 2000))
+    (fun (capacity, per) ->
+      Obs.Chaos.with_enabled (fun () ->
+          let q = C.create ~capacity () in
+          let accepted = Atomic.make 0 in
+          let fin = Atomic.make false in
+          let producer =
+            Domain.spawn (fun () ->
+                for i = 1 to per do
+                  if C.try_enqueue q i then Atomic.incr accepted
+                done;
+                Atomic.set fin true)
+          in
+          let received = ref 0 in
+          let ok = ref true in
+          let last = ref 0 in
+          let rec consume () =
+            match C.try_dequeue q with
+            | Some v ->
+                if v <= !last then ok := false;
+                last := v;
+                incr received;
+                consume ()
+            | None ->
+                if not (Atomic.get fin) then begin
+                  Domain.cpu_relax ();
+                  consume ()
+                end
+          in
+          consume ();
+          Domain.join producer;
+          let rec sweep () =
+            match C.try_dequeue q with
+            | Some _ ->
+                incr received;
+                sweep ()
+            | None -> ()
+          in
+          sweep ();
+          !ok && !received = Atomic.get accepted && C.is_empty q))
+
 let chaos_injected_delays () =
   (* placed after the chaos properties: the workloads above must have
      actually crossed perturbed sites, or the suite tested nothing *)
@@ -296,6 +486,7 @@ let () = Obs.Chaos.configure ~seed:0xC7A05EEDL ~one_in:3 ~max_delay:48 ()
 let suites =
   let map_q f = List.map (fun (key, q) -> f key q) natives in
   let map_b f = List.map (fun (key, q) -> f key q) batch_natives in
+  let map_bd f = List.map (fun (key, q) -> f key q) bounded_natives in
   [
     ( "registry.fifo_order",
       map_q (fun k q -> QCheck_alcotest.to_alcotest (prop_fifo_order k q)) );
@@ -312,10 +503,19 @@ let suites =
       @ map_b (fun k q -> QCheck_alcotest.to_alcotest (prop_batch_boundaries k q))
       @ map_b (fun k q -> QCheck_alcotest.to_alcotest (prop_batch_two_domain k q))
     );
+    ( "registry.bounded",
+      map_bd (fun k q -> QCheck_alcotest.to_alcotest (prop_bounded_lossless k q))
+      @ map_bd (fun k q ->
+            QCheck_alcotest.to_alcotest (prop_bounded_refill k q))
+      @ map_bd (fun k q ->
+            Alcotest.test_case (k ^ " 2-domain bound/conservation") `Slow
+              (test_bounded_contention k q)) );
     ( "registry.chaos",
       map_q (fun k q -> QCheck_alcotest.to_alcotest (prop_chaos_two_domain k q))
       @ map_b (fun k q ->
             QCheck_alcotest.to_alcotest (prop_chaos_batch_conservation k q))
+      @ map_bd (fun k q ->
+            QCheck_alcotest.to_alcotest (prop_chaos_bounded_conservation k q))
       @ [
           Alcotest.test_case "delays were injected" `Quick
             chaos_injected_delays;
