@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke bench-diff mcheck-native profile clean
+.PHONY: all build test bench bench-smoke bench-diff mcheck-native profile soak-smoke soak clean
 
 all: build
 
@@ -41,6 +41,23 @@ mcheck-native:
 profile:
 	dune exec bin/msq_check.exe -- profile --seed 0 -p 8 --native
 
+# Minutes-scale fault-storm soak for CI: chaos delay storms, stalled
+# hazard-pointer readers, and producer/consumer crash+restart over every
+# native queue, plus the simulated crash+restart battery.  --self-test
+# first soaks a deliberately broken queue and fails unless the
+# conservation audit catches it (the oracle has teeth).  Exit 1 on any
+# audit failure or watchdog expiry.
+soak-smoke:
+	dune exec bin/msq_check.exe -- soak --self-test --rounds 2 --ops 300 \
+	  --deadline-s 45 --json soak.json --trace-out soak-failure.txt
+
+# The longer nightly soak: more rounds, more operations, a wider
+# wall-clock budget per queue.
+soak:
+	dune exec bin/msq_check.exe -- soak --self-test --rounds 8 --ops 2000 \
+	  --deadline-s 300 --json soak.json --trace-out soak-failure.txt
+
 clean:
 	dune clean
-	rm -f BENCH_queues.json profile.json memory.json mcheck-counterexample.txt
+	rm -f BENCH_queues.json profile.json memory.json mcheck-counterexample.txt \
+	  soak.json soak-failure.txt

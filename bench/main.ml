@@ -31,6 +31,7 @@ let flag_path name =
 
 let profile_path = flag_path "--profile-out"
 let memory_path = flag_path "--memory-out"
+let soak_path = flag_path "--soak-out"
 
 let pairs =
   match Sys.getenv_opt "MSQ_PAIRS" with
@@ -622,8 +623,30 @@ let profile_section () =
       ("native", Obs.Profile.to_json native_prof);
     ]
 
+(* Fault-storm soak — the resilience section: every native queue under
+   chaos storms, stalled hazard-pointer readers and worker crash/restart,
+   with conservation/FIFO/length/reclamation audits, plus the simulated
+   crash+restart battery.  Short here (CI's long soak is the nightly
+   [msq_check soak] job); runs in smoke too so the schema-6 [soak]
+   section is always present. *)
+let soak_section () =
+  heading "Soak: fault storm (chaos + crash/restart) over the native queues";
+  let seed = 0x534F414BL (* "SOAK" *) in
+  let ops = if smoke then 300 else 800 in
+  let reports = Harness.Soak.run_all ~rounds:2 ~ops ~deadline_s:120. ~seed () in
+  List.iter (fun r -> Format.printf "  %a@." Harness.Soak.pp_report r) reports;
+  heading "Soak: simulated crash + restart battery";
+  let sims = Harness.Soak.sim_battery ~seed () in
+  List.iter (fun r -> Format.printf "  %a@." Harness.Soak.pp_sim_result r) sims;
+  Obs.Json.Assoc
+    [
+      ("seed", Obs.Json.String (Printf.sprintf "0x%Lx" seed));
+      ("native", Obs.Json.List (List.map Harness.Soak.report_json reports));
+      ("sim", Obs.Json.List (List.map Harness.Soak.sim_result_json sims));
+    ]
+
 let write_json figs native batched ~robustness:(liveness, crash) ~profile
-    ~memory =
+    ~memory ~soak =
   (match profile_path with
   | None -> ()
   | Some path ->
@@ -638,13 +661,20 @@ let write_json figs native batched ~robustness:(liveness, crash) ~profile
           Out_channel.output_string oc (Obs.Json.to_string memory);
           Out_channel.output_char oc '\n');
       Format.printf "@.wrote memory section to %s@." path);
+  (match soak_path with
+  | None -> ()
+  | Some path ->
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc (Obs.Json.to_string soak);
+          Out_channel.output_char oc '\n');
+      Format.printf "@.wrote soak section to %s@." path);
   match json_path with
   | None -> ()
   | Some path ->
       let doc =
         Obs.Json.Assoc
           [
-            ("schema_version", Obs.Json.Int 5);
+            ("schema_version", Obs.Json.Int 6);
             ("suite", Obs.Json.String "msqueue-bench");
             ("pairs", Obs.Json.Int pairs);
             ("quantum", Obs.Json.Int quantum);
@@ -655,6 +685,7 @@ let write_json figs native batched ~robustness:(liveness, crash) ~profile
             ("robustness", Harness.Report.robustness_json ~liveness ~crash);
             ("profile", profile);
             ("memory", memory);
+            ("soak", soak);
           ]
       in
       Out_channel.with_open_text path (fun oc ->
@@ -686,5 +717,6 @@ let () =
   in
   let profile = profile_section () in
   let memory = memory_axis () in
-  write_json figs native batched ~robustness ~profile ~memory;
+  let soak = soak_section () in
+  write_json figs native batched ~robustness ~profile ~memory ~soak;
   Format.printf "@.done.@."

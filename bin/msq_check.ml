@@ -431,6 +431,183 @@ let crash_cmd =
     Term.(const run $ algos $ procs $ pairs $ trials $ watchdog $ seed_arg
           $ trace_out)
 
+(* Fault-storm soak: chaos storms + stalled hazard-pointer readers +
+   producer/consumer crash and restart over every registered native
+   queue, with conservation/FIFO/length/reclamation audits and a
+   wall-clock watchdog; plus the simulated crash+restart battery and a
+   planted-bug self-test of the audit oracle. *)
+let soak_cmd =
+  let nonblocking = [ "ms"; "plj"; "valois" ] in
+  let run queues rounds ops producers consumers deadline seed self_test
+      json_out trace_out no_sim =
+    let seed = Option.value seed ~default:0x534F414BL in
+    let failures = ref 0 in
+    let self_tested =
+      if not self_test then None
+      else if Harness.Soak.self_test ~seed then begin
+        Format.printf
+          "self-test: conservation audit caught the planted bug@.";
+        Some true
+      end
+      else begin
+        incr failures;
+        Format.printf
+          "self-test: FAIL — the planted element-dropping bug went \
+           undetected@.";
+        Some false
+      end
+    in
+    let sims =
+      if no_sim then []
+      else begin
+        Format.printf "simulated crash + restart battery:@.";
+        List.map
+          (fun (e : Harness.Registry.entry) ->
+            let r =
+              List.hd (Harness.Soak.sim_battery ~queues:[ e ] ~seed ())
+            in
+            Format.printf "  %a@." Harness.Soak.pp_sim_result r;
+            if not (Harness.Soak.sim_ok r) then begin
+              incr failures;
+              Format.printf "  FAIL %s: %s@." e.key r.sim_outcome
+            end;
+            (* the dichotomy, under crash+restart: a non-blocking queue
+               must complete and conserve even with the crash landing
+               mid-protocol *)
+            if List.mem e.key nonblocking && r.sim_outcome <> "completed"
+            then begin
+              incr failures;
+              Format.printf
+                "  FAIL %s: non-blocking algorithm did not complete after \
+                 crash+restart (%s)@."
+                e.key r.sim_outcome
+            end;
+            r)
+          (List.filter
+             (fun (e : Harness.Registry.entry) ->
+               queues = [] || List.mem e.key queues)
+             Harness.Registry.all)
+      end
+    in
+    let keys = match queues with [] -> None | ks -> Some ks in
+    Format.printf "native fault-storm soak (seed 0x%Lx):@." seed;
+    let reports =
+      Harness.Soak.run_all ?keys ~rounds ~producers ~consumers ~ops
+        ~deadline_s:deadline ~seed ()
+    in
+    List.iter
+      (fun r ->
+        Format.printf "  %a@." Harness.Soak.pp_report r;
+        if not (Harness.Soak.passed r) then incr failures)
+      reports;
+    (match trace_out with
+    | None -> ()
+    | Some path -> (
+        match
+          List.find_opt (fun r -> not (Harness.Soak.passed r)) reports
+        with
+        | None -> Format.printf "no failing soak; nothing to trace@."
+        | Some r ->
+            let oc = open_out path in
+            Printf.fprintf oc "%s\n"
+              (Obs.Json.to_string (Harness.Soak.report_json r));
+            List.iter
+              (fun f -> Printf.fprintf oc "audit failure: %s\n" f)
+              r.Harness.Soak.audit_failures;
+            close_out oc;
+            Format.printf "wrote first failing report to %s@." path));
+    (match json_out with
+    | None -> ()
+    | Some path ->
+        let doc =
+          Obs.Json.Assoc
+            [
+              ("seed", Obs.Json.String (Printf.sprintf "0x%Lx" seed));
+              ( "self_test",
+                match self_tested with
+                | None -> Obs.Json.Null
+                | Some b -> Obs.Json.Bool b );
+              ( "native",
+                Obs.Json.List (List.map Harness.Soak.report_json reports) );
+              ( "sim",
+                Obs.Json.List (List.map Harness.Soak.sim_result_json sims) );
+            ]
+        in
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc (Obs.Json.to_string doc);
+            Out_channel.output_char oc '\n');
+        Format.printf "wrote soak report to %s@." path);
+    if !failures = 0 then begin
+      Format.printf "soak: every audit held@.";
+      0
+    end
+    else begin
+      Format.printf "soak: %d failure(s)@." !failures;
+      1
+    end
+  in
+  let queues =
+    Arg.(value & opt_all string []
+         & info [ "q"; "queue" ]
+             ~doc:"Queue key (repeatable); default: every registered native \
+                   queue, and the whole simulated registry.")
+  in
+  let rounds =
+    Arg.(value & opt int 4
+         & info [ "rounds" ]
+             ~doc:"Soak rounds per queue (calm/storm chaos alternates).")
+  in
+  let ops =
+    Arg.(value & opt int 600
+         & info [ "ops" ] ~doc:"Enqueues per producer per round.")
+  in
+  let producers =
+    Arg.(value & opt int 2 & info [ "producers" ] ~doc:"Producer domains.")
+  in
+  let consumers =
+    Arg.(value & opt int 2 & info [ "consumers" ] ~doc:"Consumer domains.")
+  in
+  let deadline =
+    Arg.(value & opt float 60.
+         & info [ "deadline-s" ]
+             ~doc:"Wall-clock watchdog per queue, seconds; on expiry the \
+                   run stops with a structured verdict and a non-zero exit.")
+  in
+  let self_test =
+    Arg.(value & flag
+         & info [ "self-test" ]
+             ~doc:"First soak a deliberately broken queue (drops every 97th \
+                   enqueue) and fail unless the conservation audit catches \
+                   it.")
+  in
+  let json_out =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Write the full soak report (native + simulated) to $(docv).")
+  in
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"Write the first failing queue's report and audit failures \
+                   to $(docv).")
+  in
+  let no_sim =
+    Arg.(value & flag
+         & info [ "no-sim" ]
+             ~doc:"Skip the simulated crash+restart battery.")
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "Fault-storm soak: every native queue under chaos delay storms, \
+          stalled hazard-pointer readers and worker crash+restart \
+          (replacement domains re-join mid-run), with conservation, FIFO, \
+          length-bound and reclamation-lag audits; plus the simulated \
+          crash+restart battery.  Deterministic decisions per --seed.  Exit \
+          code 1 on any audit failure or watchdog expiry.")
+    Term.(const run $ queues $ rounds $ ops $ producers $ consumers $ deadline
+          $ seed_arg $ self_test $ json_out $ trace_out $ no_sim)
+
 (* Chaos stress for the NATIVE queues: seeded randomized delays at the
    algorithms' injection sites while real domains hammer the queue;
    checks element conservation and per-producer FIFO order. *)
@@ -959,7 +1136,7 @@ let cmd =
   Cmd.group (Cmd.info "msq_check" ~doc)
     [
       explore_cmd; lin_cmd; native_lin_cmd; mcheck_native_cmd; crash_cmd;
-      chaos_cmd; profile_cmd; bench_diff_cmd; bench_summary_cmd;
+      chaos_cmd; soak_cmd; profile_cmd; bench_diff_cmd; bench_summary_cmd;
     ]
 
 let () = exit (Cmd.eval' cmd)

@@ -89,7 +89,7 @@ let memory_points json =
         (list_of memory "native")
 
 let min_schema = 2
-let max_schema = 5
+let max_schema = 6
 
 let of_json json =
   match Option.bind (opt_member "schema_version" json) Json.to_int_opt with
@@ -252,6 +252,11 @@ let memory_entries doc =
   | None -> []
   | Some memory -> list_of memory "native"
 
+let soak_entries doc =
+  match opt_member "soak" doc.raw with
+  | None -> ([], [])
+  | Some soak -> (list_of soak "native", list_of soak "sim")
+
 let markdown_summary ?(top = 3) fmt doc =
   let open Format in
   fprintf fmt "## Benchmark summary@.@.";
@@ -286,6 +291,54 @@ let markdown_summary ?(top = 3) fmt doc =
           fprintf fmt "| %s | %.1f | %.1f |@." name bpe wpp)
         entries;
       fprintf fmt "@.");
+  (match soak_entries doc with
+  | [], [] -> ()
+  | natives, sims ->
+      fprintf fmt "### Soak (chaos storms + crash/restart)@.@.";
+      if natives <> [] then begin
+        fprintf fmt
+          "| queue | crashes | restarts | timeouts | sheds | rejections | \
+           breaker trips | recoveries | verdict |@.";
+        fprintf fmt "|---|---:|---:|---:|---:|---:|---:|---:|---|@.";
+        List.iter
+          (fun e ->
+            let o =
+              Option.value ~default:(Json.Assoc []) (opt_member "outcomes" e)
+            in
+            let passed =
+              Option.bind (opt_member "passed" e) Json.to_bool_opt
+              |> Option.value ~default:false
+            in
+            fprintf fmt "| %s | %d | %d | %d | %d | %d | %d | %d | %s |@."
+              (str_or ~default:"?" e "queue")
+              (int_or ~default:0 e "crashes")
+              (int_or ~default:0 e "restarts")
+              (int_or ~default:0 o "timeouts")
+              (int_or ~default:0 o "sheds")
+              (int_or ~default:0 o "rejections")
+              (int_or ~default:0 o "breaker_trips")
+              (int_or ~default:0 o "breaker_recoveries")
+              (if passed then "ok" else "FAILED"))
+          natives;
+        fprintf fmt "@."
+      end;
+      if sims <> [] then begin
+        fprintf fmt "| simulated algorithm | crash at op | outcome | ok |@.";
+        fprintf fmt "|---|---:|---|---|@.";
+        List.iter
+          (fun e ->
+            let ok =
+              Option.bind (opt_member "ok" e) Json.to_bool_opt
+              |> Option.value ~default:false
+            in
+            fprintf fmt "| %s | %d | %s | %s |@."
+              (str_or ~default:"?" e "algorithm")
+              (int_or ~default:0 e "crash_after")
+              (str_or ~default:"?" e "outcome")
+              (if ok then "ok" else "FAILED"))
+          sims;
+        fprintf fmt "@."
+      end);
   (match heatmap_entries doc with
   | [] -> ()
   | entries ->

@@ -10,19 +10,30 @@
     every trial; a blocking one is caught holding the resource in some
     fraction of them, and then everyone waits out the stall. *)
 
+type verdict =
+  | Completed  (** every trial ran *)
+  | Timed_out of { trials_done : int }
+      (** the per-case wall-clock deadline cut the sweep after this many
+          trials; [blocked_trials]/[worst_others_finish] cover only the
+          trials that ran *)
+
 type result = {
   algorithm : string;
   stall_duration : int;
-  trials : int;
+  trials : int;  (** trials {e requested} — see [verdict] for attempted *)
   blocked_trials : int;
       (** trials in which the others' finish time grew by more than half
           the stall duration *)
   worst_others_finish : int;  (** latest finish among non-victims, cycles *)
   undelayed_elapsed : int;  (** reference run with no stall *)
+  verdict : verdict;
 }
 
 val non_blocking : result -> bool
 (** No trial propagated the delay. *)
+
+val verdict_string : verdict -> string
+(** ["completed"] or ["timed_out after N trials"]. *)
 
 val run :
   (module Squeues.Intf.S) ->
@@ -31,13 +42,20 @@ val run :
   ?trials:int ->
   ?stall_duration:int ->
   ?seed:int64 ->
+  ?deadline_s:float ->
   unit ->
   result
 (** Defaults: 8 processors (dedicated), 8,000 pairs, 12 trials with
     injection times spread uniformly across the undelayed run's
     duration, 50,000,000-cycle stall.  Runs under the default
     {!Params.watchdog}, so a pathological trial ends in a [Blocked]
-    verdict (counted as a blocked trial) rather than a hang. *)
+    verdict (counted as a blocked trial) rather than a hang.
+
+    [?deadline_s] additionally bounds the {e whole case} in wall-clock
+    seconds: checked between trials, and on expiry the sweep stops with
+    a structured [Timed_out] verdict instead of relying solely on the
+    engine watchdog (whose budget is per-trial simulated cycles, not
+    wall time). *)
 
 val run_all :
   ?queues:Registry.entry list ->
@@ -46,6 +64,7 @@ val run_all :
   ?trials:int ->
   ?stall_duration:int ->
   ?seed:int64 ->
+  ?deadline_s:float ->
   unit ->
   result list
 (** The sweep over a whole registry slice (default {!Registry.all}) —

@@ -208,6 +208,8 @@ let liveness_json (results : Liveness.result list) =
              ( "worst_others_finish",
                Obs.Json.Int r.Liveness.worst_others_finish );
              ("undelayed_elapsed", Obs.Json.Int r.Liveness.undelayed_elapsed);
+             ( "verdict",
+               Obs.Json.String (Liveness.verdict_string r.Liveness.verdict) );
            ])
        results)
 

@@ -1,25 +1,44 @@
-type t = { initial : int; limit : int; mutable bound : int; mutable seed : int }
+(* Per-domain jitter streams: SplitMix64, the same generator as
+   [Obs.Chaos] / [Sim.Rng], re-implemented here because [Locks] sits
+   below both.  One stream per domain row, each seeded from the global
+   seed plus the row index, so the jitter any domain draws is a pure
+   function of (seed, domain id) — and, crucially, two domains backing
+   off from the same failed CAS draw from different streams instead of
+   re-colliding in lockstep. *)
 
-(* Self-seeding xorshift: mixing the state's physical id via Hashtbl.hash
-   keeps independent backoff states from spinning in lockstep without
-   touching any global RNG. *)
+let n_rows = 128
+let golden = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let default_seed = 0x6A697474L (* "jitt" *)
+let states = Array.make n_rows 0L
+
+let reseed seed =
+  for r = 0 to n_rows - 1 do
+    states.(r) <- mix64 (Int64.add seed (Int64.of_int (r + 1)))
+  done
+
+let () = reseed default_seed
+
+let next_bits () =
+  let r = (Domain.self () :> int) land (n_rows - 1) in
+  let s = Int64.add states.(r) golden in
+  states.(r) <- s;
+  Int64.to_int (Int64.shift_right_logical (mix64 s) 2)
+
+type t = { initial : int; limit : int; mutable bound : int }
+
 let create ?(initial = 16) ?(limit = 4096) () =
   if initial <= 0 || limit < initial then invalid_arg "Backoff.create";
-  let t = { initial; limit; bound = initial; seed = 0 } in
-  t.seed <- Hashtbl.hash t lxor 0x9E3779B9;
-  t
-
-let next_random t =
-  let s = t.seed in
-  let s = s lxor (s lsl 13) in
-  let s = s lxor (s lsr 7) in
-  let s = s lxor (s lsl 17) in
-  t.seed <- s land max_int;
-  t.seed
+  { initial; limit; bound = initial }
 
 let once t =
   Probe.backoff ();
-  let iterations = 1 + (next_random t mod t.bound) in
+  let iterations = 1 + (next_bits () mod t.bound) in
   for _ = 1 to iterations do
     Domain.cpu_relax ()
   done;

@@ -5,12 +5,23 @@
     CASes "where appropriate" (§4).  Each waiting step spins on
     [Domain.cpu_relax] for a pseudo-random number of iterations drawn
     below a bound that doubles up to a limit.  State is cheap to create
-    per operation; reuse within an operation, not across domains. *)
+    per operation; reuse within an operation, not across domains.
+
+    Jitter comes from per-domain SplitMix64 streams (the same generator
+    and row discipline as [Obs.Chaos]): each domain draws from its own
+    stream seeded by (seed, domain id), so two domains that fail the
+    same CAS never back off in lockstep, and the whole sequence is
+    reproducible per seed via {!reseed}. *)
 
 type t
 
 val create : ?initial:int -> ?limit:int -> unit -> t
 (** [initial] defaults to 16 iterations, [limit] to 4096. *)
+
+val reseed : int64 -> unit
+(** Re-derive every per-domain jitter stream from the given seed —
+    global, like [Obs.Chaos.configure]; call it from harnesses that
+    want the backoff jitter to be a pure function of the run seed. *)
 
 val once : t -> unit
 (** Spin once and double the bound (saturating). *)

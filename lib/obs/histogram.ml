@@ -81,12 +81,12 @@ let merge a b =
   merge_into ~into:t b;
   t
 
-let percentile t p =
-  if p < 0. || p > 100. then invalid_arg "Histogram.percentile";
+let quantile t q =
+  if q < 0. || q > 1. then invalid_arg "Histogram.quantile";
   let n = count t in
   if n = 0 then None
   else begin
-    let rank = Float.to_int (Float.ceil (p /. 100. *. float_of_int n)) in
+    let rank = Float.to_int (Float.ceil (q *. float_of_int n)) in
     let rank = max 1 (min n rank) in
     let seen = ref 0 in
     let result = ref 0 in
@@ -101,6 +101,12 @@ let percentile t p =
      with Exit -> ());
     Some !result
   end
+
+let percentile t p =
+  if p < 0. || p > 100. then invalid_arg "Histogram.percentile";
+  quantile t (p /. 100.)
+
+let p999 t = quantile t 0.999
 
 let reset t = Array.iter (fun row -> Array.fill row 0 row_width 0) t
 

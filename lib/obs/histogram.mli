@@ -46,10 +46,17 @@ val merge : t -> t -> t
 
 val merge_into : into:t -> t -> unit
 
+val quantile : t -> float -> int option
+(** [quantile t q] with [q] in [0, 1]: upper bound of the bucket
+    containing the sample at rank [ceil (q * count)]; [None] when empty.
+    Bucket granularity makes this exact to within a factor of two —
+    enough to compare algorithms. *)
+
 val percentile : t -> float -> int option
-(** Upper bound of the bucket containing the p-th percentile sample;
-    [None] when empty.  Bucket granularity makes this exact to within a
-    factor of two — enough to compare algorithms. *)
+(** [percentile t p = quantile t (p /. 100.)] with [p] in [0, 100]. *)
+
+val p999 : t -> int option
+(** The 99.9th percentile — the tail the soak/SLO reports gate on. *)
 
 val reset : t -> unit
 val pp : Format.formatter -> t -> unit

@@ -58,16 +58,18 @@ let to_json t =
 let pp fmt t =
   let p50 h = match Histogram.percentile h 50. with Some v -> v | None -> 0 in
   let p99 h = match Histogram.percentile h 99. with Some v -> v | None -> 0 in
+  let p999 h = match Histogram.p999 h with Some v -> v | None -> 0 in
   Format.fprintf fmt
     "@[<v>%s: enq=%d (full %d) deq=%d (empty %d)@ \
-     latency ns (p50/p99): enq %d/%d deq %d/%d@ \
+     latency ns (p50/p99/p999): enq %d/%d/%d deq %d/%d/%d@ \
      cas retries=%d backoffs=%d helps=%d@]"
     t.name
     (Counter.value t.enqueues)
     (Counter.value t.full_enqueues)
     (Counter.value t.dequeues)
     (Counter.value t.empty_dequeues)
-    (p50 t.enq_latency) (p99 t.enq_latency) (p50 t.deq_latency) (p99 t.deq_latency)
+    (p50 t.enq_latency) (p99 t.enq_latency) (p999 t.enq_latency)
+    (p50 t.deq_latency) (p99 t.deq_latency) (p999 t.deq_latency)
     (Counter.value t.cas_retries)
     (Counter.value t.backoffs)
     (Counter.value t.helps)

@@ -127,6 +127,7 @@ type snapshot = { sites : entry list; phases : entry list }
 
 let p50 e = Histogram.percentile e.hist 50.
 let p99 e = Histogram.percentile e.hist 99.
+let p999 e = Histogram.p999 e.hist
 
 let aggregate select =
   let acc : (string, entry) Hashtbl.t = Hashtbl.create 16 in
@@ -201,6 +202,7 @@ let entry_json e =
       ("cycles", Json.Int e.cycles);
       ("p50", (match p50 e with Some v -> Json.Int v | None -> Json.Null));
       ("p99", (match p99 e with Some v -> Json.Int v | None -> Json.Null));
+      ("p999", (match p999 e with Some v -> Json.Int v | None -> Json.Null));
       ("latency", Histogram.to_json e.hist);
     ]
 
@@ -213,14 +215,15 @@ let to_json s =
 
 let pp_entries fmt title entries =
   if entries <> [] then begin
-    Format.fprintf fmt "@[<v>%s@ %-28s %12s %14s %10s %10s@ " title "label"
-      "events" "cycles(ns)" "p50" "p99";
+    Format.fprintf fmt "@[<v>%s@ %-28s %12s %14s %10s %10s %10s@ " title
+      "label" "events" "cycles(ns)" "p50" "p99" "p999";
     List.iteri
       (fun i e ->
         if i > 0 then Format.fprintf fmt "@ ";
         let opt = function Some v -> string_of_int v | None -> "-" in
-        Format.fprintf fmt "%-28s %12d %14d %10s %10s" e.label e.events e.cycles
-          (opt (p50 e)) (opt (p99 e)))
+        Format.fprintf fmt "%-28s %12d %14d %10s %10s %10s" e.label e.events
+          e.cycles
+          (opt (p50 e)) (opt (p99 e)) (opt (p999 e)))
       entries;
     Format.fprintf fmt "@]@."
   end

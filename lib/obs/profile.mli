@@ -65,10 +65,12 @@ val top : ?n:int -> entry list -> entry list
 
 val p50 : entry -> int option
 val p99 : entry -> int option
+
+val p999 : entry -> int option
 (** Bucketed percentiles of the entry's span latencies, in ns. *)
 
 val to_json : snapshot -> Json.t
-(** [{"sites": [{"label", "events", "cycles", "p50", "p99",
+(** [{"sites": [{"label", "events", "cycles", "p50", "p99", "p999",
     "latency": <histogram>}...], "phases": [...]}] *)
 
 val pp : Format.formatter -> snapshot -> unit

@@ -1,0 +1,129 @@
+(** Resilience wrappers: bounded-time queue operations.
+
+    The paper's progress claims are about {e steps}; a serving system
+    needs bounds in {e time}.  [Resilient.Make] / [Make_bounded] wrap
+    any queue from the registry with the standard availability kit:
+
+    - {b per-op deadlines} — every retrying operation carries a
+      monotonic-clock budget ([deadline_ns]) and returns
+      [Error Timed_out] instead of spinning past it;
+    - {b bounded retries with randomized exponential backoff} — each
+      refusal (empty dequeue / full bounded enqueue) backs off through
+      {!Locks.Backoff}, whose jitter comes from per-domain SplitMix64
+      streams, up to [max_retries] attempts;
+    - {b shed policies} — what to do when refusal persists:
+      [Fail_fast] returns on the first refusal, [Shed] drops the work
+      after the retry budget, [Block_until span] keeps blocking up to
+      [span] ns (still capped by the deadline);
+    - {b a circuit breaker} — [breaker_threshold] consecutive refusals
+      trip the op direction's breaker open; while open (and not yet
+      cooled for [breaker_cooldown_ns]) operations are rejected without
+      touching the queue; after the cooldown one probe operation is
+      admitted (half-open) and its outcome closes or re-opens the
+      circuit.  Enqueue and dequeue directions trip independently — a
+      drained queue must not reject the enqueues that would refill it.
+
+    Every outcome is attributed: successes/refusals/latencies/retries
+    feed an {!Obs.Metrics.t}, whole operations are bracketed in
+    ["res.enq"]/["res.deq"] phases and terminal outcomes marked at
+    ["res.timeout"|"res.shed"|"res.breaker.*"] probe sites (visible to
+    {!Obs.Profile} and perturbed by {!Obs.Chaos} like any other site),
+    and the breaker/shed totals are exposed as {!outcomes}. *)
+
+type policy =
+  | Fail_fast  (** return [Error Rejected] on the first refusal *)
+  | Block_until of int
+      (** keep retrying a refused op up to this many ns (capped by the
+          deadline); on expiry, [Error Timed_out].  [max_retries] does
+          not apply — blocking is bounded by time, not attempts. *)
+  | Shed
+      (** retry within [max_retries]/deadline, then drop the work with
+          [Error Shedded] *)
+
+type config = {
+  deadline_ns : int;
+      (** per-operation monotonic budget; [<= 0] means no deadline *)
+  max_retries : int;
+      (** attempts after the first before a [Shed] verdict; [< 0] means
+          unbounded (the deadline still applies) *)
+  backoff_initial : int;  (** {!Locks.Backoff.create}'s [initial] *)
+  backoff_limit : int;  (** {!Locks.Backoff.create}'s [limit] *)
+  breaker_threshold : int;
+      (** consecutive refusals (per direction) that trip the breaker;
+          [<= 0] disables the breaker *)
+  breaker_cooldown_ns : int;
+      (** how long a tripped breaker stays open before admitting a
+          half-open probe *)
+  policy : policy;
+}
+
+val default : config
+(** 1 ms deadline, 64 retries, backoff 16..4096, breaker at 16
+    consecutive refusals with a 100 µs cooldown, [Shed]. *)
+
+type error =
+  | Timed_out  (** deadline (or [Block_until] span) expired *)
+  | Shedded  (** [Shed] policy dropped the work after the retry budget *)
+  | Rejected  (** [Fail_fast] refusal, or the breaker was open *)
+
+val error_to_string : error -> string
+
+type breaker_state = Closed | Open | Half_open
+
+type outcomes = {
+  timeouts : int;
+  sheds : int;
+  rejections : int;
+  breaker_trips : int;  (** open transitions, including re-trips *)
+  breaker_recoveries : int;  (** half-open probes that closed the circuit *)
+}
+
+val outcomes_json : outcomes -> Obs.Json.t
+
+(** What [Make] yields: unbounded queues — enqueue cannot be refused,
+    so only dequeue carries the full resilience machinery. *)
+module type S = sig
+  type 'a raw
+  type 'a t
+
+  val name : string
+
+  val create : ?config:config -> unit -> 'a t
+  val wrap : ?config:config -> 'a raw -> 'a t
+  (** Wrap an existing queue (shared state, fresh stats/breaker). *)
+
+  val queue : 'a t -> 'a raw
+  (** The underlying queue — for draining/audits outside the breaker. *)
+
+  val enqueue : 'a t -> 'a -> unit
+  (** Unbounded enqueues cannot be refused; recorded, never rejected. *)
+
+  val dequeue : 'a t -> ('a, error) result
+
+  val metrics : 'a t -> Obs.Metrics.t
+  val outcomes : 'a t -> outcomes
+  val breaker_state : 'a t -> [ `Enq | `Deq ] -> breaker_state
+  val to_json : 'a t -> Obs.Json.t
+end
+
+(** What [Make_bounded] yields: both directions can refuse, so both
+    carry deadlines, retry budgets, shedding and a breaker. *)
+module type BOUNDED = sig
+  type 'a raw
+  type 'a t
+
+  val name : string
+  val create : ?config:config -> ?capacity:int -> unit -> 'a t
+  val wrap : ?config:config -> 'a raw -> 'a t
+  val queue : 'a t -> 'a raw
+  val capacity : 'a t -> int
+  val try_enqueue : 'a t -> 'a -> (unit, error) result
+  val try_dequeue : 'a t -> ('a, error) result
+  val metrics : 'a t -> Obs.Metrics.t
+  val outcomes : 'a t -> outcomes
+  val breaker_state : 'a t -> [ `Enq | `Deq ] -> breaker_state
+  val to_json : 'a t -> Obs.Json.t
+end
+
+module Make (Q : Core.Queue_intf.S) : S with type 'a raw = 'a Q.t
+module Make_bounded (Q : Core.Queue_intf.BOUNDED) : BOUNDED with type 'a raw = 'a Q.t

@@ -16,6 +16,10 @@ type process = {
   mutable planned_stalls : (int * int) list;  (* (at, duration), at-ordered *)
   mutable ops_executed : int;
   mutable crash_after : int option;  (* fail-stop after this many ops *)
+  mutable restart : (int * (unit -> unit)) option;
+      (* (delay, body): when the crash fires, spawn [body] on the same
+         processor [delay] cycles later — crash+restart instead of
+         fail-stop forever *)
 }
 
 type processor = {
@@ -47,6 +51,9 @@ type t = {
   mutable max_clock : int;
   mutable last_progress : int;
   mutable blocked : blocked_info option;
+  mutable revivals : (int * int * (unit -> unit)) list;
+      (* (at_cycle, cpu, body): replacement processes waiting to join
+         after a crash+restart; fired by [run] *)
 }
 
 and process_view = {
@@ -93,6 +100,7 @@ let create (cfg : Config.t) =
     max_clock = 0;
     last_progress = 0;
     blocked = None;
+    revivals = [];
   }
 
 let memory t = t.mem
@@ -138,6 +146,7 @@ let spawn ?cpu t body =
       planned_stalls = [];
       ops_executed = 0;
       crash_after = None;
+      restart = None;
     }
   in
   Hashtbl.add t.procs pid p;
@@ -176,6 +185,15 @@ let plan_crash t pid ~after_ops =
   if after_ops < 0 then invalid_arg "Engine.plan_crash: negative operation index";
   let p = find_process t pid in
   p.crash_after <- Some after_ops
+
+let plan_crash_restart t pid ~after_ops ~restart_after body =
+  if after_ops < 0 then
+    invalid_arg "Engine.plan_crash_restart: negative operation index";
+  if restart_after < 0 then
+    invalid_arg "Engine.plan_crash_restart: negative restart delay";
+  let p = find_process t pid in
+  p.crash_after <- Some after_ops;
+  p.restart <- Some (restart_after, body)
 
 let ops_executed t pid = (find_process t pid).ops_executed
 
@@ -314,7 +332,15 @@ let step_processor t (cpu : processor) =
              stays held forever, a half-linked node stays half-linked *)
           p.state <- Killed;
           t.remaining <- t.remaining - 1;
-          ignore (Queue.pop cpu.runq)
+          ignore (Queue.pop cpu.runq);
+          (match p.restart with
+          | Some (delay, body) ->
+              (* crash+restart: a replacement process re-joins on the
+                 same processor after [delay] cycles.  It is a NEW
+                 process (fresh pid, no memory of the crash) — whatever
+                 the victim left half-done stays half-done. *)
+              t.revivals <- (cpu.clock + delay, p.cpu, body) :: t.revivals
+          | None -> ())
       | _ -> (
       match p.planned_stalls with
       | (at, duration) :: rest when at <= cpu.clock ->
@@ -424,8 +450,35 @@ let run ?(max_steps = 1_000_000_000) ?watchdog t =
   | Some w when w <= 0 -> invalid_arg "Engine.run: watchdog must be positive"
   | Some _ -> t.last_progress <- max t.last_progress t.max_clock
   | None -> ());
+  (* Replacement processes planned by crash+restart join the system the
+     first time the global clock reaches their revival cycle.  Firing
+     counts as progress (it is externally scheduled activity, like a
+     legitimate sleep). *)
+  let fire_due_revivals () =
+    let due, later =
+      List.partition (fun (at, _, _) -> at <= t.max_clock) t.revivals
+    in
+    if due <> [] then begin
+      t.revivals <- later;
+      List.iter
+        (fun (_, cpu, body) ->
+          ignore (spawn ~cpu t body);
+          t.last_progress <- max t.last_progress t.max_clock)
+        due
+    end
+  in
   (try
-     while t.remaining > 0 do
+     while t.remaining > 0 || t.revivals <> [] do
+       if t.remaining = 0 then begin
+         (* everyone alive finished before a pending restart: idle the
+            system forward to the earliest revival cycle *)
+         let at =
+           List.fold_left (fun acc (a, _, _) -> min acc a) max_int t.revivals
+         in
+         t.max_clock <- max t.max_clock at;
+         t.last_progress <- max t.last_progress t.max_clock
+       end;
+       fire_due_revivals ();
        if t.steps >= max_steps then begin
          outcome := Step_limit;
          raise Exit

@@ -95,6 +95,16 @@ val plan_crash : t -> pid -> after_ops:int -> unit
     other processes of a non-blocking algorithm must still complete.
     [after_ops = 0] crashes the process before its first operation. *)
 
+val plan_crash_restart :
+  t -> pid -> after_ops:int -> restart_after:int -> (unit -> unit) -> unit
+(** {!plan_crash} upgraded to {e crash+restart}: when the crash fires,
+    a replacement process running the given body is spawned on the same
+    processor [restart_after] cycles later.  The replacement is a fresh
+    process with a fresh pid and no memory of the crash — whatever the
+    victim left half-done (held locks, half-linked nodes) stays exactly
+    as the crash left it, which is the point: the survivors and the
+    replacement must cope. *)
+
 val ops_executed : t -> pid -> int
 (** Operations the process has executed so far (crash-point sweeps use
     a reference run's count as the sweep range). *)

@@ -1,10 +1,16 @@
 type t =
   | Crash of { after_ops : int }
+  | Crash_restart of { after_ops : int; restart_after : int }
   | Stall of { at : int; duration : int }
   | Storm of { first_at : int; every : int; duration : int; count : int }
 
-let inject eng pid = function
+let inject ?restart eng pid = function
   | Crash { after_ops } -> Engine.plan_crash eng pid ~after_ops
+  | Crash_restart { after_ops; restart_after } -> (
+      match restart with
+      | None -> invalid_arg "Faults.inject: Crash_restart requires ~restart"
+      | Some body ->
+          Engine.plan_crash_restart eng pid ~after_ops ~restart_after body)
   | Stall { at; duration } -> Engine.plan_stall eng pid ~at ~duration
   | Storm { first_at; every; duration; count } ->
       if every <= 0 || count <= 0 then invalid_arg "Faults.inject: bad storm";
@@ -38,6 +44,9 @@ let random rng ~max_ops ~horizon =
 
 let pp fmt = function
   | Crash { after_ops } -> Format.fprintf fmt "crash after %d ops" after_ops
+  | Crash_restart { after_ops; restart_after } ->
+      Format.fprintf fmt "crash after %d ops, restart %d cycles later"
+        after_ops restart_after
   | Stall { at; duration } ->
       Format.fprintf fmt "stall at %d for %d cycles" at duration
   | Storm { first_at; every; duration; count } ->

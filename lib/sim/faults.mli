@@ -11,6 +11,9 @@
 
     - {!Crash}: fail-stop at an exact operation index
       ({!Engine.plan_crash} — mid-CAS included);
+    - {!Crash_restart}: the same crash, but a replacement process
+      re-joins on the same processor after a delay — the victim's
+      half-done work stays half-done and the replacement must cope;
     - {!Stall}: one long transient delay ({!Engine.plan_stall} — a page
       fault, descheduling);
     - {!Storm}: repeated short preemptions, the "repeatedly unlucky
@@ -22,13 +25,16 @@
 
 type t =
   | Crash of { after_ops : int }
+  | Crash_restart of { after_ops : int; restart_after : int }
   | Stall of { at : int; duration : int }
   | Storm of { first_at : int; every : int; duration : int; count : int }
 
-val inject : Engine.t -> Engine.pid -> t -> unit
+val inject : ?restart:(unit -> unit) -> Engine.t -> Engine.pid -> t -> unit
 (** Plant the fault on one process.  Must be called before
-    {!Engine.run}.  Raises [Invalid_argument] on nonpositive storm
-    parameters. *)
+    {!Engine.run}.  [~restart] supplies the replacement body for
+    {!Crash_restart} (required for that constructor, ignored
+    otherwise).  Raises [Invalid_argument] on nonpositive storm
+    parameters or a [Crash_restart] without [~restart]. *)
 
 val crash_points : trials:int -> total_ops:int -> int list
 (** [trials] crash indices spread evenly over the interior of a run of

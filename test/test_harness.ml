@@ -432,7 +432,12 @@ let test_bench_compare_parse () =
         d.Harness.Bench_compare.memory
   | Error e -> Alcotest.failf "schema 5 rejected: %s" e);
   (match Harness.Bench_compare.of_string (bench_doc ~schema:6 ()) with
-  | Ok _ -> Alcotest.fail "schema 6 accepted"
+  | Ok d ->
+      Alcotest.(check int) "schema 6 accepted" 6
+        d.Harness.Bench_compare.schema_version
+  | Error e -> Alcotest.failf "schema 6 rejected: %s" e);
+  (match Harness.Bench_compare.of_string (bench_doc ~schema:7 ()) with
+  | Ok _ -> Alcotest.fail "schema 7 accepted"
   | Error _ -> ());
   match Harness.Bench_compare.of_string "{not json" with
   | Ok _ -> Alcotest.fail "garbage accepted"

@@ -16,4 +16,6 @@ let () =
          Test_obs.suites;
          Test_faults.suites;
          Test_qcheck_queues.suites;
+         Test_resilience.suites;
+         Test_soak.suites;
        ])

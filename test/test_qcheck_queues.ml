@@ -332,8 +332,14 @@ let test_bounded_contention key (module Q : Core.Queue_intf.BOUNDED) () =
   let per = 20_000 in
   let accepted = Atomic.make 0 in
   let produced_done = Atomic.make false in
+  (* the producer holds until the sampler has taken its first reading:
+     domain spawn latency must not let the whole race finish unsampled *)
+  let sampler_ready = Atomic.make false in
   let producer =
     Domain.spawn (fun () ->
+        while not (Atomic.get sampler_ready) do
+          Domain.cpu_relax ()
+        done;
         for i = 1 to per do
           if Q.try_enqueue q i then Atomic.incr accepted
         done;
@@ -364,7 +370,8 @@ let test_bounded_contention key (module Q : Core.Queue_intf.BOUNDED) () =
           let len = Q.length q in
           if len < 0 || len > cap then
             Alcotest.failf "%s: length %d outside [0, %d]" key len cap;
-          incr samples
+          incr samples;
+          Atomic.set sampler_ready true
         done;
         !samples)
   in
