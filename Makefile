@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke bench-diff mcheck-native profile soak-smoke soak clean
+.PHONY: all build test bench bench-smoke bench-diff fabric-smoke mcheck-native profile soak-smoke soak clean
 
 all: build
 
@@ -15,17 +15,26 @@ bench:
 # A minutes-scale subset for CI: figure 3 only, tiny pair counts, and
 # the instrumented native-queue metrics — still exercising every layer
 # that feeds BENCH_queues.json.  Also emits the cycle-attribution
-# profile section on its own as profile.json and the live-memory axis
-# (bytes/element, reclamation lag) as memory.json.
+# profile section on its own as profile.json, the live-memory axis
+# (bytes/element, reclamation lag) as memory.json, and the fabric
+# section (shard scaling, open-loop latency under load) as fabric.json.
 bench-smoke:
 	dune build bench/main.exe
-	MSQ_SMOKE=1 MSQ_JSON=BENCH_queues.json dune exec bench/main.exe -- --profile-out profile.json --memory-out memory.json
+	MSQ_SMOKE=1 MSQ_JSON=BENCH_queues.json dune exec bench/main.exe -- --profile-out profile.json --memory-out memory.json --fabric-out fabric.json
 
 # Gate a fresh smoke run against the committed baseline: the
 # deterministic simulator metric (net cycles/pair) must not regress by
 # more than 10%.  Native wall-clock numbers are reported but never gate.
 bench-diff: bench-smoke
 	dune exec bin/msq_check.exe -- bench-diff bench/BASELINE_smoke.json BENCH_queues.json --max-regress 10
+
+# The fabric acceptance gates at smoke scale: >=3x simulated
+# aggregate-throughput scaling at 8 shards, disjoint per-shard writer
+# sets in the heatmap, and open-loop sojourn p999 within the (CI-wide)
+# SLO at each offered load.  Exit 1 if any gate fails.
+fabric-smoke:
+	dune exec bin/msq_check.exe -- fabric --seed 4011 --arrivals 2000 \
+	  --pairs 2000 --load 20000 --load 50000 --json fabric-check.json
 
 # Exhaustive small-scope model checking of the NATIVE queues: the
 # shipping lib/core functors instantiated with a traced atomic, every
@@ -59,5 +68,5 @@ soak:
 
 clean:
 	dune clean
-	rm -f BENCH_queues.json profile.json memory.json mcheck-counterexample.txt \
-	  soak.json soak-failure.txt
+	rm -f BENCH_queues.json profile.json memory.json fabric.json \
+	  fabric-check.json mcheck-counterexample.txt soak.json soak-failure.txt

@@ -205,7 +205,14 @@ let native_lin_cmd =
       && not (List.mem key Harness.Registry.native_keys)
     then native_lin_bounded key domains ops rounds chaos capacity seed
     else begin
-    let (module Q0 : Core.Queue_intf.S) = Harness.Registry.find_native key in
+    (* The fabric's registry adapter routes by domain id, so it only
+       promises per-key FIFO — a whole-queue FIFO checker would flag
+       legitimate cross-shard reordering.  Pin every operation to one
+       key (hence one shard), where total FIFO order is the claim. *)
+    let (module Q0 : Core.Queue_intf.S) =
+      if key = "fabric" then (module Fabric.Queue_fabric.Single_key)
+      else Harness.Registry.find_native key
+    in
     let (module Q : Core.Queue_intf.S) =
       if chaos then (module Obs.Chaos.Make (Q0)) else (module Q0)
     in
@@ -866,15 +873,15 @@ let profile_cmd =
           $ native)
 
 let bench_diff_cmd =
-  let run old_path new_path max_regress gate_native =
+  let run old_path new_path max_regress gate_native max_p999_regress =
     match (Harness.Bench_compare.load old_path, Harness.Bench_compare.load new_path) with
     | Error e, _ | _, Error e ->
         Format.eprintf "bench-diff: %s@." e;
         2
     | Ok old_doc, Ok new_doc ->
         let c =
-          Harness.Bench_compare.diff ~max_regress ~gate_native ~old_doc
-            ~new_doc ()
+          Harness.Bench_compare.diff ~max_regress ~gate_native
+            ~max_p999_regress ~old_doc ~new_doc ()
         in
         Format.printf "%a@." Harness.Bench_compare.pp c;
         if Harness.Bench_compare.ok c then 0 else 1
@@ -898,14 +905,26 @@ let bench_diff_cmd =
              ~doc:"Also gate on native wall-clock throughput (noisy on a \
                    timeshared core; off by default).")
   in
+  let max_p999_regress =
+    Arg.(value & opt float 400.
+         & info [ "max-p999-regress" ] ~docv:"PCT"
+             ~doc:"Fail when a latency tail (fabric open-loop sojourn p999, \
+                   soak dequeue p999) worsens by more than $(docv) percent; \
+                   wide by default because tails are wall-clock and \
+                   power-of-two bucketed — the gate catches the \
+                   latency-under-load knee collapsing, not jitter.")
+  in
   Cmd.v
     (Cmd.info "bench-diff"
        ~doc:
-         "Compare two BENCH_queues.json documents (schema versions 2-4): the \
-          deterministic simulator figures gate, native throughput is \
-          informational.  Exit 1 on regression past --max-regress, 2 on \
-          unreadable input.")
-    Term.(const run $ old_path $ new_path $ max_regress $ gate_native)
+         "Compare two BENCH_queues.json documents (schema versions 2-7): the \
+          deterministic simulator figures (including the fabric shard-scaling \
+          points) gate at --max-regress, latency tails at --max-p999-regress, \
+          any failed fabric SLO verdict in NEW fails absolutely, and native \
+          throughput is informational.  Exit 1 on regression, 2 on unreadable \
+          input.")
+    Term.(const run $ old_path $ new_path $ max_regress $ gate_native
+          $ max_p999_regress)
 
 let bench_summary_cmd =
   let run path top =
@@ -1131,12 +1150,235 @@ let mcheck_native_cmd =
     Term.(const run $ queue $ scenario $ preemptions $ depth_limit $ self_test
           $ trace_out)
 
+(* The fabric acceptance harness: the three claims the sharded fabric
+   ships under, runnable (and gated) standalone.
+   (a) aggregate-throughput scaling — the paper's pairs workload over
+       the simulated keyed fabric at 1 shard vs --shards, p = 8; the
+       deterministic cycles/pair ratio must reach 3x at 8 shards;
+   (b) cache disjointness — the same runs' heatmaps must show every
+       per-shard line written by a single shard's processor set;
+   (c) latency under offered load — open-loop Poisson arrivals against
+       a native bounded fabric at each --load, sojourn p999 within
+       --slo-ns.
+   Exit 1 if any gate fails. *)
+let fabric_cmd =
+  let run shards policy loads seed arrivals pairs slo_ns skew crash
+      json_out =
+    let module R = Resilience.Resilient in
+    let module F = Fabric.Queue_fabric in
+    let shards = max 1 shards in
+    let policy =
+      match policy with
+      | `Fail_fast -> R.Fail_fast
+      | `Shed -> R.Shed
+      | `Block -> R.Block_until 1_000_000
+    in
+    let failed = ref [] in
+    let gate name ok =
+      Format.printf "  gate %-26s %s@." name (if ok then "ok" else "FAIL");
+      if not ok then failed := name :: !failed;
+      ok
+    in
+    (* (a) + (b): deterministic simulated scaling and disjoint writers *)
+    Format.printf "fabric: simulated shard scaling (p = 8, %d pairs)@." pairs;
+    let params =
+      { Harness.Params.default with total_pairs = pairs; processors = 8 }
+    in
+    let params =
+      match seed with
+      | Some s -> { params with Harness.Params.seed = s }
+      | None -> params
+    in
+    let sim n =
+      let m =
+        Harness.Workload.run ~heatmap:true
+          (Squeues.Fabric_queue.algo ~shards:n)
+          params
+      in
+      Format.printf "  %d shard(s): %7.0f cycles/pair%s@." n
+        m.Harness.Workload.net_per_pair
+        (if m.Harness.Workload.completed then "" else " [incomplete]");
+      m
+    in
+    let m1 = sim 1 in
+    let mn = sim shards in
+    let speedup =
+      m1.Harness.Workload.net_per_pair /. mn.Harness.Workload.net_per_pair
+    in
+    Format.printf "  speedup %d shards vs 1: %.2fx@." shards speedup;
+    if shards >= 8 then ignore (gate "sim-scaling>=3x" (speedup >= 3.0))
+    else
+      Format.printf "  gate %-26s skipped (gate applies at >= 8 shards)@."
+        "sim-scaling>=3x";
+    let disjoint =
+      Squeues.Fabric_queue.writers_disjoint m1.Harness.Workload.heatmap
+      && Squeues.Fabric_queue.writers_disjoint mn.Harness.Workload.heatmap
+    in
+    ignore (gate "writers-disjoint" disjoint);
+    (* (c): native open-loop latency under each offered load *)
+    let loads = match loads with [] -> [ 20_000.; 50_000. ] | ls -> ls in
+    Format.printf
+      "fabric: open-loop latency under offered load (native, %d shards)@."
+      shards;
+    let ol_points =
+      List.map
+        (fun rate ->
+          let fab =
+            F.create
+              ~config:
+                {
+                  F.default_config with
+                  shards;
+                  shard_capacity = 4_096;
+                  resilience = { R.default with R.policy };
+                }
+              ()
+          in
+          let r =
+            Harness.Open_loop.run
+              ~config:
+                {
+                  Harness.Open_loop.default with
+                  seed = Option.value seed ~default:0xFABL;
+                  rate;
+                  arrivals;
+                  key_skew = skew;
+                  crash_restart = crash;
+                }
+              fab
+          in
+          Format.printf "  %a@." Harness.Open_loop.pp_result r;
+          let _, _, p999 =
+            Harness.Open_loop.percentiles r.Harness.Open_loop.sojourn
+          in
+          let ok = gate (Printf.sprintf "slo-p999@%.0f/s" rate) (p999 <= slo_ns) in
+          (rate, r, ok))
+        loads
+    in
+    (match json_out with
+    | None -> ()
+    | Some path ->
+        let sim_point n (m : Harness.Workload.measurement) =
+          Obs.Json.Assoc
+            [
+              ("shards", Obs.Json.Int n);
+              ("processors", Obs.Json.Int 8);
+              ("pairs", Obs.Json.Int pairs);
+              ("net_per_pair", Obs.Json.Float m.Harness.Workload.net_per_pair);
+              ("completed", Obs.Json.Bool m.Harness.Workload.completed);
+            ]
+        in
+        let ol_point (rate, r, ok) =
+          match Harness.Open_loop.result_json r with
+          | Obs.Json.Assoc kvs ->
+              Obs.Json.Assoc
+                (kvs
+                @ [
+                    ("load_label", Obs.Json.String (Printf.sprintf "%.0f" rate));
+                    ("slo_p999_ns", Obs.Json.Int slo_ns);
+                    ("slo_ok", Obs.Json.Bool ok);
+                  ])
+          | j -> j
+        in
+        let doc =
+          Obs.Json.Assoc
+            [
+              ("shards", Obs.Json.Int shards);
+              ("speedup", Obs.Json.Float speedup);
+              ( "sim_scaling",
+                Obs.Json.List [ sim_point 1 m1; sim_point shards mn ] );
+              ("heatmap_disjoint", Obs.Json.Bool disjoint);
+              ("open_loop", Obs.Json.List (List.map ol_point ol_points));
+            ]
+        in
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc (Obs.Json.to_string doc);
+            Out_channel.output_char oc '\n');
+        Format.printf "fabric section written to %s@." path);
+    if !failed = [] then begin
+      Format.printf "fabric: all gates ok@.";
+      0
+    end
+    else begin
+      Format.printf "fabric: FAILED gates: %s@."
+        (String.concat ", " (List.rev !failed));
+      1
+    end
+  in
+  let shards =
+    Arg.(value & opt int 8
+         & info [ "shards" ]
+             ~doc:"Shard count for the scaled runs and the native fabric \
+                   (the >=3x scaling gate applies at >= 8).")
+  in
+  let policy =
+    Arg.(value
+         & opt (enum [ ("fail-fast", `Fail_fast); ("shed", `Shed);
+                       ("block", `Block) ])
+             `Shed
+         & info [ "policy" ]
+             ~doc:"Backpressure policy of the native fabric's per-shard \
+                   engines: $(b,fail-fast), $(b,shed) or $(b,block) \
+                   (Block_until 1 ms).")
+  in
+  let loads =
+    Arg.(value & opt_all float []
+         & info [ "load" ] ~docv:"PER_SEC"
+             ~doc:"Offered open-loop arrival rate; repeatable, one point \
+                   per occurrence.  Default: 20000 and 50000.")
+  in
+  let arrivals =
+    Arg.(value & opt int 3_000
+         & info [ "arrivals" ] ~doc:"Total arrivals per open-loop point.")
+  in
+  let pairs =
+    Arg.(value & opt int 2_000
+         & info [ "pairs" ]
+             ~doc:"Simulated enqueue/dequeue pairs for the scaling runs.")
+  in
+  let slo_ns =
+    Arg.(value & opt int 500_000_000
+         & info [ "slo-ns" ]
+             ~doc:"Absolute sojourn-p999 SLO per open-loop point.  Generous \
+                   by default because CI shares one hardware core: the gate \
+                   catches collapse (unbounded queueing), not drift.")
+  in
+  let skew =
+    Arg.(value & opt float 0.
+         & info [ "skew" ]
+             ~doc:"Zipf key skew for the open-loop producers (0 = unkeyed, \
+                   round-robin splitter).")
+  in
+  let crash =
+    Arg.(value & flag
+         & info [ "crash" ]
+             ~doc:"Fail-stop producer 0 mid-schedule and resume the rest of \
+                   its arrivals on a replacement domain.")
+  in
+  let json_out =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Write the run as a bench schema-7 style fabric section \
+                   (plus the speedup verdict) to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "fabric"
+       ~doc:
+         "Run the sharded-fabric acceptance gates: >=3x simulated \
+          aggregate-throughput scaling at 8 shards vs a single queue, \
+          disjoint per-shard writer sets in the cache heatmap, and native \
+          open-loop sojourn p999 within the SLO at each offered load.  \
+          Exit 1 if any gate fails.")
+    Term.(const run $ shards $ policy $ loads $ seed_arg $ arrivals $ pairs
+          $ slo_ns $ skew $ crash $ json_out)
+
 let cmd =
   let doc = "Verification tools for the PODC 1996 queue reproduction" in
   Cmd.group (Cmd.info "msq_check" ~doc)
     [
       explore_cmd; lin_cmd; native_lin_cmd; mcheck_native_cmd; crash_cmd;
-      chaos_cmd; soak_cmd; profile_cmd; bench_diff_cmd; bench_summary_cmd;
+      chaos_cmd; soak_cmd; profile_cmd; fabric_cmd; bench_diff_cmd;
+      bench_summary_cmd;
     ]
 
 let () = exit (Cmd.eval' cmd)

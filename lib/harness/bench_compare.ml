@@ -20,6 +20,11 @@ type doc = {
   memory : (string * float) list;
       (** key -> bytes_per_element, lower better (schema 5+; empty
           before) *)
+  p999 : (string * float) list;
+      (** key -> p999 latency in ns, lower better (schema 7+; fabric
+          open-loop sojourns and soak dequeue tails) *)
+  slo_failures : string list;
+      (** fabric open-loop points whose own SLO verdict is false *)
   raw : Json.t;  (** the whole document, for the summary renderer *)
 }
 
@@ -88,8 +93,77 @@ let memory_points json =
           | None -> None)
         (list_of memory "native")
 
+(* Schema-7 fabric section.  The simulated scaling points are folded
+   into the [sim] table (same determinism, same ±10% gate and
+   missing-key gate as the figure data); the open-loop sojourn tails
+   and the soak dequeue tails form the separate [p999] table, gated
+   with a much wider tolerance since they come from wall-clock runs. *)
+
+let fabric_member doc = opt_member "fabric" doc
+
+let fabric_sim_points json =
+  match fabric_member json with
+  | None -> []
+  | Some fabric ->
+      List.filter_map
+        (fun point ->
+          let completed =
+            Option.bind (opt_member "completed" point) Json.to_bool_opt
+            |> Option.value ~default:true
+          in
+          match float_of point "net_per_pair" with
+          | Some v when completed ->
+              Some
+                ( Printf.sprintf "fabric/sim/p%d/sh%d"
+                    (int_or ~default:0 point "processors")
+                    (int_or ~default:0 point "shards"),
+                  v )
+          | _ -> None)
+        (list_of fabric "sim_scaling")
+
+let fabric_open_loop json =
+  match fabric_member json with
+  | None -> []
+  | Some fabric -> list_of fabric "open_loop"
+
+let open_loop_label point =
+  str_or ~default:"?" point "load_label"
+
+let p999_points json =
+  let fabric =
+    List.filter_map
+      (fun point ->
+        match float_of point "sojourn_p999_ns" with
+        | Some v when v > 0. ->
+            Some (Printf.sprintf "fabric/%s" (open_loop_label point), v)
+        | _ -> None)
+      (fabric_open_loop json)
+  in
+  let soak =
+    match opt_member "soak" json with
+    | None -> []
+    | Some soak ->
+        List.filter_map
+          (fun e ->
+            match float_of e "deq_p999_ns" with
+            | Some v when v > 0. ->
+                Some
+                  (Printf.sprintf "soak/%s" (str_or ~default:"?" e "queue"), v)
+            | _ -> None)
+          (list_of soak "native")
+  in
+  fabric @ soak
+
+let slo_failure_points json =
+  List.filter_map
+    (fun point ->
+      match Option.bind (opt_member "slo_ok" point) Json.to_bool_opt with
+      | Some false -> Some (Printf.sprintf "fabric/%s" (open_loop_label point))
+      | _ -> None)
+    (fabric_open_loop json)
+
 let min_schema = 2
-let max_schema = 6
+let max_schema = 7
 
 let of_json json =
   match Option.bind (opt_member "schema_version" json) Json.to_int_opt with
@@ -106,9 +180,11 @@ let of_json json =
           smoke =
             Option.bind (opt_member "smoke" json) Json.to_bool_opt
             |> Option.value ~default:false;
-          sim = sim_points json;
+          sim = sim_points json @ fabric_sim_points json;
           native = native_points json;
           memory = memory_points json;
+          p999 = p999_points json;
+          slo_failures = slo_failure_points json;
           raw = json;
         }
 
@@ -139,12 +215,16 @@ type delta = {
 type comparison = {
   max_regress : float;
   gate_native : bool;
+  max_p999_regress : float;
   comparable : bool;
       (** same pairs/smoke scale — net_per_pair comparisons across
           different scales are still shown but never gate *)
   sim_deltas : delta list;  (** sorted worst-first *)
   native_deltas : delta list;
   memory_deltas : delta list;  (** bytes/element; informational, never gated *)
+  p999_deltas : delta list;
+      (** latency tails (ns, lower better); gated at [max_p999_regress] *)
+  slo_failures : string list;  (** NEW doc's own failed SLO verdicts; gate *)
   missing : string list;  (** sim keys in OLD absent from NEW *)
   added : string list;
 }
@@ -155,25 +235,32 @@ let pct ~worse_when_new_is ~old_value ~new_value =
     let change = (new_value -. old_value) /. old_value *. 100. in
     match worse_when_new_is with `Higher -> change | `Lower -> -.change
 
-let diff ?(max_regress = 10.) ?(gate_native = false) ~old_doc ~new_doc () =
+let diff ?(max_regress = 10.) ?(gate_native = false) ?(max_p999_regress = 400.)
+    ~old_doc ~new_doc () =
   let comparable =
     old_doc.pairs = new_doc.pairs && old_doc.smoke = new_doc.smoke
   in
-  let mk gate worse_when_new_is (key, old_value) new_value =
+  let mk ~threshold gate worse_when_new_is (key, old_value) new_value =
     let worse_pct = pct ~worse_when_new_is ~old_value ~new_value in
     { key; old_value; new_value; worse_pct;
-      regressed = gate && comparable && worse_pct > max_regress }
+      regressed = gate && comparable && worse_pct > threshold }
   in
-  let join gate worse old_points new_points =
+  let join ?(threshold = max_regress) gate worse old_points new_points =
     List.filter_map
       (fun ((key, _) as o) ->
-        Option.map (mk gate worse o) (List.assoc_opt key new_points))
+        Option.map (mk ~threshold gate worse o) (List.assoc_opt key new_points))
       old_points
     |> List.sort (fun a b -> Float.compare b.worse_pct a.worse_pct)
   in
   let sim_deltas = join true `Higher old_doc.sim new_doc.sim in
   let native_deltas = join gate_native `Lower old_doc.native new_doc.native in
   let memory_deltas = join false `Higher old_doc.memory new_doc.memory in
+  (* latency tails are wall-clock (bucketed to powers of two on top),
+     so the relative gate is wide by default: it exists to catch
+     order-of-magnitude knees, not percent drift *)
+  let p999_deltas =
+    join ~threshold:max_p999_regress true `Higher old_doc.p999 new_doc.p999
+  in
   let missing =
     List.filter_map
       (fun (k, _) ->
@@ -186,13 +273,15 @@ let diff ?(max_regress = 10.) ?(gate_native = false) ~old_doc ~new_doc () =
         if List.mem_assoc k old_doc.sim then None else Some k)
       new_doc.sim
   in
-  { max_regress; gate_native; comparable; sim_deltas; native_deltas;
-    memory_deltas; missing; added }
+  { max_regress; gate_native; max_p999_regress; comparable; sim_deltas;
+    native_deltas; memory_deltas; p999_deltas;
+    slo_failures = new_doc.slo_failures; missing; added }
 
 let regressions c =
-  List.filter (fun d -> d.regressed) (c.sim_deltas @ c.native_deltas)
+  List.filter (fun d -> d.regressed)
+    (c.sim_deltas @ c.native_deltas @ c.p999_deltas)
 
-let ok c = regressions c = [] && c.missing = []
+let ok c = regressions c = [] && c.missing = [] && c.slo_failures = []
 
 let pp fmt c =
   let open Format in
@@ -218,14 +307,23 @@ let pp fmt c =
     fprintf fmt "memory bytes/element (lower is better, informational):@ ";
     List.iter row c.memory_deltas
   end;
+  if c.p999_deltas <> [] then begin
+    fprintf fmt "p999 latency ns (lower is better, gate %.0f%%):@ "
+      c.max_p999_regress;
+    List.iter row c.p999_deltas
+  end;
+  List.iter
+    (fun k -> fprintf fmt "  SLO-FAIL %s (NEW run missed its own SLO)@ " k)
+    c.slo_failures;
   List.iter (fun k -> fprintf fmt "  MISSING %s (in OLD, absent from NEW)@ " k)
     c.missing;
   List.iter (fun k -> fprintf fmt "  new     %s@ " k) c.added;
   let r = List.length (regressions c) in
-  if r = 0 && c.missing = [] then fprintf fmt "bench-diff: OK@ "
+  if ok c then fprintf fmt "bench-diff: OK@ "
   else
-    fprintf fmt "bench-diff: FAIL (%d regression(s), %d missing)@ " r
-      (List.length c.missing);
+    fprintf fmt "bench-diff: FAIL (%d regression(s), %d missing, %d SLO)@ " r
+      (List.length c.missing)
+      (List.length c.slo_failures);
   fprintf fmt "@]"
 
 (* ------------------------------------------------------------------ *)
@@ -337,6 +435,48 @@ let markdown_summary ?(top = 3) fmt doc =
               (str_or ~default:"?" e "outcome")
               (if ok then "ok" else "FAILED"))
           sims;
+        fprintf fmt "@."
+      end);
+  (match (fabric_member doc.raw, fabric_open_loop doc.raw) with
+  | None, _ -> ()
+  | Some fabric, open_loop ->
+      fprintf fmt "### Fabric: latency under offered load (open loop)@.@.";
+      (match list_of fabric "sim_scaling" with
+      | [] -> ()
+      | points ->
+          fprintf fmt "| shards | processors | net cycles/pair |@.|---:|---:|---:|@.";
+          List.iter
+            (fun p ->
+              fprintf fmt "| %d | %d | %.0f |@."
+                (int_or ~default:0 p "shards")
+                (int_or ~default:0 p "processors")
+                (Option.value ~default:0. (float_of p "net_per_pair")))
+            points;
+          fprintf fmt "@.");
+      if open_loop <> [] then begin
+        fprintf fmt
+          "| load | offered/s | achieved/s | enq | refused | sojourn p50 ns | \
+           p99 ns | p999 ns | SLO |@.";
+        fprintf fmt "|---|---:|---:|---:|---:|---:|---:|---:|---|@.";
+        List.iter
+          (fun p ->
+            let slo =
+              match Option.bind (opt_member "slo_ok" p) Json.to_bool_opt with
+              | Some true -> "ok"
+              | Some false -> "FAILED"
+              | None -> "—"
+            in
+            fprintf fmt "| %s | %.0f | %.0f | %d | %d | %d | %d | %d | %s |@."
+              (open_loop_label p)
+              (Option.value ~default:0. (float_of p "offered_per_sec"))
+              (Option.value ~default:0. (float_of p "achieved_per_sec"))
+              (int_or ~default:0 p "enqueued")
+              (int_or ~default:0 p "refused")
+              (int_or ~default:0 p "sojourn_p50_ns")
+              (int_or ~default:0 p "sojourn_p99_ns")
+              (int_or ~default:0 p "sojourn_p999_ns")
+              slo)
+          open_loop;
         fprintf fmt "@."
       end);
   (match heatmap_entries doc with

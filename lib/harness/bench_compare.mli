@@ -2,9 +2,10 @@
 
     The testable core behind [msq_check bench-diff OLD NEW] (regression
     gate) and [msq_check bench-summary NEW] (GitHub step-summary
-    markdown).  Accepts schema versions 2 through 5 — older documents
+    markdown).  Accepts schema versions 2 through 7 — older documents
     simply lack the sections added later ([robustness], [batched],
-    [profile], [memory]) and compare on what they have.
+    [profile], [memory], [soak], [fabric]) and compare on what they
+    have.
 
     The gate runs on the deterministic simulator metric
     ([net_per_pair], net cycles per enqueue/dequeue pair, lower is
@@ -25,8 +26,20 @@ type doc = {
   memory : (string * float) list;
       (** [queue name -> bytes_per_element] from the schema-5 [memory]
           section; lower is better.  Empty for older documents. *)
+  p999 : (string * float) list;
+      (** latency tails in ns, lower better: ["fabric/<load>" ->
+          sojourn_p999_ns] from the schema-7 [fabric.open_loop] points
+          and ["soak/<queue>" -> deq_p999_ns] from the soak reports *)
+  slo_failures : string list;
+      (** fabric open-loop points whose own [slo_ok] verdict is false —
+          an absolute gate carried by the document itself, independent
+          of any baseline *)
   raw : Obs.Json.t;  (** the whole parsed document *)
 }
+
+(** The fabric's deterministic sim-scaling points
+    (["fabric/sim/p8/sh8" -> net_per_pair]) are folded into [sim], so
+    they inherit the ±gate and the missing-key gate unchanged. *)
 
 val of_json : Obs.Json.t -> (doc, string) result
 val of_string : string -> (doc, string) result
@@ -44,6 +57,7 @@ type delta = {
 type comparison = {
   max_regress : float;
   gate_native : bool;
+  max_p999_regress : float;
   comparable : bool;
       (** OLD and NEW ran at the same pairs/smoke scale.  When false
           every delta is shown but none gates. *)
@@ -52,6 +66,14 @@ type comparison = {
   memory_deltas : delta list;
       (** bytes/element drift; informational — memory cost is a design
           property worth eyeballing, not a noisy metric to gate on *)
+  p999_deltas : delta list;
+      (** latency-tail drift (ns, lower better), gated at
+          [max_p999_regress] — wall-clock and power-of-two bucketed, so
+          the gate is wide by design: it exists to catch the
+          latency-under-load knee moving by orders of magnitude, not
+          percent jitter *)
+  slo_failures : string list;
+      (** copied from [new_doc]; any entry fails the gate *)
   missing : string list;  (** sim keys in OLD absent from NEW — gates *)
   added : string list;
 }
@@ -59,15 +81,18 @@ type comparison = {
 val diff :
   ?max_regress:float ->
   ?gate_native:bool ->
+  ?max_p999_regress:float ->
   old_doc:doc ->
   new_doc:doc ->
   unit ->
   comparison
-(** [max_regress] defaults to 10 (percent); [gate_native] to false. *)
+(** [max_regress] defaults to 10 (percent); [gate_native] to false;
+    [max_p999_regress] to 400 (percent). *)
 
 val regressions : comparison -> delta list
 val ok : comparison -> bool
-(** No regressions and no missing keys — the CI gate. *)
+(** No regressions (sim, gated-native, p999), no missing sim keys, and
+    no failed SLO verdicts in NEW — the CI gate. *)
 
 val pp : Format.formatter -> comparison -> unit
 (** Terminal report, one line per compared point. *)
@@ -76,5 +101,8 @@ val markdown_summary : ?top:int -> Format.formatter -> doc -> unit
 (** GitHub-flavoured markdown for [$GITHUB_STEP_SUMMARY]: headline
     native pairs/second table; the bytes-per-element and steady-state
     allocation table when the document carries the schema-5 [memory]
-    section; and the [top] (default 3) hottest simulated cache lines
-    per queue when it carries the schema-4 [profile] section. *)
+    section; the soak verdicts; the fabric shard-scaling and
+    latency-under-offered-load tables when it carries the schema-7
+    [fabric] section; and the [top] (default 3) hottest simulated
+    cache lines per queue when it carries the schema-4 [profile]
+    section. *)

@@ -1,0 +1,86 @@
+(** Open-loop latency-under-load driver for the queue fabric.
+
+    The paper's evaluation — and every closed-loop benchmark in this
+    repository — lets each producer wait for its previous operation
+    before issuing the next, so the measured system sets its own pace
+    and overload is invisible.  A serving system is the opposite: load
+    arrives on the {e world's} schedule.  This driver precomputes a
+    deterministic arrival schedule (Poisson inter-arrivals at a chosen
+    offered rate, optionally modulated by bursty on/off phases) and
+    fires each enqueue at its scheduled instant whether or not earlier
+    operations completed — behind-schedule arrivals fire immediately,
+    which is exactly how queueing delay becomes visible.  Every
+    accepted item carries its enqueue timestamp; consumers record the
+    enqueue-to-dequeue {e sojourn} in an {!Obs.Histogram}, giving the
+    p50/p99/p999 latency-under-offered-load axis the fabric's SLO
+    gates run on ([BENCH_queues.json] schema 7 [fabric] section).
+
+    Ingredients from the fault-storm soak carry over: producer
+    crash/restart ([crash_restart] fail-stops one producer between
+    operations, mid-schedule, and a replacement domain resumes the
+    remainder of its schedule, late arrivals firing immediately) and
+    skewed shard keys ([key_skew] draws keys from a Zipf-like
+    distribution, so hot shards exert backpressure while cold ones
+    idle). *)
+
+type burst = {
+  on_ns : int;  (** arrivals flow during this span... *)
+  off_ns : int;  (** ...then pause for this one, repeating *)
+}
+
+type config = {
+  seed : int64;  (** drives schedule and key draws; same seed, same run plan *)
+  rate : float;  (** offered load, arrivals/second across all producers *)
+  arrivals : int;  (** total arrivals, split evenly across producers *)
+  producers : int;
+  consumers : int;
+  burst : burst option;
+  key_skew : float;
+      (** 0 = unkeyed (round-robin splitter); [s > 0] = keys Zipf(s)
+          over [keys], hotter keys exponentially more likely *)
+  keys : int;  (** key universe size for skewed routing *)
+  crash_restart : bool;
+      (** fail-stop producer 0 halfway through its schedule and resume
+          it on a replacement domain *)
+}
+
+val default : config
+(** seed 9, 50k/s, 5000 arrivals, 2 producers, 1 consumer, no burst,
+    unkeyed, no crash. *)
+
+val schedule : config -> int array array
+(** [schedule cfg.(p).(i)] is producer [p]'s [i]-th arrival offset in
+    ns from the run start: cumulative exponential inter-arrivals at
+    [rate /. producers] per producer, stretched through the burst
+    on/off phases when configured.  Pure and deterministic in [cfg] —
+    the unit-testable core of the generator. *)
+
+val keys_for : config -> int -> int array
+(** [keys_for cfg p] is producer [p]'s per-arrival key draws (empty
+    when [key_skew = 0]).  Deterministic in [cfg]. *)
+
+type result = {
+  config : config;
+  duration_ns : int;  (** run start to last consumer exit *)
+  offered_per_sec : float;
+  achieved_per_sec : float;  (** dequeues over the wall duration *)
+  enqueued : int;  (** accepted by the fabric *)
+  refused : int;  (** terminal refusals (shed/rejected/timed out) *)
+  dequeued : int;
+  restarts : int;
+  sojourn : Obs.Histogram.t;  (** enqueue-to-dequeue, ns *)
+  enq_latency : Obs.Histogram.t;  (** per-enqueue-call latency, ns *)
+}
+
+val run : ?config:config -> int Fabric.Queue_fabric.t -> result
+(** Drive [fab] with real domains: [producers] schedule-following
+    enqueuers (the item is its own enqueue timestamp) and [consumers]
+    dequeuers recording sojourns, until the schedule is exhausted and
+    the fabric drained.  Conservation: [enqueued = dequeued] on exit
+    (refused arrivals were never accepted). *)
+
+val percentiles : Obs.Histogram.t -> int * int * int
+(** (p50, p99, p999) in ns, 0 when empty — the report shape. *)
+
+val result_json : result -> Obs.Json.t
+val pp_result : Format.formatter -> result -> unit

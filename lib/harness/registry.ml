@@ -16,6 +16,7 @@ let extras =
     { key = "stone-ring"; algo = (module Squeues.Stone_ring_queue) };
     { key = "hb"; algo = (module Squeues.Hb_queue) };
     { key = "scq"; algo = (module Squeues.Scq_queue) };
+    { key = "fabric"; algo = (module Squeues.Fabric_queue) };
   ]
 
 let keys = List.map (fun e -> e.key) all
@@ -88,6 +89,7 @@ let native =
     { key = "single-lock"; queue = (module Baselines.Single_lock_queue) };
     { key = "mc"; queue = (module Baselines.Mc_queue) };
     { key = "plj"; queue = (module Baselines.Plj_queue) };
+    { key = "fabric"; queue = (module Fabric.Queue_fabric.As_queue) };
   ]
 
 let native_keys = List.map (fun e -> e.key) native

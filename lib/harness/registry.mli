@@ -15,8 +15,11 @@ val all : entry list
 
 val extras : entry list
 (** Simulated algorithms outside the figures — Stone's flawed queues,
-    Herlihy–Wing, and the bounded SCQ ring ("stone", "stone-ring",
-    "hb", "scq") — used by the verification and profiling tools. *)
+    Herlihy–Wing, the bounded SCQ ring, and the process-keyed sharded
+    fabric ("stone", "stone-ring", "hb", "scq", "fabric") — used by
+    the verification and profiling tools.  Note "fabric" is not FIFO
+    across producers (per-shard order only), so the FIFO-spec checkers
+    do not apply to it. *)
 
 val find : string -> (module Squeues.Intf.S)
 (** Look up over {!all} and {!extras}; raises [Invalid_argument] with
@@ -66,7 +69,15 @@ val find_native_bounded : string -> (module Core.Queue_intf.BOUNDED)
 
 val native_bounded_keys : string list
 
-(** {2 The native table} *)
+(** {2 The native table}
+
+    The "fabric" entry is [Fabric.Queue_fabric.As_queue] — segmented
+    shards, domain-keyed routing — so every generic suite and wrapper
+    (qcheck, {!Obs.Chaos}, {!Obs.Instrumented}, bench) covers the
+    fabric like any single queue.  It guarantees per-producer FIFO,
+    not cross-producer FIFO; single-queue FIFO checkers must use
+    [Fabric.Queue_fabric.Single_key] instead (as [msq_check
+    native-lin] does). *)
 
 type native_entry = { key : string; queue : (module Core.Queue_intf.S) }
 

@@ -125,6 +125,12 @@ let heatmap_json ?(top = 16) (lines : Sim.Cache.line_report list) =
                  match r.Sim.Cache.top_writer with
                  | Some p -> Obs.Json.Int p
                  | None -> Obs.Json.Null );
+               ( "readers",
+                 Obs.Json.List
+                   (List.map (fun p -> Obs.Json.Int p) r.Sim.Cache.readers) );
+               ( "writers",
+                 Obs.Json.List
+                   (List.map (fun p -> Obs.Json.Int p) r.Sim.Cache.writers) );
              ]))
 
 let profile_json snapshot = Obs.Profile.to_json snapshot

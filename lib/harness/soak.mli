@@ -80,6 +80,10 @@ type report = {
   chaos_hits : int;  (** delays actually injected by {!Obs.Chaos} *)
   hp_lag_high_water : int;
       (** worst end-of-round reclamation backlog; [-1] without a gauge *)
+  deq_p999_ns : int;
+      (** the resilient consumers' 99.9th-percentile dequeue latency in
+          ns (0 when no dequeue completed) — the soak tail the
+          {!Bench_compare} p999 gate watches *)
   outcomes : Resilience.Resilient.outcomes;
       (** timeouts/sheds/rejections/breaker transitions taken by the
           resilient consumers under the storm *)
@@ -144,7 +148,10 @@ val run_all :
     {!Registry.native_bounded}), each with the crash mode its design
     requires ([Between_ops] for ["mc"] and the bounded ring) and the
     hazard-pointer gauge wired for ["ms-hp"].  [?keys] restricts to a
-    subset. *)
+    subset.  ["fabric"] is excluded even when asked for: its
+    domain-keyed routing makes per-producer FIFO a per-domain promise,
+    which a restart's replacement domain deliberately breaks — its
+    crash/restart coverage lives in {!Open_loop}. *)
 
 val self_test : seed:int64 -> bool
 (** Planted-bug check: soaks a deliberately broken queue (silently drops

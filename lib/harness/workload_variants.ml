@@ -113,10 +113,18 @@ type batch_measurement = {
   items_per_second : float;
 }
 
-let batched (module Q : Core.Queue_intf.BATCH) ?(domains = 2) ?(items = 20_000)
-    ~batch () =
+(* The workload reduced to two closures, so the same sweep drives both
+   a single [BATCH] queue and the fabric's producer-batching path
+   (which is not a [BATCH] instance: its enqueue takes a routing key
+   and returns refusals). *)
+type batch_driver = {
+  bd_name : string;
+  bd_enqueue_batch : int list -> unit;
+  bd_dequeue_batch : max:int -> int list;
+}
+
+let batched_driver d ?(domains = 2) ?(items = 20_000) ~batch () =
   if batch < 1 then invalid_arg "Workload_variants.batched: batch must be >= 1";
-  let q = Q.create () in
   let rounds = items / batch in
   let total_items = rounds * batch * domains in
   let gate = Atomic.make 0 in
@@ -127,12 +135,12 @@ let batched (module Q : Core.Queue_intf.BATCH) ?(domains = 2) ?(items = 20_000)
     done;
     for r = 1 to rounds do
       let base = (i * 1_000_000_000) + (r * batch) in
-      Q.enqueue_batch q (List.init batch (fun k -> base + k));
+      d.bd_enqueue_batch (List.init batch (fun k -> base + k));
       (* drain as many as we enqueued; a batch dequeue may come up
          short while producers are mid-publish, so loop on the rest *)
       let got = ref 0 in
       while !got < batch do
-        match Q.dequeue_batch q ~max:(batch - !got) with
+        match d.bd_dequeue_batch ~max:(batch - !got) with
         | [] -> Domain.cpu_relax ()
         | l -> got := !got + List.length l
       done
@@ -143,13 +151,54 @@ let batched (module Q : Core.Queue_intf.BATCH) ?(domains = 2) ?(items = 20_000)
   List.iter Domain.join ds;
   let seconds = Unix.gettimeofday () -. t0 in
   {
-    queue = Q.name;
+    queue = d.bd_name;
     batch;
     domains;
     total_items;
     seconds;
     items_per_second = float_of_int total_items /. seconds;
   }
+
+let batched (module Q : Core.Queue_intf.BATCH) ?domains ?items ~batch () =
+  let q = Q.create () in
+  batched_driver
+    {
+      bd_name = Q.name;
+      bd_enqueue_batch = (fun vs -> Q.enqueue_batch q vs);
+      bd_dequeue_batch = (fun ~max -> Q.dequeue_batch q ~max);
+    }
+    ?domains ?items ~batch ()
+
+(* Elastic shards so the batch enqueue is total (growth instead of
+   refusal) and the comparison against [segmented] isolates the
+   routing+engine overhead; each domain keys its batches to itself,
+   which is the fabric's intended producer-batching shape. *)
+let fabric_batched ?(shards = 4) ?domains ?items ~batch () =
+  let module F = Fabric.Queue_fabric in
+  let config =
+    {
+      F.default_config with
+      shards;
+      kind = F.Elastic;
+      batch;
+      resilience =
+        {
+          Resilience.Resilient.default with
+          policy = Resilience.Resilient.Fail_fast;
+          breaker_threshold = 0;
+        };
+    }
+  in
+  let fab = F.create ~config () in
+  batched_driver
+    {
+      bd_name = Printf.sprintf "fabric-%dsh" shards;
+      bd_enqueue_batch =
+        (fun vs ->
+          ignore (F.enqueue_batch ~key:(Domain.self () :> int) fab vs));
+      bd_dequeue_batch = (fun ~max -> F.dequeue_batch fab ~max);
+    }
+    ?domains ?items ~batch ()
 
 let pp_batch_measurement fmt m =
   Format.fprintf fmt "%-12s batch=%-3d domains=%d %9.0f items/s" m.queue m.batch

@@ -64,6 +64,21 @@ type batch_measurement = {
   items_per_second : float;
 }
 
+(** The workload reduced to two closures, so one sweep core drives both
+    a single {!Core.Queue_intf.BATCH} queue and the fabric's
+    producer-batching path (whose batch enqueue takes a routing key and
+    returns refusals, so it is not a [BATCH] instance). *)
+type batch_driver = {
+  bd_name : string;
+  bd_enqueue_batch : int list -> unit;
+  bd_dequeue_batch : max:int -> int list;
+}
+
+val batched_driver :
+  batch_driver -> ?domains:int -> ?items:int -> batch:int -> unit -> batch_measurement
+(** Defaults: 2 domains, 20,000 items per domain (rounded down to a
+    multiple of [batch]). *)
+
 val batched :
   (module Core.Queue_intf.BATCH) ->
   ?domains:int ->
@@ -71,7 +86,19 @@ val batched :
   batch:int ->
   unit ->
   batch_measurement
-(** Defaults: 2 domains, 20,000 items per domain (rounded down to a
-    multiple of [batch]). *)
+(** {!batched_driver} over a fresh [Q.create ()]. *)
+
+val fabric_batched :
+  ?shards:int ->
+  ?domains:int ->
+  ?items:int ->
+  batch:int ->
+  unit ->
+  batch_measurement
+(** {!batched_driver} over a fresh elastic fabric ([shards] defaults to
+    4): each domain batches to its own key ([enqueue_batch
+    ~key:domain-id]), the fabric's intended producer-batching shape, so
+    the sweep compares one-FAA-per-batch range claims against the
+    fabric's route+engine overhead.  Reported as ["fabric-<n>sh"]. *)
 
 val pp_batch_measurement : Format.formatter -> batch_measurement -> unit

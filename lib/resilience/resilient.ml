@@ -288,6 +288,26 @@ let run : type r. rt -> breaker -> kind -> (unit -> r option) -> (r, error) resu
       Locks.Probe.phase_end (phase_label kind);
       raise e
 
+(* The bare engine, for composite structures (the queue fabric) that
+   hold many breakers — one per shard — over attempt closures of their
+   own instead of a wrapped queue module. *)
+module Engine = struct
+  type t = rt
+
+  let create ?(config = default) ~name () = fresh_rt config name
+  let config t = t.cfg
+  let enqueue t attempt = run t t.enq_br Enq attempt
+  let dequeue t attempt = run t t.deq_br Deq attempt
+  let metrics t = t.metrics
+  let outcomes t = outcomes_of t
+
+  let breaker_state t = function
+    | `Enq -> breaker_state_of t.enq_br
+    | `Deq -> breaker_state_of t.deq_br
+
+  let to_json t = rt_json t
+end
+
 module type S = sig
   type 'a raw
   type 'a t

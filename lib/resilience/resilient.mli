@@ -80,6 +80,27 @@ type outcomes = {
 
 val outcomes_json : outcomes -> Obs.Json.t
 
+(** The bare deadline/retry/breaker engine behind [Make]/[Make_bounded],
+    for composite structures that hold several independently-breaking
+    policy stacks over attempt closures — notably one per shard in
+    [Fabric.Queue_fabric].  [enqueue]/[dequeue] run one operation of
+    that direction: the attempt returns [None] on a refusal (full/empty)
+    and must leave the structure unchanged in that case, exactly the
+    [try_*] contract.  Outcomes, latencies and retries feed the
+    engine's own {!Obs.Metrics.t} under [name]. *)
+module Engine : sig
+  type t
+
+  val create : ?config:config -> name:string -> unit -> t
+  val config : t -> config
+  val enqueue : t -> (unit -> 'r option) -> ('r, error) result
+  val dequeue : t -> (unit -> 'r option) -> ('r, error) result
+  val metrics : t -> Obs.Metrics.t
+  val outcomes : t -> outcomes
+  val breaker_state : t -> [ `Enq | `Deq ] -> breaker_state
+  val to_json : t -> Obs.Json.t
+end
+
 (** What [Make] yields: unbounded queues — enqueue cannot be refused,
     so only dequeue carries the full resilience machinery. *)
 module type S = sig

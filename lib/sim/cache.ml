@@ -23,6 +23,8 @@ type line_report = {
   writes : int;
   top_reader : int option;
   top_writer : int option;
+  readers : int list;
+  writers : int list;
 }
 
 type t = {
@@ -183,6 +185,13 @@ let argmax a =
 
 let sum = Array.fold_left ( + ) 0
 
+let nonzero_procs a =
+  let acc = ref [] in
+  for i = Array.length a - 1 downto 0 do
+    if a.(i) > 0 then acc := i :: !acc
+  done;
+  !acc
+
 let line_report t =
   match t.per_line with
   | None -> []
@@ -201,6 +210,8 @@ let line_report t =
             writes = sum s.l_writes;
             top_reader = argmax s.l_reads;
             top_writer = argmax s.l_writes;
+            readers = nonzero_procs s.l_reads;
+            writers = nonzero_procs s.l_writes;
           }
           :: acc)
         table []

@@ -56,6 +56,11 @@ type line_report = {
   writes : int;
   top_reader : int option;  (** processor with the most loads, if any *)
   top_writer : int option;
+  readers : int list;  (** every processor with at least one load, ascending *)
+  writers : int list;
+      (** every processor with at least one store/RMW, ascending — with
+          [readers], the line's full sharer set over the window, which
+          is how the fabric heatmap proves shards stay cache-disjoint *)
 }
 
 val enable_line_stats : t -> unit

@@ -1,0 +1,96 @@
+(* Simulated sharded fabric: N SCQ rings with per-shard heatmap label
+   prefixes, routing keyed by the calling process.  The native fabric's
+   FAA splitter is the round-robin option; here we model the keyed
+   (sticky) routing because that is the configuration whose scaling and
+   cache-disjointness the simulator is asked to prove: process i only
+   ever touches shard [i mod n], so the per-shard Head/Tail/entry lines
+   have disjoint sharer sets and the cache model prices no coherence
+   traffic between shards. *)
+
+type t = { shards : Scq_queue.t array }
+
+let name = "fabric"
+
+let init_shards ?(options = Intf.default_options) ~shards eng =
+  let n = max 1 shards in
+  (* options.pool is the whole fabric's capacity budget, split evenly —
+     the same "pool as capacity" reuse as the plain simulated SCQ *)
+  let per = { options with Intf.pool = max 1 (options.Intf.pool / n) } in
+  {
+    shards =
+      Array.init n (fun i ->
+          Scq_queue.init_prefixed ~options:per
+            ~prefix:(Printf.sprintf "fabric.s%d" i)
+            eng);
+  }
+
+let init ?options eng = init_shards ?options ~shards:4 eng
+let shard_count t = Array.length t.shards
+let home t = Sim.Api.self () mod Array.length t.shards
+
+let enqueue t v = Scq_queue.enqueue t.shards.(home t) v
+
+(* Drain the home shard first; sweep the others only when it is empty
+   (the keyed workload almost never needs to). *)
+let dequeue t =
+  let n = Array.length t.shards in
+  let start = home t in
+  let rec go k =
+    if k = n then None
+    else
+      match Scq_queue.try_dequeue t.shards.((start + k) mod n) with
+      | Some _ as r -> r
+      | None -> go (k + 1)
+  in
+  go 0
+
+let length t eng =
+  Array.fold_left (fun acc s -> acc + Scq_queue.length s eng) 0 t.shards
+
+(* The disjoint-sharer-set proof over a heatmap: parse each labeled
+   line's "fabric.s<i>." prefix back to its shard and check that no
+   processor wrote lines of two different shards.  (Reads are allowed
+   to cross: an empty-home sweep legitimately peeks at other shards.) *)
+let shard_of_label = function
+  | None -> None
+  | Some l ->
+      let p = "fabric.s" in
+      let pl = String.length p in
+      if String.length l > pl && String.sub l 0 pl = p then
+        let rec digits i acc seen =
+          if i < String.length l && l.[i] >= '0' && l.[i] <= '9' then
+            digits (i + 1) ((acc * 10) + Char.code l.[i] - Char.code '0') true
+          else if seen then Some acc
+          else None
+        in
+        digits pl 0 false
+      else None
+
+let writers_disjoint lines =
+  let owner = Hashtbl.create 16 in
+  List.for_all
+    (fun (r : Sim.Cache.line_report) ->
+      match shard_of_label r.Sim.Cache.label with
+      | None -> true
+      | Some s ->
+          List.for_all
+            (fun proc ->
+              match Hashtbl.find_opt owner proc with
+              | Some s' -> s' = s
+              | None ->
+                  Hashtbl.add owner proc s;
+                  true)
+            r.Sim.Cache.writers)
+    lines
+
+(* A first-class [Intf.S] at a chosen shard count, for shard-scaling
+   sweeps over the unchanged pairs workload. *)
+let algo ~shards : (module Intf.S) =
+  (module struct
+    type nonrec t = t
+
+    let name = Printf.sprintf "fabric-%dsh" shards
+    let init ?options eng = init_shards ?options ~shards eng
+    let enqueue = enqueue
+    let dequeue = dequeue
+  end)

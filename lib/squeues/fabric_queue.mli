@@ -1,0 +1,33 @@
+(** Simulated sharded fabric: N {!Scq_queue} rings (heatmap labels
+    [fabric.s<i>.aq.Head], ...) with process-keyed routing — process
+    [i] uses shard [i mod shards], so shards are touched by disjoint
+    processor sets and the cache model prices no cross-shard coherence
+    traffic.  The deterministic twin of [Fabric.Queue_fabric] under
+    keyed routing: [msq_check fabric] uses it to prove the shard-count
+    scaling and the disjoint-sharer-set heatmap claims. *)
+
+include Intf.S
+
+val init_shards : ?options:Intf.options -> shards:int -> Sim.Engine.t -> t
+(** [options.pool] is the fabric-wide capacity budget, split evenly
+    across shards (each rounded up to a power of two).  Plain [init]
+    uses 4 shards. *)
+
+val shard_count : t -> int
+
+val algo : shards:int -> (module Intf.S)
+(** A first-class module at a fixed shard count (named
+    ["fabric-<n>sh"]) for shard-scaling sweeps with the standard
+    workloads. *)
+
+val length : t -> Sim.Engine.t -> int
+(** Host-side: sum of the shards' allocated-ring populations. *)
+
+val writers_disjoint : Sim.Cache.line_report list -> bool
+(** The disjoint-sharer-set verdict over a heatmap captured while this
+    fabric ran under keyed routing: [true] iff no processor wrote cache
+    lines belonging to two different shards (lines are attributed to
+    shards by their ["fabric.s<i>."] label prefix; unlabeled and
+    non-fabric lines are ignored).  Readers may legitimately cross
+    shards — an empty-home dequeue sweeps the others — so only writer
+    sets are required to be disjoint. *)

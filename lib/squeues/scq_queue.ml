@@ -60,16 +60,18 @@ let make_ring ~prefix eng ~order ~prefill =
     (Word.Int (if prefill > 0 then n2 + (n2 / 2) - 1 else -1));
   { entries; head; tail; threshold; order }
 
-let init ?(options = Intf.default_options) eng =
+let init_prefixed ?(options = Intf.default_options) ~prefix eng =
   let want = max 1 options.Intf.pool in
   let rec order_for k = if 1 lsl k >= want then k else order_for (k + 1) in
   let cap_order = order_for 0 in
   let cap = 1 lsl cap_order in
   let order = cap_order + 1 in
-  let aq = make_ring ~prefix:"scq.aq" eng ~order ~prefill:0 in
-  let fq = make_ring ~prefix:"scq.fq" eng ~order ~prefill:cap in
-  let data = Engine.setup_alloc ~label:"scq.data" eng cap in
+  let aq = make_ring ~prefix:(prefix ^ ".aq") eng ~order ~prefill:0 in
+  let fq = make_ring ~prefix:(prefix ^ ".fq") eng ~order ~prefill:cap in
+  let data = Engine.setup_alloc ~label:(prefix ^ ".data") eng cap in
   { aq; fq; data; cap }
+
+let init ?options eng = init_prefixed ?options ~prefix:"scq" eng
 
 let capacity t = t.cap
 

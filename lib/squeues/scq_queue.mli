@@ -11,6 +11,12 @@
 
 include Intf.S
 
+val init_prefixed : ?options:Intf.options -> prefix:string -> Sim.Engine.t -> t
+(** Like {!Intf.S.init} but with the heatmap label prefix chosen by the
+    caller (["PREFIX.aq.Head"], ...), so a composite structure holding
+    several rings — the simulated fabric's shards — gets per-instance
+    line labels.  Plain [init] uses prefix ["scq"]. *)
+
 val try_enqueue : t -> int -> bool
 (** [false] when the queue was observed full (pending-reservation
     strength — see [Core.Queue_intf.BOUNDED.try_enqueue]). *)

@@ -87,7 +87,7 @@ let test_registry () =
   Alcotest.check_raises "unknown key"
     (Invalid_argument
        "unknown algorithm \"nope\" (available: single-lock, mc, valois, two-lock, \
-        plj, ms, stone, stone-ring, hb, scq)")
+        plj, ms, stone, stone-ring, hb, scq, fabric)")
     (fun () -> ignore (Harness.Registry.find "nope"));
   let (module B) = Harness.Registry.find_native_bounded "scq" in
   Alcotest.(check string) "bounded lookup" "scq" B.name;
@@ -437,7 +437,12 @@ let test_bench_compare_parse () =
         d.Harness.Bench_compare.schema_version
   | Error e -> Alcotest.failf "schema 6 rejected: %s" e);
   (match Harness.Bench_compare.of_string (bench_doc ~schema:7 ()) with
-  | Ok _ -> Alcotest.fail "schema 7 accepted"
+  | Ok d ->
+      Alcotest.(check int) "schema 7 accepted" 7
+        d.Harness.Bench_compare.schema_version
+  | Error e -> Alcotest.failf "schema 7 rejected: %s" e);
+  (match Harness.Bench_compare.of_string (bench_doc ~schema:8 ()) with
+  | Ok _ -> Alcotest.fail "schema 8 accepted"
   | Error _ -> ());
   match Harness.Bench_compare.of_string "{not json" with
   | Ok _ -> Alcotest.fail "garbage accepted"

@@ -18,4 +18,5 @@ let () =
          Test_qcheck_queues.suites;
          Test_resilience.suites;
          Test_soak.suites;
+         Test_fabric.suites;
        ])
