@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke bench-diff fabric-smoke mcheck-native profile soak-smoke soak clean
+.PHONY: all build test bench bench-smoke bench-diff fabric-smoke mcheck-native profile soak-smoke soak telemetry-smoke clean
 
 all: build
 
@@ -58,15 +58,28 @@ profile:
 # audit failure or watchdog expiry.
 soak-smoke:
 	dune exec bin/msq_check.exe -- soak --self-test --rounds 2 --ops 300 \
-	  --deadline-s 45 --json soak.json --trace-out soak-failure.txt
+	  --deadline-s 45 --json soak.json --trace-out soak-failure.txt \
+	  --flight-out soak-flight.json
 
 # The longer nightly soak: more rounds, more operations, a wider
 # wall-clock budget per queue.
 soak:
 	dune exec bin/msq_check.exe -- soak --self-test --rounds 8 --ops 2000 \
-	  --deadline-s 300 --json soak.json --trace-out soak-failure.txt
+	  --deadline-s 300 --json soak.json --trace-out soak-failure.txt \
+	  --flight-out soak-flight.json
+
+# The telemetry acceptance gates: a planted soak failure must produce a
+# non-empty Chrome-trace flight dump, the sampler timeline must validate
+# under the schema-8 shape (with an OpenMetrics rendering), and flight
+# recorder + sampler together must cost <=2% against a workload with
+# realistic per-operation think time.  Writes timeline.json and
+# flight-dump.json.  Exit 1 if any gate fails.
+telemetry-smoke:
+	dune exec bin/msq_check.exe -- telemetry --flight-out flight-dump.json \
+	  --timeline-out timeline.json
 
 clean:
 	dune clean
 	rm -f BENCH_queues.json profile.json memory.json fabric.json \
-	  fabric-check.json mcheck-counterexample.txt soak.json soak-failure.txt
+	  fabric-check.json mcheck-counterexample.txt soak.json soak-failure.txt \
+	  soak-flight.json timeline.json flight-dump.json

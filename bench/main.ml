@@ -33,6 +33,7 @@ let profile_path = flag_path "--profile-out"
 let memory_path = flag_path "--memory-out"
 let soak_path = flag_path "--soak-out"
 let fabric_path = flag_path "--fabric-out"
+let timeline_path = flag_path "--timeline-out"
 
 let pairs =
   match Sys.getenv_opt "MSQ_PAIRS" with
@@ -772,43 +773,83 @@ let fabric_section () =
       ("open_loop", Obs.Json.List open_points);
     ]
 
+(* The schema-8 [timeline] section: a live sampling domain watches two
+   runs happen — an instrumented ms-queue two-domain loop (operation
+   rates, windowed latency quantiles, queue length) and a fabric
+   open-loop run (per-shard depths, breaker states, sojourn quantiles;
+   [Harness.Open_loop] auto-registers its sources because the sampler
+   is active).  The export is the dashboard timeline plus an
+   OpenMetrics rendering of the final values. *)
+let timeline_section () =
+  heading "Telemetry: sampled timeline (5 ms period)";
+  Obs.Sampler.clear ();
+  Obs.Sampler.start ~period_ns:5_000_000 ();
+  let per = if smoke then 30_000 else 100_000 in
+  let (module Q : Core.Queue_intf.S) =
+    (List.hd Harness.Registry.native).Harness.Registry.queue
+  in
+  let module I = Obs.Instrumented.Make (Q) in
+  let q = I.create () in
+  Obs.Sampler.register_metrics ~prefix:"msq" (I.metrics q);
+  Obs.Sampler.register_gauge "msq.length" (fun () ->
+      float_of_int (I.length q));
+  Obs.Control.with_enabled (fun () ->
+      let worker () =
+        for i = 1 to per do
+          I.enqueue q i;
+          ignore (I.dequeue q)
+        done
+      in
+      let d = Domain.spawn worker in
+      worker ();
+      Domain.join d);
+  Obs.Sampler.remove ~prefix:"msq";
+  let fab =
+    Fabric.Queue_fabric.create
+      ~config:
+        {
+          Fabric.Queue_fabric.default_config with
+          shards = 4;
+          shard_capacity = 4_096;
+        }
+      ()
+  in
+  let r =
+    Harness.Open_loop.run
+      ~config:
+        {
+          Harness.Open_loop.default with
+          seed = 0x7E1EL;
+          rate = 50_000.;
+          arrivals = (if smoke then 2_000 else 10_000);
+        }
+      fab
+  in
+  Format.printf "  %a@." Harness.Open_loop.pp_result r;
+  Obs.Sampler.stop ();
+  let timeline = Obs.Sampler.timeline_json () in
+  Harness.Report.timeline_table Format.std_formatter timeline;
+  Obs.Sampler.clear ();
+  timeline
+
 let write_json figs native batched ~robustness:(liveness, crash) ~profile
-    ~memory ~soak ~fabric =
-  (match profile_path with
-  | None -> ()
-  | Some path ->
-      Out_channel.with_open_text path (fun oc ->
-          Out_channel.output_string oc (Obs.Json.to_string profile);
-          Out_channel.output_char oc '\n');
-      Format.printf "@.wrote profile to %s@." path);
-  (match memory_path with
-  | None -> ()
-  | Some path ->
-      Out_channel.with_open_text path (fun oc ->
-          Out_channel.output_string oc (Obs.Json.to_string memory);
-          Out_channel.output_char oc '\n');
-      Format.printf "@.wrote memory section to %s@." path);
-  (match soak_path with
-  | None -> ()
-  | Some path ->
-      Out_channel.with_open_text path (fun oc ->
-          Out_channel.output_string oc (Obs.Json.to_string soak);
-          Out_channel.output_char oc '\n');
-      Format.printf "@.wrote soak section to %s@." path);
-  (match fabric_path with
-  | None -> ()
-  | Some path ->
-      Out_channel.with_open_text path (fun oc ->
-          Out_channel.output_string oc (Obs.Json.to_string fabric);
-          Out_channel.output_char oc '\n');
-      Format.printf "@.wrote fabric section to %s@." path);
+    ~memory ~soak ~fabric ~timeline =
+  let write what path section =
+    Obs.Json.write_file path section;
+    Format.printf "@.wrote %s to %s@." what path
+  in
+  Option.iter (fun p -> write "profile" p profile) profile_path;
+  Option.iter (fun p -> write "memory section" p memory) memory_path;
+  Option.iter (fun p -> write "soak section" p soak) soak_path;
+  Option.iter (fun p -> write "fabric section" p fabric) fabric_path;
+  Option.iter (fun p -> write "timeline" p timeline) timeline_path;
   match json_path with
   | None -> ()
   | Some path ->
       let doc =
         Obs.Json.Assoc
           [
-            ("schema_version", Obs.Json.Int 7);
+            ("schema_version", Obs.Json.Int 8);
             ("suite", Obs.Json.String "msqueue-bench");
             ("pairs", Obs.Json.Int pairs);
             ("quantum", Obs.Json.Int quantum);
@@ -821,11 +862,10 @@ let write_json figs native batched ~robustness:(liveness, crash) ~profile
             ("memory", memory);
             ("soak", soak);
             ("fabric", fabric);
+            ("timeline", timeline);
           ]
       in
-      Out_channel.with_open_text path (fun oc ->
-          Out_channel.output_string oc (Obs.Json.to_string doc);
-          Out_channel.output_char oc '\n');
+      Obs.Json.write_file path doc;
       Format.printf "@.wrote %s@." path
 
 let () =
@@ -854,5 +894,7 @@ let () =
   let memory = memory_axis () in
   let soak = soak_section () in
   let fabric = fabric_section () in
-  write_json figs native batched ~robustness ~profile ~memory ~soak ~fabric;
+  let timeline = timeline_section () in
+  write_json figs native batched ~robustness ~profile ~memory ~soak ~fabric
+    ~timeline;
   Format.printf "@.done.@."

@@ -446,7 +446,7 @@ let crash_cmd =
 let soak_cmd =
   let nonblocking = [ "ms"; "plj"; "valois" ] in
   let run queues rounds ops producers consumers deadline seed self_test
-      json_out trace_out no_sim =
+      json_out trace_out flight_out no_sim =
     let seed = Option.value seed ~default:0x534F414BL in
     let failures = ref 0 in
     let self_tested =
@@ -464,6 +464,12 @@ let soak_cmd =
         Some false
       end
     in
+    (* Arm the flight-recorder latch only after the self-test, so the
+       deliberately planted audit failure cannot claim it — the dump
+       should capture a real failure's last moments. *)
+    (match flight_out with
+    | None -> ()
+    | Some path -> Obs.Flight.arm_dump ~path);
     let sims =
       if no_sim then []
       else begin
@@ -507,6 +513,15 @@ let soak_cmd =
         Format.printf "  %a@." Harness.Soak.pp_report r;
         if not (Harness.Soak.passed r) then incr failures)
       reports;
+    (match flight_out with
+    | None -> ()
+    | Some _ ->
+        (match Obs.Flight.last_dump () with
+        | Some (path, reason) ->
+            Format.printf "flight recorder dumped to %s (%s)@." path reason
+        | None ->
+            Format.printf "flight recorder: no anomaly, nothing dumped@.");
+        Obs.Flight.disarm_dump ());
     (match trace_out with
     | None -> ()
     | Some path -> (
@@ -517,7 +532,7 @@ let soak_cmd =
         | Some r ->
             let oc = open_out path in
             Printf.fprintf oc "%s\n"
-              (Obs.Json.to_string (Harness.Soak.report_json r));
+              (Obs.Json.to_string_pretty (Harness.Soak.report_json r));
             List.iter
               (fun f -> Printf.fprintf oc "audit failure: %s\n" f)
               r.Harness.Soak.audit_failures;
@@ -540,9 +555,7 @@ let soak_cmd =
                 Obs.Json.List (List.map Harness.Soak.sim_result_json sims) );
             ]
         in
-        Out_channel.with_open_text path (fun oc ->
-            Out_channel.output_string oc (Obs.Json.to_string doc);
-            Out_channel.output_char oc '\n');
+        Obs.Json.write_file path doc;
         Format.printf "wrote soak report to %s@." path);
     if !failures = 0 then begin
       Format.printf "soak: every audit held@.";
@@ -598,6 +611,16 @@ let soak_cmd =
              ~doc:"Write the first failing queue's report and audit failures \
                    to $(docv).")
   in
+  let flight_out =
+    Arg.(value & opt (some string) None
+         & info [ "flight-out" ] ~docv:"FILE"
+             ~doc:"Arm the flight-recorder anomaly latch: on the first audit \
+                   failure or watchdog expiry the per-domain event rings are \
+                   dumped as Chrome-trace JSON to $(docv) at the moment of \
+                   failure (a breaker trip dumps too, but any real failure \
+                   overwrites it).  Armed after --self-test, so the planted \
+                   bug never claims the latch.")
+  in
   let no_sim =
     Arg.(value & flag
          & info [ "no-sim" ]
@@ -613,7 +636,8 @@ let soak_cmd =
           crash+restart battery.  Deterministic decisions per --seed.  Exit \
           code 1 on any audit failure or watchdog expiry.")
     Term.(const run $ queues $ rounds $ ops $ producers $ consumers $ deadline
-          $ seed_arg $ self_test $ json_out $ trace_out $ no_sim)
+          $ seed_arg $ self_test $ json_out $ trace_out $ flight_out
+          $ no_sim)
 
 (* Chaos stress for the NATIVE queues: seeded randomized delays at the
    algorithms' injection sites while real domains hammer the queue;
@@ -917,7 +941,7 @@ let bench_diff_cmd =
   Cmd.v
     (Cmd.info "bench-diff"
        ~doc:
-         "Compare two BENCH_queues.json documents (schema versions 2-7): the \
+         "Compare two BENCH_queues.json documents (schema versions 2-8): the \
           deterministic simulator figures (including the fabric shard-scaling \
           points) gate at --max-regress, latency tails at --max-p999-regress, \
           any failed fabric SLO verdict in NEW fails absolutely, and native \
@@ -1372,13 +1396,226 @@ let fabric_cmd =
     Term.(const run $ shards $ policy $ loads $ seed_arg $ arrivals $ pairs
           $ slo_ns $ skew $ crash $ json_out)
 
+(* Acceptance gates for the telemetry subsystem, in three parts: the
+   flight recorder must write a loadable Chrome-trace dump at the
+   moment a planted failure fires, the sampler timeline must be a
+   well-formed schema-8 section with real points, and the always-on
+   instrumentation must cost close to nothing against a workload with
+   realistic per-operation think time. *)
+let telemetry_cmd =
+  let run seed flight_out timeline_out pairs max_overhead =
+    let seed = Option.value seed ~default:0x7E1EL in
+    let failures = ref 0 in
+    let gate name ok detail =
+      Format.printf "  %s %s: %s@." (if ok then "PASS" else "FAIL") name
+        detail;
+      if not ok then incr failures
+    in
+
+    (* Gate 1: dump on a planted failure.  Arm the latch, soak the
+       deliberately broken queue (drops every 97th enqueue); the
+       conservation audit's note_anomaly must write the black box out,
+       and the file must load as a non-empty Chrome-trace document. *)
+    Format.printf "gate 1: flight dump on a planted failure@.";
+    Obs.Flight.reset ();
+    Obs.Flight.arm_dump ~path:flight_out;
+    gate "planted-bug-caught"
+      (Harness.Soak.self_test ~seed)
+      "conservation audit caught the planted element drop";
+    (match Obs.Flight.last_dump () with
+    | None -> gate "dump" false "anomaly latch never fired; nothing written"
+    | Some (path, reason) -> (
+        gate "dump-reason"
+          (String.length reason >= 10 && String.sub reason 0 10 = "soak-audit")
+          (Printf.sprintf "latched %S -> %s" reason path);
+        match In_channel.with_open_text path In_channel.input_all with
+        | exception Sys_error e -> gate "dump-file" false e
+        | body -> (
+            match Obs.Json.of_string body with
+            | exception Obs.Json.Parse_error e -> gate "dump-parse" false e
+            | doc ->
+                let events =
+                  match Obs.Json.member "traceEvents" doc with
+                  | Some (Obs.Json.List l) -> List.length l
+                  | _ -> 0
+                in
+                gate "dump-events" (events > 0)
+                  (Printf.sprintf "%d Chrome-trace events in %s" events path))));
+    Obs.Flight.disarm_dump ();
+
+    (* Gate 2: the sampled timeline.  The bench suite's telemetry
+       workload at smoke scale — an instrumented queue hammered by two
+       domains, then the fabric under open-loop load (which
+       auto-registers its shard depths because the sampler is active) —
+       must export a timeline that validates under the schema-8 shape,
+       with real points, and an OpenMetrics rendering. *)
+    Format.printf "gate 2: sampled timeline@.";
+    Obs.Sampler.clear ();
+    Obs.Sampler.start ~period_ns:5_000_000 ();
+    let (module Q : Core.Queue_intf.S) =
+      (List.hd Harness.Registry.native).Harness.Registry.queue
+    in
+    let module I = Obs.Instrumented.Make (Q) in
+    let q = I.create () in
+    Obs.Sampler.register_metrics ~prefix:"msq" (I.metrics q);
+    Obs.Sampler.register_gauge "msq.length" (fun () ->
+        float_of_int (I.length q));
+    Obs.Control.with_enabled (fun () ->
+        let worker () =
+          for i = 1 to 30_000 do
+            I.enqueue q i;
+            ignore (I.dequeue q)
+          done
+        in
+        let d = Domain.spawn worker in
+        worker ();
+        Domain.join d);
+    Obs.Sampler.remove ~prefix:"msq";
+    let fab =
+      Fabric.Queue_fabric.create
+        ~config:
+          {
+            Fabric.Queue_fabric.default_config with
+            shards = 4;
+            shard_capacity = 4_096;
+          }
+        ()
+    in
+    let (_ : Harness.Open_loop.result) =
+      Harness.Open_loop.run
+        ~config:
+          {
+            Harness.Open_loop.default with
+            seed;
+            rate = 50_000.;
+            arrivals = 2_000;
+          }
+        fab
+    in
+    Obs.Sampler.stop ();
+    let timeline = Obs.Sampler.timeline_json () in
+    (match Harness.Bench_compare.validate_timeline timeline with
+    | Ok () -> gate "schema" true "timeline validates under the schema-8 shape"
+    | Error e -> gate "schema" false e);
+    let series =
+      match Obs.Json.member "series" timeline with
+      | Some (Obs.Json.List l) -> l
+      | _ -> []
+    in
+    let points =
+      List.fold_left
+        (fun acc s ->
+          match Obs.Json.member "points" s with
+          | Some (Obs.Json.List l) -> acc + List.length l
+          | _ -> acc)
+        0 series
+    in
+    gate "non-empty"
+      (series <> [] && points > 0)
+      (Printf.sprintf "%d series, %d points" (List.length series) points);
+    let om = String.trim (Obs.Sampler.to_openmetrics ()) in
+    gate "openmetrics"
+      (String.length om >= 5 && String.sub om (String.length om - 5) 5 = "# EOF")
+      "OpenMetrics exposition is # EOF-terminated";
+    Obs.Json.write_file timeline_out timeline;
+    Format.printf "wrote timeline to %s@." timeline_out;
+    Harness.Report.timeline_table Format.std_formatter timeline;
+    Obs.Sampler.clear ();
+
+    (* Gate 3: overhead.  One queue, enqueue/~30us think/dequeue pairs
+       (an uncontended MS pair emits ~7 probe events against tens of
+       microseconds of work, as in any workload that does something
+       with what it dequeues), best of 5 runs alternating telemetry
+       off/on; the enabled configuration — flight recorder plus live
+       sampler — must stay within --max-overhead-pct of the plain
+       one. *)
+    Format.printf "gate 3: telemetry overhead (%d pairs, best of 5)@." pairs;
+    let spin () =
+      let acc = ref 0 in
+      for i = 1 to 100_000 do
+        acc := Sys.opaque_identity (!acc + i)
+      done;
+      ignore (Sys.opaque_identity !acc)
+    in
+    let run_pairs () =
+      let q = Q.create () in
+      let t0 = Monotonic_clock.now () in
+      for i = 1 to pairs do
+        Q.enqueue q i;
+        spin ();
+        ignore (Q.dequeue q)
+      done;
+      Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0)
+    in
+    Obs.Sampler.register_gauge "telemetry.overhead_probe" (fun () -> 1.);
+    let best_off = ref infinity and best_on = ref infinity in
+    for _ = 1 to 5 do
+      let t_off = run_pairs () in
+      if t_off < !best_off then best_off := t_off;
+      Obs.Flight.enable ();
+      Obs.Sampler.start ~period_ns:5_000_000 ();
+      let t_on = run_pairs () in
+      Obs.Sampler.stop ();
+      Obs.Flight.disable ();
+      if t_on < !best_on then best_on := t_on
+    done;
+    Obs.Sampler.clear ();
+    let overhead = (!best_on -. !best_off) /. !best_off *. 100. in
+    gate "overhead"
+      (overhead <= max_overhead)
+      (Printf.sprintf "%+.2f%% enabled vs disabled (limit %.1f%%)" overhead
+         max_overhead);
+
+    if !failures = 0 then begin
+      Format.printf "telemetry: every gate held@.";
+      0
+    end
+    else begin
+      Format.printf "telemetry: %d gate failure(s)@." !failures;
+      1
+    end
+  in
+  let flight_out =
+    Arg.(value & opt string "flight-dump.json"
+         & info [ "flight-out" ] ~docv:"FILE"
+             ~doc:"Write the planted-failure flight dump to $(docv).")
+  in
+  let timeline_out =
+    Arg.(value & opt string "timeline.json"
+         & info [ "timeline-out" ] ~docv:"FILE"
+             ~doc:"Write the sampled timeline (the schema-8 [timeline] \
+                   section) to $(docv).")
+  in
+  let pairs =
+    Arg.(value & opt int 5_000
+         & info [ "pairs" ]
+             ~doc:"Enqueue/think/dequeue pairs per overhead run.")
+  in
+  let max_overhead =
+    Arg.(value & opt float 2.0
+         & info [ "max-overhead-pct" ] ~docv:"PCT"
+             ~doc:"Fail when the telemetry-enabled run is more than $(docv) \
+                   percent slower than the plain one.")
+  in
+  Cmd.v
+    (Cmd.info "telemetry"
+       ~doc:
+         "Run the telemetry acceptance gates: a planted soak failure must \
+          produce a non-empty, loadable Chrome-trace flight dump; the \
+          sampler timeline must validate under the schema-8 shape with an \
+          OpenMetrics rendering; and flight recorder plus sampler together \
+          must cost at most --max-overhead-pct against a workload with \
+          realistic think time.  Exit 1 if any gate fails.")
+    Term.(const run $ seed_arg $ flight_out $ timeline_out $ pairs
+          $ max_overhead)
+
 let cmd =
   let doc = "Verification tools for the PODC 1996 queue reproduction" in
   Cmd.group (Cmd.info "msq_check" ~doc)
     [
       explore_cmd; lin_cmd; native_lin_cmd; mcheck_native_cmd; crash_cmd;
       chaos_cmd; soak_cmd; profile_cmd; fabric_cmd; bench_diff_cmd;
-      bench_summary_cmd;
+      bench_summary_cmd; telemetry_cmd;
     ]
 
 let () = exit (Cmd.eval' cmd)

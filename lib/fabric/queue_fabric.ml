@@ -74,6 +74,7 @@ module type S = sig
   val outcomes : 'a t -> R.outcomes
   val enq_breaker_states : 'a t -> R.breaker_state array
   val dequeue_metrics : 'a t -> Obs.Metrics.t
+  val register_telemetry : ?prefix:string -> 'a t -> unit
   val to_json : 'a t -> Obs.Json.t
 end
 
@@ -435,6 +436,30 @@ module Make (A : Core.Atomic_intf.ATOMIC) : S = struct
     Array.map (fun e -> R.Engine.breaker_state e `Enq) t.engines
 
   let dequeue_metrics t = R.Engine.metrics t.deq_eng
+
+  (* Per-shard depth and breaker-state gauges (Closed=0, Half_open=1,
+     Open=2) plus the dequeue engine's metrics, all under [prefix] so
+     one [Obs.Sampler.remove ~prefix] tears them down. *)
+  let register_telemetry ?(prefix = "fabric") t =
+    Obs.Sampler.register_gauge (prefix ^ ".length") (fun () ->
+        float_of_int (length t));
+    Array.iteri
+      (fun i shard ->
+        let labels = [ ("shard", string_of_int i) ] in
+        Obs.Sampler.register_gauge ~labels
+          (Printf.sprintf "%s.shard_depth.%d" prefix i)
+          (fun () -> float_of_int (shard.s_length ()));
+        Obs.Sampler.register_gauge ~labels
+          (Printf.sprintf "%s.breaker_open.%d" prefix i)
+          (fun () ->
+            match R.Engine.breaker_state t.engines.(i) `Enq with
+            | R.Closed -> 0.
+            | R.Half_open -> 1.
+            | R.Open -> 2.))
+      t.shards;
+    Obs.Sampler.register_metrics
+      ~prefix:(prefix ^ ".dequeue")
+      (R.Engine.metrics t.deq_eng)
 
   let to_json t =
     let module J = Obs.Json in

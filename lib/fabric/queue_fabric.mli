@@ -170,6 +170,14 @@ module type S = sig
 
   val enq_breaker_states : 'a t -> Resilience.Resilient.breaker_state array
   val dequeue_metrics : 'a t -> Obs.Metrics.t
+
+  val register_telemetry : ?prefix:string -> 'a t -> unit
+  (** Register live gauges with {!Obs.Sampler}: total [length], each
+      shard's depth and enqueue breaker state (Closed=0, Half_open=1,
+      Open=2; labelled [shard="i"]), and the dequeue engine's metrics —
+      all named under [prefix] (default ["fabric"]) so a harness can
+      tear them down with one [Obs.Sampler.remove ~prefix]. *)
+
   val to_json : 'a t -> Obs.Json.t
 end
 

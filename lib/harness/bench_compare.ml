@@ -154,6 +154,57 @@ let p999_points json =
   in
   fabric @ soak
 
+(* Schema-8 timeline section: the sampler's export.  Never gated on
+   values — regressions in sampled series are covered by the p999 and
+   sim tables — but [validate_timeline] checks the shape, so a future
+   emitter change cannot silently ship an unparseable dashboard. *)
+
+let timeline_member doc = opt_member "timeline" doc
+
+let validate_timeline json =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  match Option.bind (opt_member "t0_ns" json) Json.to_int_opt with
+  | None -> err "timeline: missing t0_ns"
+  | Some _ -> (
+      match Option.bind (opt_member "period_ns" json) Json.to_int_opt with
+      | None -> err "timeline: missing period_ns"
+      | Some p when p <= 0 -> err "timeline: non-positive period_ns %d" p
+      | Some _ -> (
+          match Option.bind (opt_member "series" json) Json.to_list_opt with
+          | None -> err "timeline: missing series"
+          | Some series ->
+              let check_series s =
+                match Option.bind (opt_member "name" s) Json.to_string_opt with
+                | None -> err "timeline: series without a name"
+                | Some name -> (
+                    match
+                      Option.bind (opt_member "points" s) Json.to_list_opt
+                    with
+                    | None -> err "timeline: %s: missing points" name
+                    | Some points ->
+                        let rec go prev = function
+                          | [] -> Ok ()
+                          | pt :: rest -> (
+                              match
+                                ( float_of pt "t_ms",
+                                  float_of pt "v" )
+                              with
+                              | Some t, Some _ ->
+                                  if t < prev then
+                                    err
+                                      "timeline: %s: timestamps go backwards \
+                                       (%g after %g)"
+                                      name t prev
+                                  else go t rest
+                              | _ -> err "timeline: %s: malformed point" name)
+                        in
+                        go neg_infinity points)
+              in
+              List.fold_left
+                (fun acc s ->
+                  match acc with Error _ -> acc | Ok () -> check_series s)
+                (Ok ()) series))
+
 let slo_failure_points json =
   List.filter_map
     (fun point ->
@@ -163,7 +214,7 @@ let slo_failure_points json =
     (fabric_open_loop json)
 
 let min_schema = 2
-let max_schema = 7
+let max_schema = 8
 
 let of_json json =
   match Option.bind (opt_member "schema_version" json) Json.to_int_opt with
@@ -477,6 +528,64 @@ let markdown_summary ?(top = 3) fmt doc =
               (int_or ~default:0 p "sojourn_p999_ns")
               slo)
           open_loop;
+        fprintf fmt "@."
+      end);
+  (match timeline_member doc.raw with
+  | None -> ()
+  | Some timeline ->
+      let series = list_of timeline "series" in
+      let quantile_of s =
+        Option.bind (opt_member "labels" s) (fun l ->
+            Option.bind (opt_member "quantile" l) Json.to_string_opt)
+      in
+      let vals s =
+        List.filter_map (fun p -> float_of p "v") (list_of s "points")
+      in
+      (* group the quantile-labelled series (the windowed histograms)
+         by name: one row per histogram, last-window and worst-window
+         quantiles across the run *)
+      let names =
+        List.fold_left
+          (fun acc s ->
+            match
+              (quantile_of s, Option.bind (opt_member "name" s) Json.to_string_opt)
+            with
+            | Some _, Some n when not (List.mem n acc) -> acc @ [ n ]
+            | _ -> acc)
+          [] series
+      in
+      if names <> [] then begin
+        fprintf fmt "### Telemetry timeline (windowed quantiles)@.@.";
+        fprintf fmt "sampled every %.1f ms, %d series total@.@."
+          (float_of_int (int_or ~default:0 timeline "period_ns") /. 1e6)
+          (List.length series);
+        fprintf fmt
+          "| series | windows | p50 (last) | p99 (last) | p999 (last) | p999 \
+           (max) |@.";
+        fprintf fmt "|---|---:|---:|---:|---:|---:|@.";
+        List.iter
+          (fun name ->
+            let find q =
+              List.find_opt
+                (fun s ->
+                  quantile_of s = Some q
+                  && Option.bind (opt_member "name" s) Json.to_string_opt
+                     = Some name)
+                series
+            in
+            let last q =
+              match Option.map vals (find q) with
+              | Some (_ :: _ as vs) -> List.nth vs (List.length vs - 1)
+              | _ -> 0.
+            in
+            let p999s = match Option.map vals (find "0.999") with
+              | Some vs -> vs
+              | None -> []
+            in
+            fprintf fmt "| %s | %d | %.0f | %.0f | %.0f | %.0f |@." name
+              (List.length p999s) (last "0.5") (last "0.99") (last "0.999")
+              (List.fold_left Float.max 0. p999s))
+          names;
         fprintf fmt "@."
       end);
   (match heatmap_entries doc with

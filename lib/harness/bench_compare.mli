@@ -2,10 +2,10 @@
 
     The testable core behind [msq_check bench-diff OLD NEW] (regression
     gate) and [msq_check bench-summary NEW] (GitHub step-summary
-    markdown).  Accepts schema versions 2 through 7 — older documents
+    markdown).  Accepts schema versions 2 through 8 — older documents
     simply lack the sections added later ([robustness], [batched],
-    [profile], [memory], [soak], [fabric]) and compare on what they
-    have.
+    [profile], [memory], [soak], [fabric], [timeline]) and compare on
+    what they have.
 
     The gate runs on the deterministic simulator metric
     ([net_per_pair], net cycles per enqueue/dequeue pair, lower is
@@ -45,6 +45,13 @@ val of_json : Obs.Json.t -> (doc, string) result
 val of_string : string -> (doc, string) result
 val load : string -> (doc, string) result
 (** Read and parse a file; errors carry the path. *)
+
+val validate_timeline : Obs.Json.t -> (unit, string) result
+(** Shape-check a schema-8 [timeline] section (the {!Obs.Sampler}
+    export): [t0_ns], positive [period_ns], and a [series] array whose
+    members each carry a [name] and well-formed, time-ordered
+    [points].  Values are never gated — the p999 and sim tables cover
+    regressions — but a malformed dashboard export fails here. *)
 
 type delta = {
   key : string;
@@ -103,6 +110,7 @@ val markdown_summary : ?top:int -> Format.formatter -> doc -> unit
     allocation table when the document carries the schema-5 [memory]
     section; the soak verdicts; the fabric shard-scaling and
     latency-under-offered-load tables when it carries the schema-7
-    [fabric] section; and the [top] (default 3) hottest simulated
-    cache lines per queue when it carries the schema-4 [profile]
-    section. *)
+    [fabric] section; the per-window telemetry quantile table when it
+    carries the schema-8 [timeline] section; and the [top] (default 3)
+    hottest simulated cache lines per queue when it carries the
+    schema-4 [profile] section. *)

@@ -95,6 +95,9 @@ let run (module Q : Squeues.Intf.S) ?(procs = 8) ?(pairs = 8_000) ?(trials = 12)
      for k = 0 to trials - 1 do
        if expired () then begin
          verdict := Timed_out { trials_done = k };
+         Obs.Flight.note_anomaly
+           ~reason:(Printf.sprintf "liveness-timeout:%s after %d trials" Q.name k)
+           ();
          raise Exit
        end;
        (* spread injection times over the bulk of the undelayed run *)

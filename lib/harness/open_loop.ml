@@ -127,6 +127,15 @@ let run ?(config = default) fab =
   let pkeys = Array.init cfg.producers (keys_for cfg) in
   let sojourn = Obs.Histogram.create () in
   let enq_latency = Obs.Histogram.create () in
+  (* when a sampler is live, the run narrates itself: per-shard depths,
+     breaker states and the latency histograms appear on the timeline
+     for exactly the duration of this run *)
+  let telemetry = Obs.Sampler.active () in
+  if telemetry then begin
+    Fabric.Queue_fabric.register_telemetry ~prefix:"open_loop.fabric" fab;
+    Obs.Sampler.register_histogram "open_loop.sojourn_ns" sojourn;
+    Obs.Sampler.register_histogram "open_loop.enq_latency_ns" enq_latency
+  end;
   let enqueued = Atomic.make 0 in
   let refused = Atomic.make 0 in
   let dequeued = Atomic.make 0 in
@@ -201,6 +210,13 @@ let run ?(config = default) fab =
   Array.iter Domain.join pdoms;
   Array.iter Domain.join cdoms;
   let duration_ns = max 1 (now_ns () - t0) in
+  if telemetry then begin
+    (* one last sample so the timeline's tail reflects the drained
+       state, then drop this run's sources (the series keep their
+       points for export) *)
+    Obs.Sampler.tick ();
+    Obs.Sampler.remove ~prefix:"open_loop."
+  end;
   {
     config = cfg;
     duration_ns;

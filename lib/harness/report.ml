@@ -261,6 +261,56 @@ let robustness_json ~liveness ~crash =
   Obs.Json.Assoc
     [ ("stall_sweep", liveness_json liveness); ("crash_sweep", crash_json crash) ]
 
+(* Terminal rendering of a sampler timeline (the schema-8 [timeline]
+   section): one row per series — point count, last/min/max — so a run
+   can be eyeballed without loading the JSON into a dashboard. *)
+let timeline_table fmt timeline =
+  let module J = Obs.Json in
+  let member k j = J.member k j in
+  let list_of j k =
+    match Option.bind (member k j) J.to_list_opt with Some l -> l | None -> []
+  in
+  let period =
+    match Option.bind (member "period_ns" timeline) J.to_int_opt with
+    | Some p -> float_of_int p /. 1e6
+    | None -> 0.
+  in
+  let series = list_of timeline "series" in
+  Format.fprintf fmt
+    "Telemetry timeline: %d series, sampled every %.1f ms@." (List.length series)
+    period;
+  Format.fprintf fmt "  %-44s %8s %12s %12s %12s@." "series" "points" "last"
+    "min" "max";
+  List.iter
+    (fun s ->
+      let name =
+        match Option.bind (member "name" s) J.to_string_opt with
+        | Some n -> n
+        | None -> "?"
+      in
+      let label =
+        match
+          Option.bind (member "labels" s) (fun l ->
+              Option.bind (member "quantile" l) J.to_string_opt)
+        with
+        | Some q -> Printf.sprintf "%s{q=%s}" name q
+        | None -> name
+      in
+      let vs =
+        List.filter_map
+          (fun p -> Option.bind (member "v" p) J.to_float_opt)
+          (list_of s "points")
+      in
+      match vs with
+      | [] -> Format.fprintf fmt "  %-44s %8d@." label 0
+      | v0 :: _ ->
+          let last = List.nth vs (List.length vs - 1) in
+          let mn = List.fold_left Float.min v0 vs in
+          let mx = List.fold_left Float.max v0 vs in
+          Format.fprintf fmt "  %-44s %8d %12.0f %12.0f %12.0f@." label
+            (List.length vs) last mn mx)
+    series
+
 let render format fmt fig =
   match format with
   | Table -> table fmt fig

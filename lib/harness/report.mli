@@ -69,6 +69,12 @@ val robustness_json :
 (** [{ "stall_sweep": ..., "crash_sweep": ... }] — the [robustness]
     section of [BENCH_queues.json]. *)
 
+val timeline_table : Format.formatter -> Obs.Json.t -> unit
+(** Terminal table of a sampler timeline (the schema-8 [timeline]
+    section of [BENCH_queues.json], i.e. [Obs.Sampler.timeline_json]):
+    one row per series with point count, last, min and max — the quick
+    look before loading the JSON into a dashboard. *)
+
 val summary : Format.formatter -> Experiment.figure -> unit
 (** The paper's qualitative claims evaluated on this figure: which
     algorithm wins at 3+ processors, the MS/two-lock/single-lock

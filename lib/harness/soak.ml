@@ -127,6 +127,10 @@ let hp_lag_bound = 1 lsl 16
 let soak_core d ~seed ~rounds ~producers ~consumers ~ops ~deadline_s
     ~crash_mode =
   let t_start = Unix.gettimeofday () in
+  (* the flight recorder rides along for the whole soak: if the run
+     dies, the black box holds every domain's last recorded moments *)
+  let flight_was_on = Obs.Flight.enabled () in
+  if not flight_was_on then Obs.Flight.enable ();
   let rnd = rng_of seed in
   let stop = Atomic.make false in
   let expired = Atomic.make false in
@@ -440,8 +444,19 @@ let soak_core d ~seed ~rounds ~producers ~consumers ~ops ~deadline_s
       Locks.Probe.clear_site_hook ();
       Obs.Chaos.disable ();
       Atomic.set finished true;
-      Domain.join watchdog)
+      Domain.join watchdog;
+      if not flight_was_on then Obs.Flight.disable ())
     body;
+  (* a failed run is a major anomaly: dump the black box (if a dump
+     path is armed) before teardown disturbs anything further *)
+  (match List.rev !audit_failures with
+  | first :: _ ->
+      Obs.Flight.note_anomaly
+        ~reason:(Printf.sprintf "soak-audit:%s: %s" d.dname first)
+        ()
+  | [] ->
+      if Atomic.get expired then
+        Obs.Flight.note_anomaly ~reason:("soak-watchdog:" ^ d.dname) ());
   {
     queue = d.dname;
     seed;

@@ -32,33 +32,46 @@ let backoff () = bump backoff_cell
 let help () = bump help_cell
 
 (* Labeled injection sites: a second, independent switch used by the
-   chaos layer (Obs.Chaos) to perturb timing and by the profiler
-   (Obs.Profile) to attribute cycles, at algorithm-specific points.
-   Same discipline as the counters — a single [bool ref] test when
-   nothing is installed.  Two independent hook slots (chaos, profile)
-   are composed into one dispatch closure whenever either changes, so
-   the hot path stays one load + one indirect call. *)
+   flight recorder (Obs.Flight) to log events, by the chaos layer
+   (Obs.Chaos) to perturb timing and by the profiler (Obs.Profile) to
+   attribute cycles, at algorithm-specific points.  Same discipline as
+   the counters — a single [bool ref] test when nothing is installed.
+   Three independent hook slots (flight, chaos, profile) are composed
+   into one dispatch closure whenever any changes, so the hot path
+   stays one load + one indirect call.  Flight runs first (so a chaos
+   hook that raises — the soak's crash countdowns — still leaves the
+   event in the black box), then chaos, then profile. *)
 
 let site_enabled = ref false
 let site_hook : (string -> unit) ref = ref (fun _ -> ())
 let site label = if !site_enabled then !site_hook label
 
+let flight_slot : (string -> unit) option ref = ref None
 let chaos_slot : (string -> unit) option ref = ref None
 let profile_slot : (string -> unit) option ref = ref None
 
 let recompose () =
-  match (!chaos_slot, !profile_slot) with
-  | None, None ->
+  let installed =
+    List.filter_map Fun.id [ !flight_slot; !chaos_slot; !profile_slot ]
+  in
+  match installed with
+  | [] ->
       site_enabled := false;
       site_hook := fun _ -> ()
-  | Some f, None | None, Some f ->
+  | [ f ] ->
       site_hook := f;
       site_enabled := true
-  | Some f, Some g ->
+  | [ f; g ] ->
       (site_hook :=
          fun label ->
            f label;
            g label);
+      site_enabled := true
+  | f :: rest ->
+      (site_hook :=
+         fun label ->
+           f label;
+           List.iter (fun g -> g label) rest);
       site_enabled := true
 
 let set_site_hook f =
@@ -77,22 +90,57 @@ let clear_profile_site_hook () =
   profile_slot := None;
   recompose ()
 
+let set_flight_site_hook f =
+  flight_slot := Some f;
+  recompose ()
+
+let clear_flight_site_hook () =
+  flight_slot := None;
+  recompose ()
+
 (* Phase spans: begin/end marks around the phases of an operation
    (snapshot-read, CAS-attempt, backoff, critical section).  One load
-   when no handler is installed. *)
+   when no handler is installed.  Two slots — flight recorder and
+   profiler — composed exactly like the site slots, flight first. *)
 
 let phase_enabled = ref false
 let phase_hook : (enter:bool -> string -> unit) ref = ref (fun ~enter:_ _ -> ())
 let phase_begin label = if !phase_enabled then !phase_hook ~enter:true label
 let phase_end label = if !phase_enabled then !phase_hook ~enter:false label
 
+let flight_phase_slot : (enter:bool -> string -> unit) option ref = ref None
+let profile_phase_slot : (enter:bool -> string -> unit) option ref = ref None
+
+let recompose_phase () =
+  match (!flight_phase_slot, !profile_phase_slot) with
+  | None, None ->
+      phase_enabled := false;
+      phase_hook := fun ~enter:_ _ -> ()
+  | Some f, None | None, Some f ->
+      phase_hook := f;
+      phase_enabled := true
+  | Some f, Some g ->
+      (phase_hook :=
+         fun ~enter label ->
+           f ~enter label;
+           g ~enter label);
+      phase_enabled := true
+
 let set_phase_hook f =
-  phase_hook := f;
-  phase_enabled := true
+  profile_phase_slot := Some f;
+  recompose_phase ()
 
 let clear_phase_hook () =
-  phase_enabled := false;
-  phase_hook := fun ~enter:_ _ -> ()
+  profile_phase_slot := None;
+  recompose_phase ()
+
+let set_flight_phase_hook f =
+  flight_phase_slot := Some f;
+  recompose_phase ()
+
+let clear_flight_phase_hook () =
+  flight_phase_slot := None;
+  recompose_phase ()
 
 type counts = { cas_retries : int; backoffs : int; helps : int }
 

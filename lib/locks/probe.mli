@@ -34,15 +34,19 @@ val help : unit -> unit
 
     The native queues mark timing-sensitive points — just before and
     after a linearizing CAS/FAA, inside lock-held critical sections —
-    with {!site}.  Two independent consumers can observe them: the
-    chaos layer ([Obs.Chaos], via {!set_site_hook}) perturbs timing at
-    a site, and the profiler ([Obs.Profile], via
-    {!set_profile_site_hook}) attributes cycles to it.  The two hook
-    slots are composed into a single dispatch closure whenever either
-    changes, so with no hook installed the call is exactly one
-    [bool ref] load and a branch — the disabled-path cost contract
-    tested in [test_locks.ml].  Labels are stable identifiers like
-    ["msq.enq.link"]. *)
+    with {!site}.  Three independent consumers can observe them: the
+    flight recorder ([Obs.Flight], via {!set_flight_site_hook}) logs
+    the event into its per-domain black-box ring, the chaos layer
+    ([Obs.Chaos], via {!set_site_hook}) perturbs timing at a site, and
+    the profiler ([Obs.Profile], via {!set_profile_site_hook})
+    attributes cycles to it.  The hook slots are composed into a
+    single dispatch closure whenever any changes, so with no hook
+    installed the call is exactly one [bool ref] load and a branch —
+    the disabled-path cost contract tested in [test_locks.ml].  When
+    several are installed the flight recorder runs first (so a chaos
+    handler that raises — the soak's crash countdowns — still leaves
+    the event in the black box), then chaos, then profile.  Labels are
+    stable identifiers like ["msq.enq.link"]. *)
 
 val site : string -> unit
 (** Mark an injection site on the current code path. *)
@@ -63,6 +67,12 @@ val set_profile_site_hook : (string -> unit) -> unit
 
 val clear_profile_site_hook : unit -> unit
 
+val set_flight_site_hook : (string -> unit) -> unit
+(** Install the flight-recorder handler (same domain-safety contract as
+    {!set_site_hook}); it runs before the chaos and profile handlers. *)
+
+val clear_flight_site_hook : unit -> unit
+
 (** {1 Phase spans}
 
     The native queues bracket the phases of an operation —
@@ -76,10 +86,17 @@ val phase_begin : string -> unit
 val phase_end : string -> unit
 
 val set_phase_hook : (enter:bool -> string -> unit) -> unit
-(** Install the span handler (installed by [Obs.Profile]); same
-    domain-safety contract as {!set_site_hook}. *)
+(** Install the profiler's span handler (installed by [Obs.Profile]);
+    same domain-safety contract as {!set_site_hook}.  Composes with the
+    flight-recorder phase slot, flight first. *)
 
 val clear_phase_hook : unit -> unit
+
+val set_flight_phase_hook : (enter:bool -> string -> unit) -> unit
+(** Install the flight recorder's span handler; composes with the
+    profiler slot, flight first. *)
+
+val clear_flight_phase_hook : unit -> unit
 
 (** {1 Reading} *)
 

@@ -1,0 +1,76 @@
+(** The flight recorder: an always-on black box for the native queues.
+
+    While enabled, every {!Locks.Probe.site} and phase mark is logged as
+    a fixed-size binary record — interned site id, monotonic-ns
+    timestamp, event tag, domain id — into a per-domain overwrite-oldest
+    ring.  When a run dies (soak watchdog expiry, audit failure,
+    liveness timeout, breaker trip) the rings hold the last moments of
+    every domain, dumped as Chrome-trace (catapult) JSON loadable in
+    Perfetto or chrome://tracing.
+
+    Cost contract: with the recorder disabled the queues pay only
+    [Locks.Probe]'s single-load-and-branch path (asserted in
+    [test_locks.ml]); enabled, each event costs one clock read, a
+    physical-equality label-cache probe, and four plain array stores
+    into a ring row written by one domain.  Domains colliding modulo
+    {!n_rings} share a row; records may shear, the dump still loads. *)
+
+val n_rings : int
+(** Ring rows (64); Chrome-trace [tid] = domain id modulo this. *)
+
+val enable : unit -> unit
+(** Allocate the rings (first time) and install the flight hooks into
+    [Locks.Probe]'s flight slots; idempotent. *)
+
+val disable : unit -> unit
+(** Uninstall the hooks; retained records survive for a later dump. *)
+
+val enabled : unit -> bool
+
+val configure : capacity:int -> unit
+(** Set records retained per ring (default 1024, rounded up to a power
+    of two) and drop existing records.  Raises [Invalid_argument] while
+    the recorder is enabled or on a non-positive capacity. *)
+
+val capacity : unit -> int
+
+val recorded : unit -> int
+(** Total events ever recorded (including overwritten ones). *)
+
+val reset : unit -> unit
+(** Drop all records.  Callers must ensure no concurrent emission. *)
+
+(** {1 Dumping} *)
+
+val dump_json : reason:string -> unit -> Json.t
+(** Render the rings as a Chrome-trace document: site marks as ["i"]
+    instant events, phase spans as ["B"]/["E"] pairs, one [tid] per
+    ring row, timestamps in µs from the earliest retained record.
+    Spans sheared by overwrite are re-balanced so the file always
+    loads.  [reason] lands in [otherData.reason]. *)
+
+val dump_to_file : reason:string -> string -> unit
+(** {!dump_json} pretty-printed to a file ({!Json.write_file}). *)
+
+(** {1 The anomaly latch}
+
+    A harness arms the latch with a destination path before a risky
+    run; failure detectors then call {!note_anomaly} and the black box
+    writes itself out at the moment of failure, not after teardown has
+    disturbed it.  Major anomalies (the default: watchdog expiry, audit
+    failure, liveness timeout) beat minor ones (an expected breaker
+    trip): the first major dump wins the latch outright, a minor dump
+    happens only if nothing has dumped yet and is overwritten by a
+    later major one. *)
+
+val arm_dump : path:string -> unit
+(** Arm (or re-arm, clearing any previous dump claim). *)
+
+val disarm_dump : unit -> unit
+
+val note_anomaly : ?major:bool -> reason:string -> unit -> unit
+(** Report a failure; dumps to the armed path per the priority rules
+    above ([major] defaults to [true]).  No-op when unarmed. *)
+
+val last_dump : unit -> (string * string) option
+(** [(path, reason)] of the dump currently holding the latch. *)

@@ -108,6 +108,35 @@ let percentile t p =
 
 let p999 t = quantile t 0.999
 
+(* Aggregated bucket counts as a plain array, and the quantile walk over
+   such an array — the sampler's windowed quantiles subtract two
+   snapshots and rank within the difference. *)
+
+let counts t = Array.init n_buckets (fun b -> bucket_count t b)
+
+let quantile_of_counts counts q =
+  if q < 0. || q > 1. then invalid_arg "Histogram.quantile_of_counts";
+  if Array.length counts <> n_buckets then
+    invalid_arg "Histogram.quantile_of_counts";
+  let n = Array.fold_left ( + ) 0 counts in
+  if n = 0 then None
+  else begin
+    let rank = Float.to_int (Float.ceil (q *. float_of_int n)) in
+    let rank = max 1 (min n rank) in
+    let seen = ref 0 in
+    let result = ref 0 in
+    (try
+       for b = 0 to n_buckets - 1 do
+         seen := !seen + counts.(b);
+         if !seen >= rank then begin
+           result := upper_bound b;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    Some !result
+  end
+
 let reset t = Array.iter (fun row -> Array.fill row 0 row_width 0) t
 
 let pp fmt t =

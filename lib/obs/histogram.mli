@@ -58,6 +58,19 @@ val percentile : t -> float -> int option
 val p999 : t -> int option
 (** The 99.9th percentile — the tail the soak/SLO reports gate on. *)
 
+val n_buckets : int
+(** Number of log2 buckets (fixed; exposed for snapshot consumers). *)
+
+val counts : t -> int array
+(** Aggregated per-bucket counts, [n_buckets] long — a snapshot two of
+    which can be subtracted to quantile a {e window} of samples (the
+    [Sampler]'s per-window p50/p99/p999). *)
+
+val quantile_of_counts : int array -> float -> int option
+(** [quantile_of_counts cs q]: the {!quantile} walk over a plain bucket
+    array (as produced by {!counts}, or the difference of two) — [None]
+    when the counts sum to zero. *)
+
 val reset : t -> unit
 val pp : Format.formatter -> t -> unit
 

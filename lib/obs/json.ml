@@ -50,6 +50,57 @@ let rec pp fmt t =
 
 let to_string t = Format.asprintf "%a" pp t
 
+(* Indented pretty-printing: every non-empty list/object breaks onto its
+   own lines at a fixed 2-space indent, so the artifacts written for
+   humans (timelines, flight-recorder dumps, soak reports) diff and
+   review cleanly.  [pp] above stays the compact form for logs and
+   round-trip tests. *)
+
+let rec emit_pretty b indent t =
+  let pad n = String.make (2 * n) ' ' in
+  let scalar t = Buffer.add_string b (to_string t) in
+  match t with
+  | Null | Bool _ | Int _ | Float _ | String _ -> scalar t
+  | List [] -> Buffer.add_string b "[]"
+  | Assoc [] -> Buffer.add_string b "{}"
+  | List l ->
+      Buffer.add_string b "[\n";
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_string b ",\n";
+          Buffer.add_string b (pad (indent + 1));
+          emit_pretty b (indent + 1) v)
+        l;
+      Buffer.add_char b '\n';
+      Buffer.add_string b (pad indent);
+      Buffer.add_char b ']'
+  | Assoc kvs ->
+      Buffer.add_string b "{\n";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string b ",\n";
+          Buffer.add_string b (pad (indent + 1));
+          Buffer.add_char b '"';
+          Buffer.add_string b (escape k);
+          Buffer.add_string b "\": ";
+          emit_pretty b (indent + 1) v)
+        kvs;
+      Buffer.add_char b '\n';
+      Buffer.add_string b (pad indent);
+      Buffer.add_char b '}'
+
+let to_string_pretty t =
+  let b = Buffer.create 1024 in
+  emit_pretty b 0 t;
+  Buffer.contents b
+
+let pp_pretty fmt t = Format.pp_print_string fmt (to_string_pretty t)
+
+let write_file path t =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (to_string_pretty t);
+      Out_channel.output_char oc '\n')
+
 (* ------------------------------------------------------------------ *)
 (* Parsing: a small recursive-descent parser, enough for round-trip
    tests and schema checks on our own emitters. *)

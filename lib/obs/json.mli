@@ -22,6 +22,18 @@ val pp : Format.formatter -> t -> unit
 
 val to_string : t -> string
 
+val pp_pretty : Format.formatter -> t -> unit
+(** Indented (2-space) multi-line form: every non-empty array/object
+    breaks onto its own lines — the shape the [*-out] artifact writers
+    use so timelines and flight dumps are reviewable. *)
+
+val to_string_pretty : t -> string
+(** {!pp_pretty} to a string (no trailing newline). *)
+
+val write_file : string -> t -> unit
+(** Write the pretty form plus a trailing newline to a file — the one
+    call every [*-out] writer goes through. *)
+
 exception Parse_error of string
 
 val of_string : string -> t

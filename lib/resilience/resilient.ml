@@ -138,7 +138,12 @@ let note_refusal rt br kind =
     then begin
       Atomic.set br.opened_at (now_ns ());
       Obs.Counter.incr rt.c_trips;
-      Locks.Probe.site "res.breaker.trip"
+      Locks.Probe.site "res.breaker.trip";
+      (* a minor anomaly: claims the flight-recorder latch only if no
+         real failure (watchdog, audit) has *)
+      Obs.Flight.note_anomaly ~major:false
+        ~reason:("breaker-trip:" ^ rt.metrics.Obs.Metrics.name)
+        ()
     end
   end
 
@@ -148,7 +153,10 @@ let reopen rt br =
   if Atomic.compare_and_set br.state st_half st_open then begin
     Atomic.set br.opened_at (now_ns ());
     Obs.Counter.incr rt.c_trips;
-    Locks.Probe.site "res.breaker.trip"
+    Locks.Probe.site "res.breaker.trip";
+    Obs.Flight.note_anomaly ~major:false
+      ~reason:("breaker-retrip:" ^ rt.metrics.Obs.Metrics.name)
+      ()
   end
 
 let note_success rt br =

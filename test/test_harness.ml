@@ -442,7 +442,12 @@ let test_bench_compare_parse () =
         d.Harness.Bench_compare.schema_version
   | Error e -> Alcotest.failf "schema 7 rejected: %s" e);
   (match Harness.Bench_compare.of_string (bench_doc ~schema:8 ()) with
-  | Ok _ -> Alcotest.fail "schema 8 accepted"
+  | Ok d ->
+      Alcotest.(check int) "schema 8 accepted" 8
+        d.Harness.Bench_compare.schema_version
+  | Error e -> Alcotest.failf "schema 8 rejected: %s" e);
+  (match Harness.Bench_compare.of_string (bench_doc ~schema:9 ()) with
+  | Ok _ -> Alcotest.fail "schema 9 accepted"
   | Error _ -> ());
   match Harness.Bench_compare.of_string "{not json" with
   | Ok _ -> Alcotest.fail "garbage accepted"

@@ -126,11 +126,7 @@ let test_probe_disabled_functional () =
   Alcotest.(check int) "no backoffs recorded" 0 d.Locks.Probe.backoffs;
   Alcotest.(check int) "no helps recorded" 0 d.Locks.Probe.helps
 
-let test_probe_disabled_cost () =
-  Locks.Probe.clear_site_hook ();
-  Locks.Probe.clear_profile_site_hook ();
-  Locks.Probe.clear_phase_hook ();
-  Locks.Probe.disable ();
+let assert_disabled_cost () =
   let n = 2_000_000 in
   let time f =
     (* best of 3: absorb scheduler preemptions on a shared core *)
@@ -170,6 +166,49 @@ let test_probe_disabled_cost () =
       (baseline *. 1e9 /. float_of_int n)
       (budget *. 1e9 /. float_of_int n)
 
+let test_probe_disabled_cost () =
+  Locks.Probe.clear_site_hook ();
+  Locks.Probe.clear_profile_site_hook ();
+  Locks.Probe.clear_phase_hook ();
+  Locks.Probe.disable ();
+  assert_disabled_cost ()
+
+(* The flight recorder must not erode the disabled-path contract: after
+   an enable/disable cycle (hooks installed into the flight slots, then
+   removed) a mark must again be the single load-and-branch — the
+   recompose must leave no wrapper closure, clock read or ring store
+   behind.  Same budget as the plain disabled-cost test. *)
+let test_flight_cycle_disabled_cost () =
+  Obs.Flight.enable ();
+  Locks.Probe.site "t.flight.cycle";
+  Locks.Probe.phase_begin "t.flight.cycle";
+  Locks.Probe.phase_end "t.flight.cycle";
+  Obs.Flight.disable ();
+  Locks.Probe.clear_site_hook ();
+  Locks.Probe.clear_profile_site_hook ();
+  Locks.Probe.clear_phase_hook ();
+  Locks.Probe.disable ();
+  assert_disabled_cost ()
+
+(* Enabled side of the contract: probe marks land in the per-domain
+   rings and come back out as Chrome-trace events. *)
+let test_flight_records_probe_marks () =
+  Obs.Flight.reset ();
+  Obs.Flight.enable ();
+  let before = Obs.Flight.recorded () in
+  Locks.Probe.site "t.flight.site";
+  Locks.Probe.phase_begin "t.flight.span";
+  Locks.Probe.phase_end "t.flight.span";
+  Obs.Flight.disable ();
+  let n = Obs.Flight.recorded () - before in
+  Alcotest.(check bool) "site + span recorded" true (n >= 3);
+  match
+    Obs.Json.member "traceEvents" (Obs.Flight.dump_json ~reason:"test" ())
+  with
+  | Some (Obs.Json.List evs) ->
+      Alcotest.(check bool) "dump has events" true (List.length evs >= 3)
+  | _ -> Alcotest.fail "dump has no traceEvents array"
+
 let suites =
   let per_lock f label =
     List.map
@@ -202,5 +241,9 @@ let suites =
           test_probe_disabled_functional;
         Alcotest.test_case "disabled path is a single load" `Slow
           test_probe_disabled_cost;
+        Alcotest.test_case "flight enable/disable leaves no residue" `Slow
+          test_flight_cycle_disabled_cost;
+        Alcotest.test_case "flight recorder captures probe marks" `Quick
+          test_flight_records_probe_marks;
       ] );
   ]

@@ -19,4 +19,5 @@ let () =
          Test_resilience.suites;
          Test_soak.suites;
          Test_fabric.suites;
+         Test_telemetry.suites;
        ])
